@@ -1,0 +1,49 @@
+"""Ablation — MOCHE versus MOCHE_ns (lower-bound pruning disabled).
+
+Section 6.4 attributes part of MOCHE's efficiency to the Theorem 2 binary
+search: the pruning reduces the number of candidate sizes the exact
+Theorem 1 check has to verify.  This ablation measures both the wall-clock
+time and the number of verified sizes on the same failed tests.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.core.moche import MOCHE
+from repro.experiments.reporting import format_table
+
+
+def _run(explainer, cases):
+    checked = []
+    for case in cases:
+        explanation = explainer.explain(case.reference, case.test, case.preference)
+        checked.append(explanation.sizes_checked)
+    return checked
+
+
+def test_ablation_lower_bound_pruning(benchmark, config, failed_cases):
+    full = MOCHE(alpha=config.alpha, use_lower_bound=True)
+    ablation = MOCHE(alpha=config.alpha, use_lower_bound=False)
+
+    checked_full = benchmark.pedantic(_run, args=(full, failed_cases), rounds=1, iterations=1)
+    checked_ablation = _run(ablation, failed_cases)
+
+    rows = [
+        [
+            case.dataset,
+            case.window_size,
+            with_bound,
+            without_bound,
+        ]
+        for case, with_bound, without_bound in zip(failed_cases, checked_full, checked_ablation)
+    ]
+    table = format_table(
+        ["dataset", "window size", "sizes checked (MOCHE)", "sizes checked (MOCHE_ns)"],
+        rows,
+        title="Ablation — Theorem 1 checks performed with and without the lower bound",
+    )
+    save_result("ablation_lower_bound", table)
+
+    assert sum(checked_full) <= sum(checked_ablation)
+    # The pruning removes the vast majority of the candidate sizes.
+    assert sum(checked_full) <= 0.5 * sum(checked_ablation) + len(failed_cases)

@@ -1,0 +1,50 @@
+"""Micro-benchmarks of MOCHE's phases on the synthetic workload.
+
+Not a paper figure: these benchmarks time the two phases of MOCHE (size
+search and construction) separately so regressions in either phase are
+visible, and they exercise the library at a fixed, repeatable size suitable
+for pytest-benchmark's statistical timing (multiple rounds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import BoundsCalculator
+from repro.core.construction import construct_most_comprehensible
+from repro.core.cumulative import ExplanationProblem
+from repro.core.moche import MOCHE
+from repro.core.preference import PreferenceList
+from repro.core.size_search import explanation_size
+from repro.datasets.synthetic import contaminated_pair
+
+
+@pytest.fixture(scope="module")
+def synthetic_problem():
+    pair = contaminated_pair(size=5000, fraction=0.03, seed=11)
+    problem = ExplanationProblem(pair.reference, pair.test, 0.05)
+    preference = PreferenceList.random(pair.test.size, seed=11)
+    return problem, preference
+
+
+def test_bench_phase1_size_search(benchmark, synthetic_problem):
+    problem, _ = synthetic_problem
+    result = benchmark(lambda: explanation_size(problem, calculator=BoundsCalculator(problem)))
+    assert result.size >= 1
+
+
+def test_bench_phase2_construction(benchmark, synthetic_problem):
+    problem, preference = synthetic_problem
+    calculator = BoundsCalculator(problem)
+    size = explanation_size(problem, calculator=calculator).size
+    indices = benchmark(
+        lambda: construct_most_comprehensible(problem, size, preference.order, calculator)
+    )
+    assert indices.size == size
+
+
+def test_bench_end_to_end_moche(benchmark, synthetic_problem):
+    problem, preference = synthetic_problem
+    explainer = MOCHE(alpha=0.05)
+    explanation = benchmark(lambda: explainer.explain_problem(problem, preference))
+    assert explanation.reverses_test

@@ -1,0 +1,65 @@
+"""Figure 1 — COVID-19 reference/test histograms and the I_p / I_a explanations.
+
+Regenerates the case-study inputs of Figure 1: the age-group histograms of
+the reference and test months (1a), the health-authority distribution of
+the two most comprehensible explanations (1b) and their age-group
+distribution (1c).  The shape to verify: both explanations have the same
+size, I_p concentrates entirely in FHA (the largest health authority) and
+I_a is skewed towards senior age groups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.datasets.covid import AGE_GROUPS
+from repro.experiments.case_study import run_case_study
+from repro.experiments.reporting import format_table
+
+
+def test_figure1_covid_explanations(benchmark):
+    result = benchmark.pedantic(
+        run_case_study,
+        kwargs={"alpha": 0.05, "seed": 2020, "include_baselines": False},
+        rounds=1,
+        iterations=1,
+    )
+    dataset = result.dataset
+
+    rows = []
+    reference_histogram = dataset.age_histogram("reference")
+    test_histogram = dataset.age_histogram("test")
+    i_p = result.preference_histograms()["I_p"]
+    i_a = result.preference_histograms()["I_a"]
+    for index, label in enumerate(AGE_GROUPS):
+        rows.append([
+            label,
+            reference_histogram[index],
+            test_histogram[index],
+            i_p[index],
+            i_a[index],
+        ])
+    table = format_table(
+        ["age group", "reference (Aug)", "test (Sep)", "I_p", "I_a"],
+        rows,
+        title="Figure 1 — histograms of the two sets and the explanations I_p / I_a",
+    )
+
+    ha_rows = [
+        [authority, result.ha_histograms()["I_p"][authority], result.ha_histograms()["I_a"][authority]]
+        for authority in result.ha_histograms()["I_p"]
+    ]
+    ha_table = format_table(
+        ["health authority", "I_p cases", "I_a cases"],
+        ha_rows,
+        title="Figure 1b — explanation distribution over health authorities",
+    )
+    save_result("figure1_covid_explanations", table + "\n\n" + ha_table)
+
+    # Shape checks mirroring the paper's observations.
+    assert result.population_explanation.size == result.age_explanation.size
+    assert result.ha_histograms()["I_p"]["FHA"] == result.population_explanation.size
+    senior_mass = i_a[5:].sum() / max(i_a.sum(), 1)
+    junior_mass = i_a[:3].sum() / max(i_a.sum(), 1)
+    assert senior_mass >= junior_mass

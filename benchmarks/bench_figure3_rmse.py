@@ -1,0 +1,31 @@
+"""Figure 3 — average ECDF RMSE after removing each method's explanation.
+
+The paper's shape: MOCHE and the density/optimization-guided baselines
+achieve small RMSE (the distributions become similar after removal), while
+the subsequence-shape baselines (STOMP, Series2Graph) and a misaligned
+greedy prefix leave large gaps.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import save_result
+from repro.experiments.effectiveness import format_rmse_table, run_effectiveness
+
+
+def test_figure3_average_rmse(benchmark, evaluation_records):
+    results = benchmark.pedantic(
+        run_effectiveness, args=(evaluation_records,), rounds=1, iterations=1
+    )
+    save_result("figure3_rmse", format_rmse_table(results))
+
+    for dataset, per_method in results.items():
+        moche_rmse = per_method["moche"]
+        assert not math.isnan(moche_rmse)
+        assert 0.0 <= moche_rmse < 0.5, dataset
+        # MOCHE must do at least as well as the shape-based baselines, which
+        # the paper singles out as ineffective.
+        for weak in ("stomp", "series2graph"):
+            if not math.isnan(per_method.get(weak, math.nan)):
+                assert moche_rmse <= per_method[weak] + 0.05, (dataset, weak)

@@ -1,0 +1,54 @@
+"""Figure 5a — runtime versus window size on the TWT-like dataset.
+
+The paper's shape: MOCHE is orders of magnitude faster than the
+search-based baselines (CS and GRC), faster than the greedy-style baselines
+(which run one KS test per removed point), and consistently faster than
+MOCHE_ns, the ablation without the lower-bound pruning.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import build_methods
+from repro.experiments.runtime import format_runtime_table, run_runtime_timeseries
+
+
+def test_figure5a_runtime_timeseries(benchmark, config):
+    # The TWT family has very long series; a reduced length scale keeps the
+    # workload laptop-sized while preserving the window-size sweep.
+    runtime_config = ExperimentConfig(
+        alpha=config.alpha,
+        window_sizes=(100, 200, 300),
+        cases_per_dataset=2,
+        series_per_family=1,
+        length_scale=0.05,
+        synthetic_sizes=config.synthetic_sizes,
+        seed=config.seed,
+        top_k=config.top_k,
+    )
+    methods = build_methods(
+        runtime_config,
+        include=("moche", "greedy", "corner_search", "grace", "d3", "stomp", "series2graph"),
+        include_ablation=True,
+    )
+    measurements = benchmark.pedantic(
+        run_runtime_timeseries,
+        args=(runtime_config,),
+        kwargs={"methods": methods, "family": "TWT"},
+        rounds=1,
+        iterations=1,
+    )
+    table = format_runtime_table(
+        measurements, title="Figure 5a — average runtime (seconds) vs window size (TWT)"
+    )
+    save_result("figure5a_runtime_timeseries", table)
+
+    assert measurements
+    by_method: dict[str, list[float]] = {}
+    for measurement in measurements:
+        by_method.setdefault(measurement.method, []).append(measurement.seconds)
+    mean = {name: sum(values) / len(values) for name, values in by_method.items()}
+    # MOCHE is faster than the optimization/search baselines.
+    assert mean["moche"] < mean["grace"]
+    assert mean["moche"] < mean["corner_search"]

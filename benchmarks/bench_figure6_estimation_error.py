@@ -1,0 +1,31 @@
+"""Figure 6 — estimation error of the explanation-size lower bound.
+
+For every sampled failed test the estimation error is ``k - k_hat``.  The
+paper's shape: the error is 0 for more than a quarter of the tests, at most
+1 for more than three quarters, and single-digit even in the worst case —
+which is why the binary-search lower bound makes MOCHE faster than the
+MOCHE_ns ablation.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.experiments.lower_bound import format_estimation_error_table, run_lower_bound_study
+
+
+def test_figure6_estimation_error(benchmark, config, failed_cases):
+    summaries = benchmark.pedantic(
+        run_lower_bound_study,
+        args=(config,),
+        kwargs={"cases": failed_cases},
+        rounds=1,
+        iterations=1,
+    )
+    save_result("figure6_estimation_error", format_estimation_error_table(summaries))
+
+    assert summaries
+    for size, summary in summaries.items():
+        assert summary.minimum >= 0
+        # The error stays far below the test-set size (the paper's worst
+        # case over all 2,690 tests is 6).
+        assert summary.maximum <= max(0.1 * size, 10), size

@@ -1,0 +1,26 @@
+"""Table 1 — statistics of the evaluation datasets.
+
+Regenerates the per-family series counts and length ranges for the
+synthetic NAB-like corpus (the real corpus' counts/lengths are encoded in
+``repro.datasets.nab.NAB_FAMILIES``).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets_summary import dataset_statistics, format_dataset_statistics
+
+
+def test_table1_dataset_statistics(benchmark):
+    """Generate the corpus and report Table 1's rows."""
+    config = ExperimentConfig(seed=7, series_per_family=None, length_scale=1.0,
+                              window_sizes=(100,))
+    statistics = benchmark.pedantic(
+        dataset_statistics, args=(config,), rounds=1, iterations=1
+    )
+    table = format_dataset_statistics(statistics)
+    save_result("table1_dataset_stats", table)
+    assert set(statistics) == {"AWS", "AD", "TRF", "TWT", "KC", "ART"}
+    assert statistics["AWS"]["series"] == 17
+    assert statistics["ART"]["series"] == 6

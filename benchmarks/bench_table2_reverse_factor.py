@@ -1,0 +1,25 @@
+"""Table 2 — reverse factor (fraction of failed tests actually reversed).
+
+The paper reports RF < 1 for the two search-based baselines (CS and GRC,
+which can exhaust their budgets) and RF = 1 for every other method,
+including MOCHE.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import save_result
+from repro.experiments.contrastivity import format_reverse_factor_table, run_contrastivity
+
+
+def test_table2_reverse_factor(benchmark, evaluation_records):
+    results = benchmark.pedantic(
+        run_contrastivity, args=(evaluation_records,), rounds=1, iterations=1
+    )
+    save_result("table2_reverse_factor", format_reverse_factor_table(results))
+
+    for dataset, per_method in results.items():
+        assert per_method["moche"] == 1.0, dataset
+        assert per_method["greedy"] == 1.0, dataset
+        # The search baselines may abort but never exceed 1.
+        assert 0.0 <= per_method["corner_search"] <= 1.0
+        assert 0.0 <= per_method["grace"] <= 1.0

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md's per-experiment index).  The workloads use
+``ExperimentConfig.smoke()`` — a scaled-down version of the paper's setup —
+so a full ``pytest benchmarks/ --benchmark-only`` pass finishes on a laptop
+while preserving the qualitative shape of every result.  Rendered tables are
+written to ``benchmarks/results/*.txt`` and echoed to stdout so they can be
+compared row-by-row with the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.evaluation import run_methods_on_cases
+from repro.experiments.methods import build_methods
+from repro.experiments.workloads import build_failed_test_cases
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, content: str) -> None:
+    """Persist a rendered table under benchmarks/results and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    print(f"\n{content}\n[saved to {path}]")
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The reduced-scale configuration used by every benchmark."""
+    return ExperimentConfig.smoke()
+
+
+@pytest.fixture(scope="session")
+def failed_cases(config):
+    """Failed KS tests sampled from the six NAB-like dataset families."""
+    return build_failed_test_cases(config)
+
+
+@pytest.fixture(scope="session")
+def evaluation_records(config, failed_cases):
+    """Explanations of every method on every sampled failed test.
+
+    Shared by the conciseness (Figure 2), contrastivity (Table 2) and
+    effectiveness (Figure 3) benchmarks so the methods run only once.
+    """
+    methods = build_methods(config)
+    return run_methods_on_cases(failed_cases, methods)

@@ -1,0 +1,53 @@
+"""Streaming drift monitoring with per-alarm explanations.
+
+This example exercises the application workflow that motivates the paper:
+a metric stream is monitored with sliding-window KS tests and, whenever a
+drift alarm fires, MOCHE immediately reports *which observations* of the
+alarming window caused it.  The stream is a synthetic server-latency metric
+that abruptly degrades halfway through.
+
+Run with::
+
+    python examples/drift_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import drifting_series
+from repro.drift import ExplainedDriftMonitor
+
+
+def main() -> None:
+    # A latency-like stream: stable around 120 ms, then a regression adds
+    # roughly 40 ms after observation 1500.
+    values, labels = drifting_series(
+        length=3000, drift_start=1500, drift_magnitude=40.0, noise=8.0, seed=11
+    )
+    stream = values + 120.0
+
+    monitor = ExplainedDriftMonitor(window_size=250, alpha=0.05)
+    alarms = list(monitor.process(stream))
+
+    print(f"observations processed : {monitor.detector.observations_seen}")
+    print(f"drift alarms raised    : {len(alarms)}\n")
+
+    for alarm in alarms:
+        explanation = alarm.explanation
+        print(f"alarm at stream position {alarm.position}")
+        print(f"  KS statistic {alarm.alarm.result.statistic:.3f} "
+              f"> threshold {alarm.alarm.result.threshold:.3f}")
+        print(f"  explanation: {explanation.size} of {len(alarm.alarm.test)} "
+              f"window points ({100 * explanation.fraction_of_test_set:.1f}%)")
+        print(f"  culprit value range: "
+              f"[{explanation.values.min():.1f}, {explanation.values.max():.1f}] ms")
+        truly_drifted = labels[alarm.position - len(alarm.alarm.test) + 1: alarm.position + 1]
+        print(f"  window overlaps ground-truth drift region: {bool(truly_drifted.any())}\n")
+
+    if not alarms:
+        print("no drift detected — try a larger drift magnitude or smaller window")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Exploring the explanation space of a failed KS test.
+
+The most comprehensible explanation is one point in a potentially huge
+space of equally small explanations (the Roshomon effect, Section 3.3 of
+the paper).  This example uses the analysis tools to look at that space:
+
+* which test points are *relevant* (belong to at least one explanation);
+* the top few explanations in comprehensibility order;
+* how the explanation size reacts to the significance level.
+
+Run with::
+
+    python examples/explanation_space.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExplanationProblem, PreferenceList, ks_test
+from repro.core.analysis import alpha_sensitivity, enumerate_explanations, relevant_points
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    reference = rng.normal(size=500)
+    test = np.concatenate([rng.normal(size=460), rng.normal(3.2, 0.4, size=40)])
+    print(ks_test(reference, test, alpha=0.05))
+
+    problem = ExplanationProblem(reference, test, alpha=0.05)
+    preference = PreferenceList.from_scores(test, descending=True, seed=0)
+
+    # Which points could ever be part of an explanation?
+    mask = relevant_points(problem)
+    print(f"\n{mask.sum()} of {test.size} test points are relevant "
+          f"(belong to at least one explanation)")
+    print(f"relevant value range: [{test[mask].min():.2f}, {test[mask].max():.2f}]")
+    print(f"irrelevant value range: [{test[~mask].min():.2f}, {test[~mask].max():.2f}]")
+
+    # The top alternatives, most comprehensible first.
+    print("\nTop 5 explanations in comprehensibility order (largest values preferred):")
+    for rank, explanation in enumerate(enumerate_explanations(problem, preference, limit=5), 1):
+        values = np.sort(test[explanation])
+        print(f"  #{rank}: size {explanation.size}, "
+              f"values {np.round(values[:4], 2).tolist()}"
+              f"{' ...' if values.size > 4 else ''}")
+
+    # Sensitivity to the significance level.
+    print("\nExplanation size vs significance level:")
+    for point in alpha_sensitivity(reference, test, [0.20, 0.10, 0.05, 0.01, 0.001]):
+        if point.failed:
+            print(f"  alpha = {point.alpha:<6} -> size {point.size} "
+                  f"(lower bound {point.lower_bound})")
+        else:
+            print(f"  alpha = {point.alpha:<6} -> test passes, nothing to explain")
+
+
+if __name__ == "__main__":
+    main()

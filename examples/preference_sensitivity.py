@@ -1,0 +1,64 @@
+"""How the most comprehensible explanation follows the user's preference.
+
+The same failed KS test is explained under four different preference lists
+(outlier-score based, value-descending, value-ascending and random).  All
+four explanations have exactly the same size — every explanation of a
+failed KS test does — but they contain different points, each one the
+lexicographically best for its preference.  The example also cross-checks
+MOCHE against the Greedy baseline to show why removing a preference prefix
+produces much larger explanations.
+
+Run with::
+
+    python examples/preference_sensitivity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MOCHE, PreferenceList, ks_test
+from repro.baselines import GreedyExplainer
+from repro.outliers.spectral_residual import SpectralResidual
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    reference = rng.normal(size=600)
+    test = np.concatenate(
+        [
+            rng.normal(size=520),
+            rng.uniform(2.5, 6.0, size=50),   # heavy right-tail excess
+            rng.uniform(-6.0, -2.5, size=30),  # lighter left-tail excess
+        ]
+    )
+    print(ks_test(reference, test, alpha=0.05))
+
+    scores = SpectralResidual().scores(np.concatenate([reference, test]))[-test.size:]
+    preferences = {
+        "spectral residual": PreferenceList.from_scores(scores, seed=0),
+        "largest values first": PreferenceList.from_scores(test, seed=0),
+        "smallest values first": PreferenceList.from_scores(-test, seed=0),
+        "random": PreferenceList.random(test.size, seed=0),
+    }
+
+    explainer = MOCHE(alpha=0.05)
+    greedy = GreedyExplainer(alpha=0.05)
+
+    print(f"\n{'preference':<22} {'MOCHE size':>10} {'greedy size':>12} "
+          f"{'MOCHE value range':>22}")
+    for name, preference in preferences.items():
+        explanation = explainer.explain(reference, test, preference)
+        greedy_explanation = greedy.explain(reference, test, preference)
+        value_range = f"[{explanation.values.min():.2f}, {explanation.values.max():.2f}]"
+        print(f"{name:<22} {explanation.size:>10} {greedy_explanation.size:>12} "
+              f"{value_range:>22}")
+
+    print("\nEvery MOCHE explanation has the same (minimum) size; only its "
+          "membership changes with the preference.  The greedy baseline's "
+          "size depends heavily on how well the preference happens to align "
+          "with the KS failure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment used for the reproduction has no network access and no
+``wheel`` package, so PEP 660 editable installs (which build a wheel) fail.
+This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+fall back to the classic ``setup.py develop`` code path.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

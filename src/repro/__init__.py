@@ -1,0 +1,62 @@
+"""repro — reproduction of the MOCHE system (VLDB 2021).
+
+"Comprehensible Counterfactual Explanation on Kolmogorov-Smirnov Test"
+by Zicun Cong, Lingyang Chu, Yu Yang and Jian Pei.
+
+The package provides:
+
+* :mod:`repro.core` — the two-sample KS test and the MOCHE explainer;
+* :mod:`repro.baselines` — the six baseline explainers of the evaluation
+  (Greedy, Extended-CornerSearch, Extended-GRACE, Extended-D3,
+  Extended-STOMP, Extended-Series2Graph);
+* :mod:`repro.outliers` — outlier / anomaly scorers used to build
+  preference lists and to power the baselines (Spectral Residual, KDE,
+  matrix profile, Series2Graph embeddings, simple detectors);
+* :mod:`repro.datasets` — synthetic equivalents of the paper's datasets
+  (COVID-19 case study, NAB-like time series, scalability workloads);
+* :mod:`repro.drift` — a sliding-window KS drift-detection pipeline that
+  attaches explanations to every drift alarm;
+* :mod:`repro.metrics` — the evaluation metrics (ISE, reverse factor,
+  ECDF RMSE, estimation error);
+* :mod:`repro.experiments` — runners that regenerate every table and
+  figure of the paper's evaluation section;
+* :mod:`repro.multidim` — the Fasano-Franceschini two-dimensional KS test
+  and a greedy explainer for it (the paper's stated future work).
+"""
+
+from repro.core import (
+    MOCHE,
+    BruteForceExplainer,
+    Explanation,
+    ExplanationProblem,
+    KSTestResult,
+    PreferenceList,
+    explain_ks_failure,
+    ks_statistic,
+    ks_test,
+)
+from repro.exceptions import (
+    KSTestPassedError,
+    NoExplanationError,
+    ReproError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MOCHE",
+    "BruteForceExplainer",
+    "Explanation",
+    "ExplanationProblem",
+    "KSTestResult",
+    "PreferenceList",
+    "explain_ks_failure",
+    "ks_statistic",
+    "ks_test",
+    "KSTestPassedError",
+    "NoExplanationError",
+    "ReproError",
+    "ValidationError",
+    "__version__",
+]

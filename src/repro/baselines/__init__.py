@@ -1,0 +1,38 @@
+"""Baseline explainers used in the paper's evaluation (Section 6.1.2).
+
+All baselines implement the same ``explain(reference, test, preference=...)``
+interface as MOCHE and return :class:`repro.core.explanation.Explanation`
+objects, so the metrics and experiment runners treat every method uniformly.
+
+* :class:`GreedyExplainer` (GRD) — removes a prefix of the preference list.
+* :class:`CornerSearchExplainer` (CS) — extended from the CornerSearch
+  sparse adversarial attack.
+* :class:`GraceExplainer` (GRC) — extended from the GRACE counterfactual
+  explainer, solved with a zeroth-order optimizer.
+* :class:`D3Explainer` (D3) — density-ratio ordering from the D3 stream
+  outlier detector.
+* :class:`StompExplainer` (STMP) — matrix-profile subsequence anomalies.
+* :class:`Series2GraphExplainer` (S2G) — graph-embedding subsequence
+  anomalies.
+"""
+
+from repro.baselines.base import BaselineExplainer, greedy_prefix_until_pass
+from repro.baselines.corner_search import CornerSearchExplainer
+from repro.baselines.d3 import D3Explainer
+from repro.baselines.grace import GraceExplainer
+from repro.baselines.greedy import GreedyExplainer
+from repro.baselines.series2graph import Series2GraphExplainer
+from repro.baselines.stomp import StompExplainer
+from repro.baselines.zoo import ZerothOrderOptimizer
+
+__all__ = [
+    "BaselineExplainer",
+    "greedy_prefix_until_pass",
+    "CornerSearchExplainer",
+    "D3Explainer",
+    "GraceExplainer",
+    "GreedyExplainer",
+    "Series2GraphExplainer",
+    "StompExplainer",
+    "ZerothOrderOptimizer",
+]

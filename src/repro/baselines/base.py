@@ -1,0 +1,127 @@
+"""Common infrastructure shared by the baseline explainers.
+
+Every baseline in the paper ultimately picks an ordered list of test points
+and removes a prefix of it until the KS test passes.  The helper
+:func:`greedy_prefix_until_pass` implements that loop efficiently by
+maintaining the cumulative vector of the removed prefix and recomputing the
+KS statistic in ``O(q)`` per added point — each step is still a genuine KS
+test on ``R`` and ``T \\ S``, just evaluated without re-sorting.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.cumulative import ExplanationProblem
+from repro.core.explanation import Explanation
+from repro.core.ks import critical_coefficient
+from repro.core.preference import PreferenceList
+from repro.utils.timing import Timer
+
+
+def greedy_prefix_until_pass(
+    problem: ExplanationProblem,
+    order: Sequence[int],
+    max_points: Optional[int] = None,
+) -> tuple[np.ndarray, bool]:
+    """Remove points of ``order`` one at a time until the KS test passes.
+
+    Parameters
+    ----------
+    problem:
+        The failed KS test instance.
+    order:
+        Test-set indices in removal order (most preferred / highest scored
+        first).
+    max_points:
+        Optional cap on the prefix length; when the cap is reached without
+        reversing the test the search reports failure.
+
+    Returns
+    -------
+    (indices, reversed)
+        The removed prefix (possibly the whole order) and whether the KS
+        test on ``R`` and ``T`` minus that prefix passes.
+    """
+    order = np.asarray(order, dtype=np.int64).ravel()
+    limit = order.size if max_points is None else min(int(max_points), order.size)
+    limit = min(limit, problem.m - 1)
+
+    cum_reference = problem.cum_reference.astype(float)
+    cum_test = problem.cum_test.astype(float)
+    cum_removed = np.zeros(problem.q, dtype=float)
+    n, m = problem.n, problem.m
+    c_alpha = critical_coefficient(problem.alpha)
+
+    for h, test_index in enumerate(order[:limit], start=1):
+        base_index = int(problem.test_base_indices[test_index])
+        cum_removed[base_index:] += 1.0
+        remaining = m - h
+        statistic = np.max(
+            np.abs(cum_reference / n - (cum_test - cum_removed) / remaining)
+        )
+        threshold = c_alpha * np.sqrt((n + remaining) / (n * remaining))
+        if statistic <= threshold:
+            return order[:h].copy(), True
+    return order[:limit].copy(), False
+
+
+class BaselineExplainer(abc.ABC):
+    """Base class for the six baseline explainers.
+
+    Subclasses implement :meth:`_select`, which returns the chosen test-set
+    indices and whether the selection reverses the failed test; packaging
+    into an :class:`Explanation` (including the verification KS test and the
+    runtime measurement) is shared.
+    """
+
+    #: Short method name used in result tables (overridden by subclasses).
+    name: str = "baseline"
+
+    def __init__(self, alpha: float = 0.05):
+        self.alpha = alpha
+
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        reference: np.ndarray,
+        test: np.ndarray,
+        preference: Optional[PreferenceList] = None,
+    ) -> Explanation:
+        """Produce a counterfactual explanation for a failed KS test."""
+        problem = ExplanationProblem(reference, test, self.alpha)
+        return self.explain_problem(problem, preference)
+
+    def explain_problem(
+        self,
+        problem: ExplanationProblem,
+        preference: Optional[PreferenceList] = None,
+    ) -> Explanation:
+        """Like :meth:`explain` for a pre-built problem instance."""
+        preference = preference or PreferenceList.identity(problem.m)
+        with Timer() as timer:
+            indices, converged = self._select(problem, preference)
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        ks_after = (
+            problem.test_after_removal(indices) if indices.size < problem.m else None
+        )
+        return Explanation(
+            indices=indices,
+            values=problem.test[indices],
+            method=self.name,
+            alpha=problem.alpha,
+            ks_before=problem.initial_result,
+            ks_after=ks_after,
+            runtime_seconds=timer.elapsed,
+            converged=converged,
+        )
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _select(
+        self, problem: ExplanationProblem, preference: PreferenceList
+    ) -> tuple[np.ndarray, bool]:
+        """Return the selected test-set indices and a convergence flag."""

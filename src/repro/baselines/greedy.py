@@ -1,0 +1,30 @@
+"""Greedy baseline (GRD, Section 6.1.2).
+
+GRD removes the first ``l`` points of the preference list, with ``l`` the
+smallest prefix length for which the reference set and the remaining test
+set pass the KS test.  When the preference list comes from an outlier
+detector, GRD is the natural "remove the outliers until the alarm clears"
+strategy the paper argues against: because the ordering is produced
+independently of the KS test, the prefix often contains many points that
+are irrelevant to the failure, making the explanation unnecessarily large.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineExplainer, greedy_prefix_until_pass
+from repro.core.cumulative import ExplanationProblem
+from repro.core.preference import PreferenceList
+
+
+class GreedyExplainer(BaselineExplainer):
+    """Remove the shortest reversing prefix of the preference list."""
+
+    name = "greedy"
+
+    def _select(
+        self, problem: ExplanationProblem, preference: PreferenceList
+    ) -> tuple[np.ndarray, bool]:
+        indices, reversed_test = greedy_prefix_until_pass(problem, preference.order)
+        return np.asarray(indices, dtype=np.int64), reversed_test

@@ -1,0 +1,73 @@
+"""Extended-Series2Graph baseline (S2G, Section 6.1.2).
+
+Series2Graph learns a graph over embedded subsequences of a regular series
+and scores query subsequences by the rarity of the transitions they induce.
+The paper's extension sorts the test-window subsequences by that anomaly
+score and greedily removes the points of the top subsequences until the KS
+test passes, exactly as Extended-STOMP does with matrix-profile scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineExplainer, greedy_prefix_until_pass
+from repro.core.cumulative import ExplanationProblem
+from repro.core.preference import PreferenceList
+from repro.outliers.matrix_profile import point_scores_from_subsequences
+from repro.outliers.series2graph import Series2Graph
+
+
+class Series2GraphExplainer(BaselineExplainer):
+    """Graph-embedding subsequence-anomaly greedy explainer.
+
+    Parameters
+    ----------
+    alpha:
+        Significance level of the KS test.
+    subsequence_fraction:
+        Subsequence length as a fraction of the test-window length (the
+        paper uses 5%).
+    node_count:
+        Number of graph nodes (angular bins) in the embedding.
+    min_subsequence_length:
+        Lower bound on the subsequence length so short windows still work.
+    """
+
+    name = "series2graph"
+
+    def __init__(
+        self,
+        alpha: float = 0.05,
+        subsequence_fraction: float = 0.05,
+        node_count: int = 50,
+        min_subsequence_length: int = 3,
+    ):
+        super().__init__(alpha=alpha)
+        self.subsequence_fraction = float(subsequence_fraction)
+        self.node_count = int(node_count)
+        self.min_subsequence_length = int(min_subsequence_length)
+
+    # ------------------------------------------------------------------
+    def subsequence_length(self, window_size: int) -> int:
+        """Subsequence length used for a test window of the given size."""
+        length = max(
+            self.min_subsequence_length,
+            int(round(self.subsequence_fraction * window_size)),
+        )
+        return min(length, max(window_size - 1, 2))
+
+    def _select(
+        self, problem: ExplanationProblem, preference: PreferenceList
+    ) -> tuple[np.ndarray, bool]:
+        window = self.subsequence_length(problem.m)
+        if problem.m <= window or problem.n <= window:
+            order = preference.order
+        else:
+            model = Series2Graph(window=window, node_count=self.node_count)
+            model.fit(problem.reference)
+            scores = model.score_subsequences(problem.test)
+            point_scores = point_scores_from_subsequences(scores, problem.m, window)
+            order = np.argsort(-point_scores, kind="stable")
+        indices, reversed_test = greedy_prefix_until_pass(problem, order)
+        return np.asarray(indices, dtype=np.int64), reversed_test

@@ -1,0 +1,217 @@
+"""Command-line interface to the MOCHE reproduction.
+
+The CLI exposes the library's main workflows without writing any Python:
+
+``repro test``
+    Run the two-sample KS test on two sample files and print the verdict.
+
+``repro explain``
+    Explain a failed KS test: load the reference and test samples, build a
+    preference list, run MOCHE (or a baseline) and print / save the
+    explanation.
+
+``repro monitor``
+    Stream a series file through the sliding-window drift monitor and print
+    an explained alarm for every detected drift.
+
+``repro experiments``
+    Regenerate the paper's tables and figures at a reduced scale.
+
+Installed as the ``repro`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    CornerSearchExplainer,
+    D3Explainer,
+    GraceExplainer,
+    GreedyExplainer,
+    Series2GraphExplainer,
+    StompExplainer,
+)
+from repro.core.ks import ks_test
+from repro.core.moche import MOCHE
+from repro.core.preference import PreferenceList
+from repro.drift.monitor import ExplainedDriftMonitor
+from repro.exceptions import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.run_all import EXPERIMENT_IDS, render_all, run_all_experiments
+from repro.io.export import explanation_report, save_explanation
+from repro.io.loaders import load_sample, load_series_csv
+from repro.outliers.spectral_residual import SpectralResidual
+
+#: CLI name -> explainer factory (alpha, top_k, seed).
+_METHODS = {
+    "moche": lambda alpha, top_k, seed: MOCHE(alpha=alpha),
+    "moche-ns": lambda alpha, top_k, seed: MOCHE(alpha=alpha, use_lower_bound=False),
+    "greedy": lambda alpha, top_k, seed: GreedyExplainer(alpha=alpha),
+    "corner-search": lambda alpha, top_k, seed: CornerSearchExplainer(
+        alpha=alpha, top_k=top_k, seed=seed
+    ),
+    "grace": lambda alpha, top_k, seed: GraceExplainer(alpha=alpha, top_k=top_k, seed=seed),
+    "d3": lambda alpha, top_k, seed: D3Explainer(alpha=alpha),
+    "stomp": lambda alpha, top_k, seed: StompExplainer(alpha=alpha),
+    "series2graph": lambda alpha, top_k, seed: Series2GraphExplainer(alpha=alpha),
+}
+
+#: CLI name -> preference construction strategy.
+_PREFERENCES = ("spectral-residual", "values-desc", "values-asc", "random", "identity")
+
+
+def _build_preference(
+    name: str,
+    reference: np.ndarray,
+    test: np.ndarray,
+    scores_path: Optional[str],
+    column: Optional[str],
+    seed: int,
+) -> PreferenceList:
+    if scores_path is not None:
+        scores = load_sample(scores_path, column=column)
+        return PreferenceList.from_scores(scores, descending=True, seed=seed)
+    if name == "spectral-residual":
+        series = np.concatenate([reference, test])
+        scores = SpectralResidual().scores(series)[-test.size:]
+        return PreferenceList.from_scores(scores, descending=True, seed=seed)
+    if name == "values-desc":
+        return PreferenceList.from_scores(test, descending=True, seed=seed)
+    if name == "values-asc":
+        return PreferenceList.from_scores(test, descending=False, seed=seed)
+    if name == "random":
+        return PreferenceList.random(test.size, seed=seed)
+    return PreferenceList.identity(test.size)
+
+
+# ----------------------------------------------------------------------
+# Sub-command implementations
+# ----------------------------------------------------------------------
+def _cmd_test(args: argparse.Namespace) -> int:
+    reference = load_sample(args.reference, column=args.column)
+    test = load_sample(args.test, column=args.column)
+    result = ks_test(reference, test, args.alpha)
+    print(result)
+    return 1 if result.rejected else 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    reference = load_sample(args.reference, column=args.column)
+    test = load_sample(args.test, column=args.column)
+    preference = _build_preference(
+        args.preference, reference, test, args.preference_scores, args.column, args.seed
+    )
+    explainer = _METHODS[args.method](args.alpha, args.top_k, args.seed)
+    explanation = explainer.explain(reference, test, preference)
+    print(explanation_report(explanation))
+    if args.output:
+        path = save_explanation(explanation, args.output)
+        print(f"\nexplanation written to {path}")
+    return 0 if explanation.reverses_test else 2
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    series = load_series_csv(args.series, value_column=args.column)
+    monitor = ExplainedDriftMonitor(window_size=args.window, alpha=args.alpha)
+    alarm_count = 0
+    for alarm in monitor.process(series):
+        alarm_count += 1
+        print(f"drift alarm #{alarm_count} at observation {alarm.position}")
+        print(explanation_report(alarm.explanation))
+        print()
+    print(f"{monitor.detector.observations_seen} observations processed, "
+          f"{alarm_count} drift alarm(s)")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    config = ExperimentConfig.paper() if args.scale == "paper" else ExperimentConfig.smoke()
+    only = tuple(args.only) if args.only else None
+    tables = run_all_experiments(config, only=only, progress=print)
+    print()
+    print(render_all(tables))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Comprehensible counterfactual explanations on failed KS tests (MOCHE).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--alpha", type=float, default=0.05,
+                         help="significance level of the KS test (default 0.05)")
+        sub.add_argument("--column", default=None,
+                         help="column name to read from tabular input files")
+
+    test_parser = subparsers.add_parser("test", help="run the two-sample KS test")
+    test_parser.add_argument("reference", help="file with the reference sample")
+    test_parser.add_argument("test", help="file with the test sample")
+    add_common(test_parser)
+    test_parser.set_defaults(handler=_cmd_test)
+
+    explain_parser = subparsers.add_parser("explain", help="explain a failed KS test")
+    explain_parser.add_argument("reference", help="file with the reference sample")
+    explain_parser.add_argument("test", help="file with the test sample")
+    add_common(explain_parser)
+    explain_parser.add_argument("--method", choices=sorted(_METHODS), default="moche",
+                                help="explanation method (default moche)")
+    explain_parser.add_argument("--preference", choices=_PREFERENCES,
+                                default="spectral-residual",
+                                help="how to build the preference list")
+    explain_parser.add_argument("--preference-scores", default=None,
+                                help="file with per-test-point preference scores "
+                                     "(overrides --preference)")
+    explain_parser.add_argument("--top-k", type=int, default=100,
+                                help="top-k restriction for the search baselines")
+    explain_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    explain_parser.add_argument("--output", default=None,
+                                help="write the explanation to this .json/.csv/.txt file")
+    explain_parser.set_defaults(handler=_cmd_explain)
+
+    monitor_parser = subparsers.add_parser(
+        "monitor", help="drift-monitor a series and explain every alarm"
+    )
+    monitor_parser.add_argument("series", help="file with the time series")
+    add_common(monitor_parser)
+    monitor_parser.add_argument("--window", type=int, default=200,
+                                help="sliding window size (default 200)")
+    monitor_parser.set_defaults(handler=_cmd_monitor)
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments_parser.add_argument("--scale", choices=("smoke", "paper"), default="smoke",
+                                    help="workload scale (default smoke)")
+    experiments_parser.add_argument("--only", nargs="*", choices=EXPERIMENT_IDS,
+                                    help="run only these experiment ids")
+    experiments_parser.set_defaults(handler=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.handler(args))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Core of the reproduction: the KS test and the MOCHE explainer.
+
+The public entry points are:
+
+* :func:`repro.core.ks.ks_test` — the two-sample KS test of Section 3.1;
+* :class:`repro.core.moche.MOCHE` / :func:`repro.core.moche.explain_ks_failure`
+  — the paper's primary contribution;
+* :class:`repro.core.preference.PreferenceList` — user domain knowledge;
+* :class:`repro.core.brute_force.BruteForceExplainer` — the exponential
+  reference method of Section 3.5, used as a ground-truth oracle in tests.
+"""
+
+from repro.core.analysis import (
+    AlphaSensitivityPoint,
+    alpha_sensitivity,
+    enumerate_explanations,
+    relevant_points,
+)
+from repro.core.batch import BatchExplainer, BatchItem, BatchResult, BatchSummary, windows_to_items
+from repro.core.bounds import BoundsCalculator, SizeBounds
+from repro.core.brute_force import BruteForceExplainer
+from repro.core.construction import PartialExplanationChecker, construct_most_comprehensible
+from repro.core.cumulative import (
+    ExplanationProblem,
+    base_vector,
+    counts_from_cumulative,
+    cumulative_vector,
+    subset_from_cumulative,
+)
+from repro.core.explanation import Explanation
+from repro.core.ks import (
+    KSTestResult,
+    asymptotic_pvalue,
+    critical_coefficient,
+    critical_value,
+    existence_guaranteed,
+    ks_statistic,
+    ks_test,
+)
+from repro.core.moche import MOCHE, explain_ks_failure
+from repro.core.preference import PreferenceList
+from repro.core.size_search import SizeSearchResult, explanation_size, lower_bound_size
+from repro.core.verification import VerificationReport, verify_explanation
+
+__all__ = [
+    "AlphaSensitivityPoint",
+    "alpha_sensitivity",
+    "enumerate_explanations",
+    "relevant_points",
+    "BatchExplainer",
+    "BatchItem",
+    "BatchResult",
+    "BatchSummary",
+    "windows_to_items",
+    "BoundsCalculator",
+    "SizeBounds",
+    "BruteForceExplainer",
+    "PartialExplanationChecker",
+    "construct_most_comprehensible",
+    "ExplanationProblem",
+    "base_vector",
+    "counts_from_cumulative",
+    "cumulative_vector",
+    "subset_from_cumulative",
+    "Explanation",
+    "KSTestResult",
+    "asymptotic_pvalue",
+    "critical_coefficient",
+    "critical_value",
+    "existence_guaranteed",
+    "ks_statistic",
+    "ks_test",
+    "MOCHE",
+    "explain_ks_failure",
+    "PreferenceList",
+    "SizeSearchResult",
+    "explanation_size",
+    "lower_bound_size",
+    "VerificationReport",
+    "verify_explanation",
+]

@@ -1,0 +1,169 @@
+"""Explanation-space analysis beyond the single most comprehensible answer.
+
+The paper's Section 3.3 points out that a failed KS test can have up to
+``C(|T|, k)`` distinct explanations (the Roshomon effect) and resolves the
+ambiguity by returning the single most comprehensible one.  The tools in
+this module let a user look at the rest of the explanation space without
+paying the exponential brute-force cost:
+
+* :func:`relevant_points` — which test points belong to *at least one*
+  explanation (these are exactly the points MOCHE could ever select, for
+  any preference list);
+* :func:`enumerate_explanations` — lazily enumerate explanations in
+  comprehensibility (lexicographic) order, e.g. to present the top-5
+  alternatives to a user;
+* :func:`alpha_sensitivity` — how the explanation size changes with the
+  significance level (an ablation of the one tunable knob of the problem
+  definition).
+
+All of these reuse the Theorem 3 partial-explanation machinery, so each
+membership check costs ``O(n + m)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bounds import BoundsCalculator
+from repro.core.construction import PartialExplanationChecker
+from repro.core.cumulative import ExplanationProblem
+from repro.core.ks import ks_test
+from repro.core.preference import PreferenceList
+from repro.core.size_search import explanation_size
+from repro.exceptions import ValidationError
+
+
+def relevant_points(
+    problem: ExplanationProblem,
+    size: Optional[int] = None,
+    calculator: Optional[BoundsCalculator] = None,
+) -> np.ndarray:
+    """Boolean mask over the test set: True for points in some explanation.
+
+    A test point is *relevant* to the failed KS test if at least one
+    explanation contains it; equivalently, the singleton ``{t}`` is a
+    partial explanation (Lemma 2).  Points that are not relevant can never
+    appear in MOCHE's output, whatever the preference list.
+    """
+    calculator = calculator or BoundsCalculator(problem)
+    if size is None:
+        size = explanation_size(problem, calculator=calculator).size
+    checker = PartialExplanationChecker(problem, size, calculator)
+    mask = np.zeros(problem.m, dtype=bool)
+    # Points with equal values have identical membership; check each unique
+    # base value once.
+    decided: dict[int, bool] = {}
+    for index in range(problem.m):
+        base_index = int(problem.test_base_indices[index])
+        if base_index not in decided:
+            decided[base_index] = checker.would_extend(index)
+        mask[index] = decided[base_index]
+    return mask
+
+
+def enumerate_explanations(
+    problem: ExplanationProblem,
+    preference: Optional[PreferenceList] = None,
+    size: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> Iterator[np.ndarray]:
+    """Yield explanations in comprehensibility order (most preferred first).
+
+    The enumeration is a backtracking search over the preference order that
+    only descends into partial explanations (Theorem 3), so producing the
+    next explanation costs ``O(m (n + m))`` in the worst case rather than
+    touching the exponential subset space.
+
+    Parameters
+    ----------
+    problem:
+        The failed KS test.
+    preference:
+        Comprehensibility order; identity by default.
+    size:
+        The explanation size ``k``; computed if omitted.
+    limit:
+        Stop after this many explanations (``None`` enumerates all of them,
+        which can still be a very large number — use with care).
+    """
+    preference = preference or PreferenceList.identity(problem.m)
+    calculator = BoundsCalculator(problem)
+    if size is None:
+        size = explanation_size(problem, calculator=calculator).size
+    checker = PartialExplanationChecker(problem, size, calculator)
+    order = preference.order
+    produced = 0
+    chosen: list[int] = []
+
+    def backtrack(start_rank: int) -> Iterator[np.ndarray]:
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if len(chosen) == size:
+            produced += 1
+            yield np.asarray(chosen, dtype=np.int64)
+            return
+        # Not enough remaining points to complete an explanation.
+        remaining = problem.m - start_rank
+        if remaining < size - len(chosen):
+            return
+        for rank in range(start_rank, problem.m):
+            if limit is not None and produced >= limit:
+                return
+            index = int(order[rank])
+            if not checker.would_extend(index):
+                continue
+            checker.commit(index)
+            chosen.append(index)
+            yield from backtrack(rank + 1)
+            chosen.pop()
+            checker.uncommit(index)
+
+    yield from backtrack(0)
+
+
+@dataclass(frozen=True)
+class AlphaSensitivityPoint:
+    """Explanation size at one significance level."""
+
+    alpha: float
+    failed: bool
+    size: Optional[int]
+    lower_bound: Optional[int]
+
+
+def alpha_sensitivity(
+    reference: np.ndarray,
+    test: np.ndarray,
+    alphas: Sequence[float],
+) -> list[AlphaSensitivityPoint]:
+    """Explanation size as a function of the significance level.
+
+    Smaller significance levels mean wider acceptance bands, so fewer
+    points need to be removed; at some point the original test passes and
+    there is nothing to explain.  This is the natural ablation of the one
+    tunable parameter in the problem definition.
+    """
+    if not len(alphas):
+        raise ValidationError("at least one significance level is required")
+    points: list[AlphaSensitivityPoint] = []
+    for alpha in alphas:
+        result = ks_test(reference, test, alpha)
+        if result.passed:
+            points.append(AlphaSensitivityPoint(alpha=float(alpha), failed=False,
+                                                size=None, lower_bound=None))
+            continue
+        problem = ExplanationProblem(reference, test, alpha)
+        search = explanation_size(problem)
+        points.append(
+            AlphaSensitivityPoint(
+                alpha=float(alpha),
+                failed=True,
+                size=search.size,
+                lower_bound=search.lower_bound,
+            )
+        )
+    return points

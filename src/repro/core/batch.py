@@ -1,0 +1,175 @@
+"""Batch explanation of many failed KS tests.
+
+The evaluation workloads (and real monitoring deployments) produce streams
+of failed KS tests — one per alarming sliding-window pair.  The
+:class:`BatchExplainer` runs an explainer over a collection of such pairs,
+skips the pairs that do not actually fail, collects per-pair results and
+summarises them (sizes, fractions, estimation errors, runtimes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.explanation import Explanation
+from repro.core.ks import ks_test
+from repro.core.moche import MOCHE
+from repro.core.preference import PreferenceList
+from repro.exceptions import ValidationError
+
+PreferenceBuilder = Callable[[np.ndarray, np.ndarray], PreferenceList]
+
+
+@dataclass
+class BatchItem:
+    """One reference/test pair submitted to the batch explainer."""
+
+    reference: np.ndarray
+    test: np.ndarray
+    label: str = ""
+    preference: Optional[PreferenceList] = None
+
+
+@dataclass
+class BatchResult:
+    """Result for one batch item."""
+
+    label: str
+    failed: bool
+    explanation: Optional[Explanation] = None
+
+    @property
+    def explained(self) -> bool:
+        """True when the pair failed and an explanation was produced."""
+        return self.explanation is not None
+
+
+@dataclass
+class BatchSummary:
+    """Aggregate statistics over a batch of explanations."""
+
+    total_pairs: int
+    failed_pairs: int
+    explained_pairs: int
+    mean_size: float
+    mean_fraction: float
+    mean_runtime_seconds: float
+    mean_estimation_error: Optional[float]
+
+    def as_row(self) -> dict[str, object]:
+        """The summary as a flat mapping for table rendering."""
+        return {
+            "pairs": self.total_pairs,
+            "failed": self.failed_pairs,
+            "explained": self.explained_pairs,
+            "mean size": self.mean_size,
+            "mean fraction": self.mean_fraction,
+            "mean runtime (s)": self.mean_runtime_seconds,
+            "mean EE": self.mean_estimation_error,
+        }
+
+
+@dataclass
+class BatchExplainer:
+    """Explain every failed KS test in a collection of window pairs.
+
+    Parameters
+    ----------
+    explainer:
+        Any object with MOCHE's ``explain(reference, test, preference)``
+        interface; defaults to :class:`MOCHE` at ``alpha``.
+    alpha:
+        Significance level used both for the failure check and for the
+        default explainer.
+    preference_builder:
+        Used to build a preference list for items that do not carry one;
+        ``None`` means the identity order.
+    """
+
+    alpha: float = 0.05
+    explainer: Optional[MOCHE] = None
+    preference_builder: Optional[PreferenceBuilder] = None
+    results: list[BatchResult] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.explainer is None:
+            self.explainer = MOCHE(alpha=self.alpha)
+
+    # ------------------------------------------------------------------
+    def run(self, items: Iterable[BatchItem]) -> list[BatchResult]:
+        """Explain every failing item; results are also stored on ``self``."""
+        self.results = []
+        for position, item in enumerate(items):
+            label = item.label or f"pair-{position}"
+            result = ks_test(item.reference, item.test, self.alpha)
+            if result.passed:
+                self.results.append(BatchResult(label=label, failed=False))
+                continue
+            preference = item.preference
+            if preference is None and self.preference_builder is not None:
+                preference = self.preference_builder(item.reference, item.test)
+            explanation = self.explainer.explain(item.reference, item.test, preference)
+            self.results.append(
+                BatchResult(label=label, failed=True, explanation=explanation)
+            )
+        return self.results
+
+    def explanations(self) -> list[Explanation]:
+        """All produced explanations, in submission order."""
+        return [r.explanation for r in self.results if r.explanation is not None]
+
+    # ------------------------------------------------------------------
+    def summary(self) -> BatchSummary:
+        """Aggregate statistics over the last :meth:`run`."""
+        if not self.results:
+            raise ValidationError("run() must be called before summary()")
+        explanations = self.explanations()
+        failed = sum(1 for r in self.results if r.failed)
+        if explanations:
+            sizes = np.array([e.size for e in explanations], dtype=float)
+            fractions = np.array([e.fraction_of_test_set for e in explanations])
+            runtimes = np.array([e.runtime_seconds for e in explanations])
+            errors = [e.estimation_error for e in explanations if e.estimation_error is not None]
+            mean_error = float(np.mean(errors)) if errors else None
+            return BatchSummary(
+                total_pairs=len(self.results),
+                failed_pairs=failed,
+                explained_pairs=len(explanations),
+                mean_size=float(sizes.mean()),
+                mean_fraction=float(fractions.mean()),
+                mean_runtime_seconds=float(runtimes.mean()),
+                mean_estimation_error=mean_error,
+            )
+        return BatchSummary(
+            total_pairs=len(self.results),
+            failed_pairs=failed,
+            explained_pairs=0,
+            mean_size=0.0,
+            mean_fraction=0.0,
+            mean_runtime_seconds=0.0,
+            mean_estimation_error=None,
+        )
+
+
+def windows_to_items(
+    pairs: Sequence,
+    preference_builder: Optional[PreferenceBuilder] = None,
+) -> list[BatchItem]:
+    """Convert :class:`repro.datasets.sliding_window.WindowPair` objects to items."""
+    items = []
+    for pair in pairs:
+        preference = None
+        if preference_builder is not None:
+            preference = preference_builder(pair.reference, pair.test)
+        items.append(
+            BatchItem(
+                reference=pair.reference,
+                test=pair.test,
+                label=f"{pair.series_name}@{pair.start}",
+                preference=preference,
+            )
+        )
+    return items

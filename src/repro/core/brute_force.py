@@ -1,0 +1,94 @@
+"""Brute-force explainer (Section 3.5), used as a ground-truth oracle.
+
+The brute-force method enumerates subsets of the test set ordered first by
+size and then by the lexicographic order induced by the preference list (a
+breadth-first traversal of the set-enumeration tree), running a full KS
+test for each subset.  The first subset whose removal makes the KS test
+pass is the most comprehensible counterfactual explanation.
+
+This is exponential and only usable on tiny instances, which is exactly its
+role here: the unit and property-based tests compare MOCHE's output against
+this oracle on small random problems.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional
+
+import numpy as np
+
+from repro.core.cumulative import ExplanationProblem
+from repro.core.explanation import Explanation
+from repro.core.preference import PreferenceList
+from repro.exceptions import NoExplanationError, ValidationError
+from repro.utils.timing import Timer
+
+#: Refuse to enumerate test sets larger than this; the intended use is tests.
+MAX_BRUTE_FORCE_SIZE = 22
+
+
+class BruteForceExplainer:
+    """Exhaustive search for the most comprehensible explanation.
+
+    Parameters
+    ----------
+    alpha:
+        Significance level of the KS test.
+    max_size:
+        Safety limit on the test-set size; enumeration is exponential.
+    """
+
+    name = "brute_force"
+
+    def __init__(self, alpha: float = 0.05, max_size: int = MAX_BRUTE_FORCE_SIZE):
+        self.alpha = alpha
+        self.max_size = int(max_size)
+
+    def explain(
+        self,
+        reference: np.ndarray,
+        test: np.ndarray,
+        preference: Optional[PreferenceList] = None,
+    ) -> Explanation:
+        """Return the most comprehensible explanation by exhaustive search."""
+        problem = ExplanationProblem(reference, test, self.alpha)
+        if problem.m > self.max_size:
+            raise ValidationError(
+                f"brute force enumeration is limited to test sets of at most "
+                f"{self.max_size} points; got {problem.m}"
+            )
+        preference = preference or PreferenceList.identity(problem.m)
+
+        with Timer() as timer:
+            indices = self._search(problem, preference)
+        ks_after = problem.test_after_removal(indices)
+        return Explanation(
+            indices=indices,
+            values=problem.test[indices],
+            method=self.name,
+            alpha=problem.alpha,
+            ks_before=problem.initial_result,
+            ks_after=ks_after,
+            runtime_seconds=timer.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _search(self, problem: ExplanationProblem, preference: PreferenceList) -> np.ndarray:
+        # Enumerate candidate subsets by increasing size; within one size,
+        # enumerate combinations of preference ranks in lexicographic order,
+        # which is exactly the comprehensibility order of Definition 2.
+        order = preference.order
+        for size in range(1, problem.m):
+            for rank_combo in combinations(range(problem.m), size):
+                candidate = order[list(rank_combo)]
+                if problem.is_reversing_subset(candidate):
+                    return np.asarray(candidate, dtype=np.int64)
+        raise NoExplanationError(
+            "no proper subset of the test set reverses the failed KS test"
+        )
+
+    def explanation_size(self, reference: np.ndarray, test: np.ndarray) -> int:
+        """Size of the smallest reversing subset, by exhaustive search."""
+        explanation = self.explain(reference, test)
+        return explanation.size

@@ -1,0 +1,162 @@
+"""Phase 2 of MOCHE: constructing the most comprehensible explanation.
+
+Section 5 of the paper shows that, once the explanation size ``k`` is known,
+the most comprehensible explanation can be built by a single scan of the
+test set in preference order (Algorithm 1): a point is kept if and only if
+the points selected so far plus that point still form a *partial
+explanation*, i.e. are contained in some explanation.
+
+Lemma 2 and Theorem 3 reduce the partial-explanation check to the existence
+of a qualified ``k``-cumulative vector ``C`` that dominates the candidate's
+per-value multiplicities.  With the bounds ``l_i^k`` and ``u_i^k`` of
+Equation 4 this becomes: for every ``i``,
+
+    l_i^k  <=  min_{j >= i} (u_j^k - C_S[j]) + C_S[i]        and
+    C_S[j] <=  u_j^k for every j,
+
+which we evaluate in ``O(q)`` per candidate using a reverse cumulative
+minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.bounds import BoundsCalculator, SizeBounds
+from repro.core.cumulative import ExplanationProblem
+from repro.exceptions import NoExplanationError, ValidationError
+
+
+class PartialExplanationChecker:
+    """Incremental Theorem 3 checker bound to a fixed explanation size ``k``.
+
+    The checker owns the bounds ``l^k`` and ``u^k`` and the current partial
+    explanation's cumulative vector.  ``would_extend`` answers whether adding
+    one more test point keeps the selection a partial explanation;
+    ``commit`` records the addition.
+    """
+
+    def __init__(self, problem: ExplanationProblem, size: int,
+                 calculator: Optional[BoundsCalculator] = None):
+        self.problem = problem
+        self.size = int(size)
+        calculator = calculator or BoundsCalculator(problem)
+        self._bounds: SizeBounds = calculator.size_bounds(self.size)
+        if not self._bounds.feasible:
+            raise NoExplanationError(
+                f"no qualified {self.size}-cumulative vector exists; "
+                "the provided size is smaller than the explanation size"
+            )
+        self._cum_selected = np.zeros(problem.q, dtype=np.int64)
+        self._selected_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def selected_count(self) -> int:
+        """Number of points committed to the partial explanation so far."""
+        return self._selected_count
+
+    @property
+    def cumulative_selected(self) -> np.ndarray:
+        """Cumulative vector of the currently committed partial explanation."""
+        return self._cum_selected.copy()
+
+    # ------------------------------------------------------------------
+    def is_partial_explanation(self, cum_subset: np.ndarray) -> bool:
+        """Theorem 3 check for an arbitrary subset cumulative vector."""
+        cum_subset = np.asarray(cum_subset, dtype=np.int64)
+        if cum_subset.shape != (self.problem.q,):
+            raise ValidationError(
+                "cumulative vector must have one entry per base value"
+            )
+        return self._check(cum_subset)
+
+    def would_extend(self, test_index: int) -> bool:
+        """Would adding test point ``T[test_index]`` keep a partial explanation?"""
+        base_index = int(self.problem.test_base_indices[test_index])
+        candidate = self._cum_selected.copy()
+        candidate[base_index:] += 1
+        return self._check(candidate)
+
+    def commit(self, test_index: int) -> None:
+        """Record test point ``T[test_index]`` as part of the explanation."""
+        base_index = int(self.problem.test_base_indices[test_index])
+        self._cum_selected[base_index:] += 1
+        self._selected_count += 1
+
+    def uncommit(self, test_index: int) -> None:
+        """Undo a previous :meth:`commit` (used by backtracking enumeration)."""
+        if self._selected_count == 0:
+            raise ValidationError("no committed points to remove")
+        base_index = int(self.problem.test_base_indices[test_index])
+        if self._cum_selected[base_index] <= (
+            self._cum_selected[base_index - 1] if base_index > 0 else 0
+        ):
+            raise ValidationError(
+                "the given test point is not part of the committed selection"
+            )
+        self._cum_selected[base_index:] -= 1
+        self._selected_count -= 1
+
+    # ------------------------------------------------------------------
+    def _check(self, cum_subset: np.ndarray) -> bool:
+        """Vectorised Theorem 3 feasibility test."""
+        slack = self._bounds.upper - cum_subset
+        if slack.min() < 0:
+            # Some prefix of the subset already exceeds the upper bound, so
+            # no qualified k-cumulative vector can dominate it.
+            return False
+        # suffix_min[i] = min_{j >= i} (u_j - C_S[j]); a qualified vector
+        # dominating the subset exists iff l_i - C_S[i] <= suffix_min[i].
+        suffix_min = np.minimum.accumulate(slack[::-1])[::-1]
+        return bool(np.all(self._bounds.lower - cum_subset <= suffix_min))
+
+
+def construct_most_comprehensible(
+    problem: ExplanationProblem,
+    size: int,
+    preference_order: Sequence[int],
+    calculator: Optional[BoundsCalculator] = None,
+) -> np.ndarray:
+    """Algorithm 1: build the most comprehensible explanation of size ``size``.
+
+    Parameters
+    ----------
+    problem:
+        The failed KS test instance.
+    size:
+        The explanation size ``k`` found by phase 1.
+    preference_order:
+        Indices into the test set, most preferred first.  Must be a
+        permutation of ``range(m)``.
+    calculator:
+        Optionally reuse an existing :class:`BoundsCalculator`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Indices (into the test set, in preference order) of the unique most
+        comprehensible explanation.
+    """
+    order = np.asarray(preference_order, dtype=np.int64).ravel()
+    if order.size != problem.m or np.unique(order).size != problem.m or (
+        order.size and (order.min() < 0 or order.max() >= problem.m)
+    ):
+        raise ValidationError(
+            "preference_order must be a permutation of range(m)"
+        )
+
+    checker = PartialExplanationChecker(problem, size, calculator)
+    selected: list[int] = []
+    for test_index in order:
+        if checker.would_extend(int(test_index)):
+            checker.commit(int(test_index))
+            selected.append(int(test_index))
+            if len(selected) == size:
+                return np.asarray(selected, dtype=np.int64)
+    raise NoExplanationError(
+        "could not assemble an explanation of the requested size; "
+        "this indicates the size does not match the problem instance"
+    )

@@ -1,0 +1,188 @@
+"""Cumulative vectors and the failed-KS-test explanation problem.
+
+Section 4.2 of the paper represents subsets of the test set by *cumulative
+vectors*: the base vector ``V`` holds the sorted unique values of
+``R ∪ T`` and the cumulative vector of a subset ``S`` stores, for every
+base value ``x_i``, how many elements of ``S`` are ``<= x_i``.
+
+:class:`ExplanationProblem` bundles a reference set, a test set and a
+significance level together with all precomputed quantities that MOCHE and
+the baselines need (the base vector, the cumulative vectors ``C_R`` and
+``C_T``, per-point base indices, the critical coefficient ``c_alpha``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.core import ks
+from repro.core.ks import KSTestResult
+from repro.exceptions import KSTestPassedError, ValidationError
+
+
+def base_vector(reference: np.ndarray, test: np.ndarray) -> np.ndarray:
+    """Return the base vector ``V``: sorted unique values of ``R ∪ T``."""
+    reference = ks.validate_sample(reference, "reference")
+    test = ks.validate_sample(test, "test")
+    return np.union1d(reference, test)
+
+
+def cumulative_vector(base: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Cumulative vector of ``values`` with respect to the base vector.
+
+    The returned array ``C`` has length ``q = len(base)`` and
+    ``C[i] = |{x in values : x <= base[i]}|``.  The paper's ``c_0 = 0`` entry
+    is implicit (all counts are relative to an empty prefix).
+
+    Every element of ``values`` must appear in ``base``; this is always the
+    case for subsets of ``R`` or ``T``.
+    """
+    base = np.asarray(base, dtype=float)
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size and (values.min() < base[0] or values.max() > base[-1]):
+        raise ValidationError("values outside the base vector range")
+    return np.searchsorted(np.sort(values), base, side="right").astype(np.int64)
+
+
+def counts_from_cumulative(cumulative: np.ndarray) -> np.ndarray:
+    """Per-base-value multiplicities implied by a cumulative vector.
+
+    ``counts[i]`` is the number of times ``base[i]`` occurs in the
+    represented multiset, i.e. ``C[i] - C[i-1]`` with ``C[-1] = 0``.
+    """
+    cumulative = np.asarray(cumulative, dtype=np.int64)
+    return np.diff(cumulative, prepend=0)
+
+
+def subset_from_cumulative(base: np.ndarray, cumulative: np.ndarray) -> np.ndarray:
+    """Materialise the multiset represented by a cumulative vector."""
+    counts = counts_from_cumulative(cumulative)
+    if np.any(counts < 0):
+        raise ValidationError("cumulative vector must be non-decreasing")
+    return np.repeat(np.asarray(base, dtype=float), counts)
+
+
+@dataclass
+class ExplanationProblem:
+    """A failed-KS-test instance to be explained.
+
+    Attributes
+    ----------
+    reference:
+        The reference multiset ``R`` (1-D float array).
+    test:
+        The test multiset ``T`` (1-D float array).  Element order is
+        preserved; explanations are reported as indices into this array.
+    alpha:
+        Significance level of the KS test.
+    """
+
+    reference: np.ndarray
+    test: np.ndarray
+    alpha: float = 0.05
+    require_failed: bool = field(default=True, repr=False)
+
+    def __post_init__(self) -> None:
+        self.reference = ks.validate_sample(self.reference, "reference")
+        self.test = ks.validate_sample(self.test, "test")
+        self.alpha = ks.validate_alpha(self.alpha)
+        if self.require_failed and not self.initial_result.rejected:
+            raise KSTestPassedError(
+                "the reference and test sets pass the KS test at "
+                f"alpha={self.alpha}; there is nothing to explain"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic sizes
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Size of the reference set."""
+        return int(self.reference.size)
+
+    @property
+    def m(self) -> int:
+        """Size of the test set."""
+        return int(self.test.size)
+
+    @property
+    def q(self) -> int:
+        """Number of unique values in ``R ∪ T`` (length of the base vector)."""
+        return int(self.base.size)
+
+    # ------------------------------------------------------------------
+    # Cached derived quantities
+    # ------------------------------------------------------------------
+    @cached_property
+    def c_alpha(self) -> float:
+        """Critical coefficient ``c_alpha = sqrt(-0.5 ln(alpha/2))``."""
+        return ks.critical_coefficient(self.alpha)
+
+    @cached_property
+    def base(self) -> np.ndarray:
+        """The base vector ``V`` of sorted unique values of ``R ∪ T``."""
+        return base_vector(self.reference, self.test)
+
+    @cached_property
+    def cum_reference(self) -> np.ndarray:
+        """Cumulative vector ``C_R`` of the reference set."""
+        return cumulative_vector(self.base, self.reference)
+
+    @cached_property
+    def cum_test(self) -> np.ndarray:
+        """Cumulative vector ``C_T`` of the test set."""
+        return cumulative_vector(self.base, self.test)
+
+    @cached_property
+    def test_base_indices(self) -> np.ndarray:
+        """For each test point ``T[j]``, its index in the base vector."""
+        return np.searchsorted(self.base, self.test).astype(np.int64)
+
+    @cached_property
+    def initial_result(self) -> KSTestResult:
+        """Result of the KS test on the full ``R`` and ``T``."""
+        return ks.ks_test(self.reference, self.test, self.alpha)
+
+    # ------------------------------------------------------------------
+    # Operations on subsets of the test set
+    # ------------------------------------------------------------------
+    def cumulative_of_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Cumulative vector of the subset ``S = {T[j] : j in indices}``."""
+        indices = self._validate_indices(indices)
+        cum = np.zeros(self.q, dtype=np.int64)
+        if indices.size:
+            positions = self.test_base_indices[indices]
+            np.add.at(cum, positions, 1)
+            cum = np.cumsum(cum)
+        return cum
+
+    def remove_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Return ``T \\ S`` as an array, where ``S`` is given by indices."""
+        indices = self._validate_indices(indices)
+        mask = np.ones(self.m, dtype=bool)
+        mask[indices] = False
+        return self.test[mask]
+
+    def test_after_removal(self, indices: np.ndarray) -> KSTestResult:
+        """Run the KS test on ``R`` and ``T \\ S`` at the problem's alpha."""
+        remaining = self.remove_indices(indices)
+        return ks.ks_test(self.reference, remaining, self.alpha)
+
+    def is_reversing_subset(self, indices: np.ndarray) -> bool:
+        """True when removing the given test points reverses the failed test."""
+        return self.test_after_removal(indices).passed
+
+    def _validate_indices(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        if indices.size == 0:
+            return indices
+        if indices.min() < 0 or indices.max() >= self.m:
+            raise ValidationError(
+                f"test-set indices must lie in [0, {self.m - 1}]"
+            )
+        if np.unique(indices).size != indices.size:
+            raise ValidationError("test-set indices must not contain duplicates")
+        return indices

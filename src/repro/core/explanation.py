@@ -1,0 +1,97 @@
+"""Result object shared by MOCHE and every baseline explainer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.ks import KSTestResult
+
+
+@dataclass
+class Explanation:
+    """A counterfactual explanation of a failed KS test.
+
+    Attributes
+    ----------
+    indices:
+        Indices into the test set of the points whose removal reverses the
+        failed test, in the order they were selected by the method.
+    values:
+        The corresponding data values ``T[indices]``.
+    method:
+        Name of the method that produced the explanation (``"moche"``,
+        ``"greedy"``, ...).
+    alpha:
+        Significance level of the KS test being explained.
+    ks_before:
+        KS result on the original ``R`` and ``T`` (a failed test).
+    ks_after:
+        KS result on ``R`` and ``T`` with the explanation removed.  For a
+        valid explanation this is a passed test.
+    size_lower_bound:
+        MOCHE only: the binary-search lower bound ``k_hat`` on the
+        explanation size; ``None`` for baselines.
+    sizes_checked:
+        MOCHE only: how many candidate sizes the phase 1 search verified.
+    runtime_seconds:
+        Wall-clock time the method spent producing the explanation.
+    converged:
+        False when a budgeted search baseline (CS, GRC) aborted without
+        reversing the test; the reverse-factor metric counts these.
+    """
+
+    indices: np.ndarray
+    values: np.ndarray
+    method: str
+    alpha: float
+    ks_before: KSTestResult
+    ks_after: Optional[KSTestResult]
+    size_lower_bound: Optional[int] = None
+    sizes_checked: Optional[int] = None
+    runtime_seconds: float = 0.0
+    converged: bool = True
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.int64).ravel()
+        self.values = np.asarray(self.values, dtype=float).ravel()
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of test points in the explanation."""
+        return int(self.indices.size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def reverses_test(self) -> bool:
+        """True when removing the explanation makes the KS test pass."""
+        return self.ks_after is not None and self.ks_after.passed
+
+    @property
+    def fraction_of_test_set(self) -> float:
+        """Explanation size as a fraction of the test-set size."""
+        return self.size / self.ks_before.m if self.ks_before.m else 0.0
+
+    @property
+    def estimation_error(self) -> Optional[int]:
+        """``k - k_hat`` for MOCHE explanations (Figure 6), else ``None``."""
+        if self.size_lower_bound is None:
+            return None
+        return self.size - self.size_lower_bound
+
+    def summary(self) -> str:
+        """A short human-readable summary of the explanation."""
+        status = "reverses" if self.reverses_test else "does NOT reverse"
+        return (
+            f"{self.method}: {self.size} points "
+            f"({100 * self.fraction_of_test_set:.1f}% of the test set), "
+            f"{status} the failed KS test "
+            f"(D before={self.ks_before.statistic:.4f}, "
+            f"D after={self.ks_after.statistic if self.ks_after else float('nan'):.4f})"
+        )

@@ -1,0 +1,207 @@
+"""The two-sample Kolmogorov-Smirnov test (Section 3.1 of the paper).
+
+The paper's decision rule is the classical asymptotic one: the test
+*fails* (the null hypothesis that the two samples come from the same
+distribution is rejected) when the KS statistic exceeds the critical
+threshold
+
+    D(R, T) > c_alpha * sqrt((n + m) / (n * m)),
+
+where ``c_alpha = sqrt(-0.5 * ln(alpha / 2))``, ``n = |R|`` and
+``m = |T|``.  This module implements the statistic, the threshold, the
+decision rule and an asymptotic p-value from the Kolmogorov distribution.
+``scipy.stats.ks_2samp`` is used only in the test suite as an external
+cross-check of the statistic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import (
+    EmptyDatasetError,
+    InvalidSignificanceLevelError,
+    NonFiniteDataError,
+)
+from repro.utils.ecdf import evaluate_ecdf
+
+#: Significance level below which Proposition 1 guarantees that a
+#: counterfactual explanation always exists (``2 / e**2``).
+EXISTENCE_ALPHA_BOUND = 2.0 / math.e**2
+
+
+def validate_sample(sample: np.ndarray, name: str) -> np.ndarray:
+    """Validate and normalise a sample into a 1-D float array.
+
+    Raises
+    ------
+    EmptyDatasetError
+        If the sample contains no observations.
+    NonFiniteDataError
+        If the sample contains NaN or infinite values.
+    """
+    arr = np.asarray(sample, dtype=float).ravel()
+    if arr.size == 0:
+        raise EmptyDatasetError(f"the {name} set must contain at least one observation")
+    if not np.all(np.isfinite(arr)):
+        raise NonFiniteDataError(f"the {name} set contains NaN or infinite values")
+    return arr
+
+
+def validate_alpha(alpha: float) -> float:
+    """Validate a significance level, returning it as a float in ``(0, 1)``."""
+    alpha = float(alpha)
+    if not 0.0 < alpha < 1.0:
+        raise InvalidSignificanceLevelError(
+            f"the significance level must be in (0, 1); got {alpha!r}"
+        )
+    return alpha
+
+
+def critical_coefficient(alpha: float) -> float:
+    """Return ``c_alpha = sqrt(-0.5 * ln(alpha / 2))`` (Section 3.1, Step 2)."""
+    alpha = validate_alpha(alpha)
+    return math.sqrt(-0.5 * math.log(alpha / 2.0))
+
+
+def critical_value(alpha: float, n: int, m: int) -> float:
+    """Return the KS rejection threshold for sample sizes ``n`` and ``m``.
+
+    This is the target p-value of the paper's Step 2:
+    ``c_alpha * sqrt((n + m) / (n * m))``.
+    """
+    if n <= 0 or m <= 0:
+        raise EmptyDatasetError("both samples must be non-empty to compute the threshold")
+    return critical_coefficient(alpha) * math.sqrt((n + m) / (n * m))
+
+
+def ks_statistic(reference: np.ndarray, test: np.ndarray) -> float:
+    """Compute the two-sample KS statistic ``D(R, T)`` (Equation 1).
+
+    The statistic is the maximum absolute difference between the two ECDFs
+    evaluated at every observation of either sample.
+    """
+    reference = validate_sample(reference, "reference")
+    test = validate_sample(test, "test")
+    grid = np.union1d(reference, test)
+    diff = evaluate_ecdf(reference, grid) - evaluate_ecdf(test, grid)
+    return float(np.max(np.abs(diff)))
+
+
+def kolmogorov_survival(lam: float, terms: int = 100) -> float:
+    """Survival function of the Kolmogorov distribution.
+
+    ``Q(lambda) = 2 * sum_{j>=1} (-1)**(j-1) * exp(-2 j^2 lambda^2)``; used to
+    attach an asymptotic p-value to a KS statistic.  The series converges
+    extremely quickly; 100 terms is far more than needed.
+    """
+    if lam <= 0.0:
+        return 1.0
+    total = 0.0
+    for j in range(1, terms + 1):
+        term = 2.0 * (-1.0) ** (j - 1) * math.exp(-2.0 * j * j * lam * lam)
+        total += term
+        if abs(term) < 1e-16:
+            break
+    return float(min(1.0, max(0.0, total)))
+
+
+def asymptotic_pvalue(statistic: float, n: int, m: int) -> float:
+    """Asymptotic p-value of a two-sample KS statistic."""
+    if n <= 0 or m <= 0:
+        raise EmptyDatasetError("both samples must be non-empty to compute a p-value")
+    effective = math.sqrt(n * m / (n + m))
+    return kolmogorov_survival(effective * statistic)
+
+
+@dataclass(frozen=True)
+class KSTestResult:
+    """Outcome of a two-sample KS test.
+
+    Attributes
+    ----------
+    statistic:
+        The KS statistic ``D(R, T)``.
+    threshold:
+        The rejection threshold ``c_alpha * sqrt((n + m) / (n * m))``.
+    alpha:
+        The significance level used.
+    n, m:
+        Sizes of the reference and test multisets.
+    pvalue:
+        Asymptotic p-value from the Kolmogorov distribution (informational;
+        the decision rule compares ``statistic`` against ``threshold``).
+    """
+
+    statistic: float
+    threshold: float
+    alpha: float
+    n: int
+    m: int
+    pvalue: float
+
+    @property
+    def rejected(self) -> bool:
+        """True when the null hypothesis is rejected (the KS test *fails*)."""
+        return self.statistic > self.threshold
+
+    @property
+    def passed(self) -> bool:
+        """True when the two samples pass the KS test."""
+        return not self.rejected
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "FAILED" if self.rejected else "passed"
+        return (
+            f"KS test {verdict}: D={self.statistic:.4f}, "
+            f"threshold={self.threshold:.4f}, alpha={self.alpha}, "
+            f"n={self.n}, m={self.m}"
+        )
+
+
+def ks_test(reference: np.ndarray, test: np.ndarray, alpha: float = 0.05) -> KSTestResult:
+    """Run the two-sample KS test of the paper (Section 3.1).
+
+    Parameters
+    ----------
+    reference:
+        The reference multiset ``R``.
+    test:
+        The test multiset ``T``.
+    alpha:
+        Significance level; the paper uses 0.05 throughout.
+
+    Returns
+    -------
+    KSTestResult
+        The statistic, threshold and decision.  ``result.rejected`` is True
+        exactly when ``R`` and ``T`` *fail* the KS test.
+    """
+    reference = validate_sample(reference, "reference")
+    test = validate_sample(test, "test")
+    alpha = validate_alpha(alpha)
+    n, m = reference.size, test.size
+    statistic = ks_statistic(reference, test)
+    threshold = critical_value(alpha, n, m)
+    pvalue = asymptotic_pvalue(statistic, n, m)
+    return KSTestResult(
+        statistic=statistic,
+        threshold=threshold,
+        alpha=alpha,
+        n=n,
+        m=m,
+        pvalue=pvalue,
+    )
+
+
+def existence_guaranteed(alpha: float) -> bool:
+    """Whether Proposition 1 guarantees an explanation exists at ``alpha``.
+
+    Proposition 1 shows that whenever ``alpha <= 2 / e**2`` (about 0.27) a
+    counterfactual explanation always exists, because removing all but one
+    point from the test set always reverses the failed test.
+    """
+    return validate_alpha(alpha) <= EXISTENCE_ALPHA_BOUND

@@ -1,0 +1,152 @@
+"""Preference lists: user domain knowledge as a total order (Section 3.3).
+
+A preference list is a total order over the points of the test set; points
+with smaller rank are more preferred and the most comprehensible explanation
+is the one that is lexicographically smallest under that order.
+
+:class:`PreferenceList` stores the order as a permutation of test-set
+indices (most preferred first) and offers constructors for the ways the
+paper builds preference lists:
+
+* from per-point *scores* (e.g. outlier scores from Spectral Residual) —
+  higher score means more preferred, ties broken randomly;
+* from per-point *keys* via group attributes (e.g. health-authority
+  population, age group) — used for the COVID case study's ``L_p`` / ``L_a``;
+* a uniformly random order (used by the scalability experiments);
+* the identity / an explicit order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidPreferenceError
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class PreferenceList:
+    """A total order over the ``m`` points of a test set.
+
+    Attributes
+    ----------
+    order:
+        Permutation of ``range(m)``; ``order[0]`` is the most preferred
+        test-set index.
+    """
+
+    order: np.ndarray
+
+    def __post_init__(self) -> None:
+        # Copy so later mutation of the caller's array cannot corrupt the order.
+        order = np.array(self.order, dtype=np.int64).ravel()
+        m = order.size
+        if m == 0:
+            raise InvalidPreferenceError("a preference list cannot be empty")
+        if not np.array_equal(np.sort(order), np.arange(m)):
+            raise InvalidPreferenceError(
+                "a preference list must be a permutation of range(m)"
+            )
+        object.__setattr__(self, "order", order)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.order.size)
+
+    def __iter__(self):
+        return iter(self.order.tolist())
+
+    def __getitem__(self, rank: int) -> int:
+        return int(self.order[rank])
+
+    @property
+    def ranks(self) -> np.ndarray:
+        """``ranks[j]`` is the rank (0 = most preferred) of test point ``j``."""
+        ranks = np.empty_like(self.order)
+        ranks[self.order] = np.arange(self.order.size)
+        return ranks
+
+    def top(self, count: int) -> np.ndarray:
+        """Indices of the ``count`` most preferred test points."""
+        return self.order[: int(count)].copy()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, m: int) -> "PreferenceList":
+        """The order in which the test points are stored."""
+        return cls(np.arange(int(m), dtype=np.int64))
+
+    @classmethod
+    def from_order(cls, order: Sequence[int]) -> "PreferenceList":
+        """Wrap an explicit permutation of test-set indices."""
+        return cls(np.asarray(order, dtype=np.int64))
+
+    @classmethod
+    def from_scores(
+        cls,
+        scores: Sequence[float],
+        descending: bool = True,
+        seed: SeedLike = None,
+    ) -> "PreferenceList":
+        """Order points by score, breaking ties uniformly at random.
+
+        This is how the paper builds preference lists from outlier scores
+        (Spectral Residual): points with larger outlying score are ranked
+        higher, ties are ordered arbitrarily.
+        """
+        scores = np.asarray(scores, dtype=float).ravel()
+        if scores.size == 0:
+            raise InvalidPreferenceError("scores must be non-empty")
+        rng = as_generator(seed)
+        tiebreak = rng.random(scores.size)
+        keys = scores if descending else -scores
+        # Sort by (-key, tiebreak): stable and random among ties.
+        order = np.lexsort((tiebreak, -keys))
+        return cls(order.astype(np.int64))
+
+    @classmethod
+    def from_key(
+        cls,
+        values: Sequence[object],
+        key: Callable[[object], float],
+        descending: bool = True,
+        seed: SeedLike = None,
+    ) -> "PreferenceList":
+        """Order points by ``key(value)`` (e.g. HA population, age group)."""
+        keys = np.asarray([float(key(v)) for v in values], dtype=float)
+        return cls.from_scores(keys, descending=descending, seed=seed)
+
+    @classmethod
+    def random(cls, m: int, seed: SeedLike = None) -> "PreferenceList":
+        """A uniformly random total order (Section 6.4 synthetic experiments)."""
+        rng = as_generator(seed)
+        return cls(rng.permutation(int(m)).astype(np.int64))
+
+    # ------------------------------------------------------------------
+    def lexicographic_key(self, indices: Iterable[int]) -> tuple[int, ...]:
+        """Sort the given test-set indices by preference and return their ranks.
+
+        Two explanations of equal size compare by this key: the one with the
+        lexicographically smaller key is more comprehensible (Definition 2).
+        """
+        ranks = self.ranks
+        return tuple(sorted(int(ranks[j]) for j in indices))
+
+    def more_comprehensible(self, first: Iterable[int], second: Iterable[int]) -> bool:
+        """True when ``first`` precedes ``second`` in the lexicographic order."""
+        return self.lexicographic_key(first) < self.lexicographic_key(second)
+
+
+def preference_from_metadata(
+    metadata: Sequence[object],
+    key: Callable[[object], float],
+    descending: bool = True,
+    seed: SeedLike = None,
+) -> PreferenceList:
+    """Convenience wrapper mirroring :meth:`PreferenceList.from_key`."""
+    return PreferenceList.from_key(metadata, key, descending=descending, seed=seed)

@@ -1,0 +1,119 @@
+"""Phase 1 of MOCHE: finding the explanation size (Sections 4.3–4.4).
+
+The explanation size ``k`` is the smallest subset size ``h`` for which a
+qualified ``h``-cumulative vector (equivalently, a qualified ``h``-subset)
+exists.  Two results make this fast:
+
+* Theorem 1 reduces "does a qualified ``h``-subset exist?" to checking
+  ``q`` pairs of bounds in ``O(n + m)`` time.
+* Theorem 2 gives a *monotone* necessary condition, so the smallest size
+  ``k_hat`` satisfying it can be found by binary search; ``k_hat`` is a
+  lower bound on ``k`` and the exact ``k`` is then found by scanning
+  upwards from ``k_hat`` with the Theorem 1 check.
+
+The ``use_lower_bound=False`` path reproduces the paper's MOCHE_ns ablation
+(Section 6.4), which scans sizes from 1 upwards without the binary-search
+pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.bounds import BoundsCalculator
+from repro.core.cumulative import ExplanationProblem
+from repro.exceptions import NoExplanationError
+
+
+@dataclass(frozen=True)
+class SizeSearchResult:
+    """Outcome of the explanation-size search.
+
+    Attributes
+    ----------
+    size:
+        The explanation size ``k`` (smallest size of a reversing subset).
+    lower_bound:
+        The binary-search lower bound ``k_hat`` (equal to ``size`` when the
+        bound is tight; equals 1 when the lower-bound pruning is disabled).
+    sizes_checked:
+        Number of candidate sizes verified with the Theorem 1 check; used by
+        the efficiency experiments to quantify the pruning benefit.
+    """
+
+    size: int
+    lower_bound: int
+    sizes_checked: int
+
+    @property
+    def estimation_error(self) -> int:
+        """The paper's EE metric: ``k - k_hat`` (Figure 6)."""
+        return self.size - self.lower_bound
+
+
+def lower_bound_size(
+    problem: ExplanationProblem, calculator: Optional[BoundsCalculator] = None
+) -> int:
+    """Binary search for ``k_hat``, the smallest size satisfying Theorem 2.
+
+    Because the Theorem 2 condition is monotone in ``h`` (once it holds it
+    keeps holding for larger ``h``), the smallest satisfying size can be
+    found with ``O(log m)`` feasibility checks.
+    """
+    calculator = calculator or BoundsCalculator(problem)
+    low, high = 1, problem.m - 1
+    if not calculator.necessary_condition_holds(high):
+        raise NoExplanationError(
+            "no subset of the test set (other than removing it entirely) can "
+            "reverse the failed KS test at this significance level"
+        )
+    while low < high:
+        mid = (low + high) // 2
+        if calculator.necessary_condition_holds(mid):
+            high = mid
+        else:
+            low = mid + 1
+    return low
+
+
+def explanation_size(
+    problem: ExplanationProblem,
+    use_lower_bound: bool = True,
+    calculator: Optional[BoundsCalculator] = None,
+) -> SizeSearchResult:
+    """Find the explanation size ``k`` for a failed KS test.
+
+    Parameters
+    ----------
+    problem:
+        The failed KS test instance.
+    use_lower_bound:
+        When True (default, full MOCHE) the search starts from the binary
+        search lower bound ``k_hat``.  When False (the MOCHE_ns ablation)
+        the search scans from 1.
+    calculator:
+        Optionally reuse an existing :class:`BoundsCalculator`.
+
+    Raises
+    ------
+    NoExplanationError
+        If no proper subset of the test set reverses the failed test.  With
+        conventional significance levels (``alpha <= 2/e**2``) this cannot
+        happen (Proposition 1).
+    """
+    calculator = calculator or BoundsCalculator(problem)
+    if use_lower_bound:
+        start = lower_bound_size(problem, calculator)
+    else:
+        start = 1
+
+    checked = 0
+    for size in range(start, problem.m):
+        checked += 1
+        if calculator.qualified_vector_exists(size):
+            return SizeSearchResult(size=size, lower_bound=start, sizes_checked=checked)
+    raise NoExplanationError(
+        "no subset of the test set (other than removing it entirely) can "
+        "reverse the failed KS test at this significance level"
+    )

@@ -1,0 +1,149 @@
+"""Independent verification of counterfactual explanations.
+
+MOCHE comes with strong guarantees (smallest size, lexicographically most
+comprehensible).  This module provides an *independent* checker that
+verifies those guarantees for any produced explanation using only the
+problem definition — the KS test itself and the Theorem 1 / Theorem 3
+feasibility machinery — without trusting the explainer's internal state.
+It is used by the test suite and is handy when explanations are produced
+by external tools or stored and re-loaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bounds import BoundsCalculator
+from repro.core.construction import PartialExplanationChecker
+from repro.core.cumulative import ExplanationProblem
+from repro.core.explanation import Explanation
+from repro.core.preference import PreferenceList
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of verifying an explanation against its problem instance.
+
+    Attributes
+    ----------
+    reverses_test:
+        Removing the explanation makes the KS test pass.
+    is_minimum_size:
+        No strictly smaller subset can reverse the failed test (checked via
+        the exact Theorem 1 feasibility test, not by enumeration).
+    is_most_comprehensible:
+        The explanation is the lexicographically smallest one for the given
+        preference list; ``None`` when no preference list was supplied.
+    claimed_size:
+        Size of the verified explanation.
+    minimum_size:
+        The true explanation size of the problem instance.
+    """
+
+    reverses_test: bool
+    is_minimum_size: bool
+    is_most_comprehensible: Optional[bool]
+    claimed_size: int
+    minimum_size: int
+
+    @property
+    def valid(self) -> bool:
+        """True when every checked guarantee holds."""
+        comprehensible = self.is_most_comprehensible in (None, True)
+        return self.reverses_test and self.is_minimum_size and comprehensible
+
+
+def verify_explanation(
+    reference: np.ndarray,
+    test: np.ndarray,
+    explanation: Explanation | np.ndarray,
+    alpha: float = 0.05,
+    preference: Optional[PreferenceList] = None,
+) -> VerificationReport:
+    """Verify an explanation's guarantees against a failed KS test.
+
+    Parameters
+    ----------
+    reference, test:
+        The failed KS test instance.
+    explanation:
+        Either an :class:`Explanation` or a plain array of test-set indices.
+    alpha:
+        Significance level of the test being explained.
+    preference:
+        When given, also verify lexicographic most-comprehensibility with
+        respect to this preference list.
+
+    Notes
+    -----
+    Minimality is verified exactly via Theorem 1 (no subset of size
+    ``|I| - 1`` is feasible).  Most-comprehensibility is verified by
+    replaying Algorithm 1's invariant: scanning the preference list, every
+    point preferred to the i-th selected point that is not itself selected
+    must fail the Theorem 3 partial-explanation check given the first
+    ``i-1`` selected points.
+    """
+    indices = (
+        explanation.indices if isinstance(explanation, Explanation) else np.asarray(explanation)
+    )
+    indices = np.asarray(indices, dtype=np.int64).ravel()
+    problem = ExplanationProblem(reference, test, alpha)
+    calculator = BoundsCalculator(problem)
+
+    reverses = problem.is_reversing_subset(indices)
+
+    size = int(indices.size)
+    smaller_feasible = size > 1 and calculator.qualified_vector_exists(size - 1)
+    minimum_size = size
+    if smaller_feasible or not reverses:
+        # Find the true minimum for the report.
+        from repro.core.size_search import explanation_size
+
+        minimum_size = explanation_size(problem, calculator=calculator).size
+    is_minimum = reverses and not smaller_feasible
+
+    most_comprehensible: Optional[bool] = None
+    if preference is not None and reverses and is_minimum:
+        most_comprehensible = _verify_most_comprehensible(
+            problem, calculator, indices, preference
+        )
+
+    return VerificationReport(
+        reverses_test=reverses,
+        is_minimum_size=is_minimum,
+        is_most_comprehensible=most_comprehensible,
+        claimed_size=size,
+        minimum_size=minimum_size,
+    )
+
+
+def _verify_most_comprehensible(
+    problem: ExplanationProblem,
+    calculator: BoundsCalculator,
+    indices: np.ndarray,
+    preference: PreferenceList,
+) -> bool:
+    """Replay Algorithm 1's invariant to confirm lexicographic minimality."""
+    selected = set(int(i) for i in indices)
+    checker = PartialExplanationChecker(problem, indices.size, calculator)
+    committed = 0
+    for test_index in preference.order:
+        test_index = int(test_index)
+        if test_index in selected:
+            if not checker.would_extend(test_index):
+                # The claimed explanation is not even consistent with the
+                # partial-explanation invariant.
+                return False
+            checker.commit(test_index)
+            committed += 1
+            if committed == indices.size:
+                return True
+        else:
+            # A more preferred, unselected point must not be extendable,
+            # otherwise swapping it in would be more comprehensible.
+            if checker.would_extend(test_index):
+                return False
+    return committed == indices.size

@@ -1,0 +1,248 @@
+"""Synthetic COVID-19-like case-listing dataset (Examples 1–2, Section 6.3).
+
+The paper's case study uses the BC CDC COVID-19 case listing: every reported
+case carries an age group (10 ordinal groups encoded 1..10) and a reporting
+health authority (HA).  August 2020 cases form the reference set (2,175
+points) and September 2020 cases form the test set (3,375 points); the two
+sets fail the KS test at significance level 0.05, and the published
+explanation concentrates on middle-aged and senior cases from Fraser Health
+(the HA with the largest population).
+
+The real listing is not redistributable, so this module generates a
+synthetic equivalent with the same structure:
+
+* the reference month draws age groups from a baseline distribution skewed
+  towards younger groups (as the BC August 2020 data was);
+* the test month draws most cases from the same baseline but adds an excess
+  of cases in the middle/senior age groups, concentrated in Fraser Health,
+  so that the KS test fails and the ground-truth "cause" of the failure is
+  known;
+* health authorities are assigned with probabilities proportional to their
+  (real, public) populations, except for the injected excess which goes to
+  Fraser Health.
+
+The generator returns per-case metadata so the two preference lists of the
+case study — ``L_p`` (population-descending HA order) and ``L_a`` (age-
+descending order) — can be constructed exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.preference import PreferenceList
+from repro.exceptions import ValidationError
+from repro.utils.rng import SeedLike, as_generator
+
+#: The ten age groups of the BC CDC listing, encoded young to old as 1..10.
+AGE_GROUPS: tuple[str, ...] = (
+    "0-9", "10-19", "20-29", "30-39", "40-49",
+    "50-59", "60-69", "70-79", "80-89", "90+",
+)
+
+#: The five BC health authorities with their (approximate, public) 2016
+#: census populations.  Only the descending-population *order* matters for
+#: the preference list L_p.
+HEALTH_AUTHORITIES: dict[str, int] = {
+    "FHA": 1_835_000,   # Fraser Health
+    "VCHA": 1_198_000,  # Vancouver Coastal Health
+    "VIHA": 817_000,    # Island Health
+    "IHA": 740_000,     # Interior Health
+    "NHA": 288_000,     # Northern Health
+}
+
+#: Baseline age-group distribution of reported cases (younger-skewed, as in
+#: the BC August 2020 data).
+_BASELINE_AGE_DISTRIBUTION = np.array(
+    [0.05, 0.13, 0.26, 0.18, 0.12, 0.10, 0.07, 0.04, 0.03, 0.02]
+)
+
+#: Age-group distribution of the injected September excess (middle/senior).
+_EXCESS_AGE_DISTRIBUTION = np.array(
+    [0.00, 0.02, 0.08, 0.14, 0.20, 0.22, 0.16, 0.10, 0.05, 0.03]
+)
+
+
+@dataclass(frozen=True)
+class CovidCase:
+    """A single reported case: the ordinal age group and the reporting HA."""
+
+    age_group: int
+    health_authority: str
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.age_group <= len(AGE_GROUPS):
+            raise ValidationError(
+                f"age_group must be in [1, {len(AGE_GROUPS)}]; got {self.age_group}"
+            )
+        if self.health_authority not in HEALTH_AUTHORITIES:
+            raise ValidationError(
+                f"unknown health authority {self.health_authority!r}"
+            )
+
+    @property
+    def age_label(self) -> str:
+        """Human-readable age-group label."""
+        return AGE_GROUPS[self.age_group - 1]
+
+
+@dataclass
+class CovidDataset:
+    """Reference month (August) and test month (September) case listings."""
+
+    reference_cases: list[CovidCase]
+    test_cases: list[CovidCase]
+    injected_test_indices: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    @property
+    def reference_values(self) -> np.ndarray:
+        """Age groups of the reference month as a numeric array (the set R)."""
+        return np.array([case.age_group for case in self.reference_cases], dtype=float)
+
+    @property
+    def test_values(self) -> np.ndarray:
+        """Age groups of the test month as a numeric array (the set T)."""
+        return np.array([case.age_group for case in self.test_cases], dtype=float)
+
+    # ------------------------------------------------------------------
+    def population_preference(self, seed: SeedLike = None) -> PreferenceList:
+        """The case study's ``L_p``: HA population descending, ties random."""
+        populations = np.array(
+            [HEALTH_AUTHORITIES[case.health_authority] for case in self.test_cases],
+            dtype=float,
+        )
+        return PreferenceList.from_scores(populations, descending=True, seed=seed)
+
+    def age_preference(self, seed: SeedLike = None) -> PreferenceList:
+        """The case study's ``L_a``: age group descending, ties random."""
+        ages = np.array([case.age_group for case in self.test_cases], dtype=float)
+        return PreferenceList.from_scores(ages, descending=True, seed=seed)
+
+    # ------------------------------------------------------------------
+    def age_histogram(self, which: str = "test", indices: Sequence[int] | None = None) -> np.ndarray:
+        """Counts per age group for the chosen month or a subset of the test month."""
+        if which not in ("reference", "test"):
+            raise ValidationError("which must be 'reference' or 'test'")
+        cases = self.reference_cases if which == "reference" else self.test_cases
+        if indices is not None:
+            cases = [cases[i] for i in indices]
+        counts = np.zeros(len(AGE_GROUPS), dtype=int)
+        for case in cases:
+            counts[case.age_group - 1] += 1
+        return counts
+
+    def ha_histogram(self, indices: Sequence[int] | None = None) -> dict[str, int]:
+        """Counts per health authority over the test month (or a subset of it)."""
+        cases = self.test_cases
+        if indices is not None:
+            cases = [cases[i] for i in indices]
+        counts = {name: 0 for name in HEALTH_AUTHORITIES}
+        for case in cases:
+            counts[case.health_authority] += 1
+        return counts
+
+
+def _draw_cases(
+    rng: np.random.Generator,
+    count: int,
+    age_distribution: np.ndarray,
+    ha_names: list[str],
+    ha_probabilities: np.ndarray,
+) -> list[CovidCase]:
+    ages = rng.choice(np.arange(1, len(AGE_GROUPS) + 1), size=count, p=age_distribution)
+    authorities = rng.choice(ha_names, size=count, p=ha_probabilities)
+    return [CovidCase(int(a), str(h)) for a, h in zip(ages, authorities)]
+
+
+def generate_covid_like_dataset(
+    reference_size: int = 2175,
+    test_size: int = 3375,
+    excess_fraction: float = 0.12,
+    seed: SeedLike = 2020,
+    ensure_failed: bool = True,
+    alpha: float = 0.05,
+) -> CovidDataset:
+    """Generate the synthetic COVID-19-like dataset of the case study.
+
+    Parameters
+    ----------
+    reference_size, test_size:
+        Number of cases in the reference (August) and test (September)
+        months; defaults match the paper (2,175 and 3,375).
+    excess_fraction:
+        Fraction of the test month drawn from the injected excess
+        distribution (middle/senior ages in Fraser Health).  The default
+        makes the KS test fail at alpha = 0.05 with an explanation size in
+        the same ballpark as the paper's 291 points (~8.6% of the test set).
+    seed:
+        Random seed for reproducibility.
+    ensure_failed:
+        Increase the injected excess (up to a cap) until the two months fail
+        the KS test at ``alpha``; the paper's case study only makes sense for
+        a failed test.  Disable to get exactly ``excess_fraction``.
+    alpha:
+        Significance level used by the ``ensure_failed`` check.
+
+    Returns
+    -------
+    CovidDataset
+        The generated case listings, including which test-set indices came
+        from the injected excess (the ground truth for sanity checks).
+    """
+    if reference_size < 1 or test_size < 1:
+        raise ValidationError("both months must contain at least one case")
+    if not 0.0 <= excess_fraction < 1.0:
+        raise ValidationError("excess_fraction must be in [0, 1)")
+    rng = as_generator(seed)
+
+    ha_names = list(HEALTH_AUTHORITIES)
+    populations = np.array([HEALTH_AUTHORITIES[name] for name in ha_names], dtype=float)
+    ha_probabilities = populations / populations.sum()
+
+    reference_cases = _draw_cases(
+        rng, reference_size, _BASELINE_AGE_DISTRIBUTION, ha_names, ha_probabilities
+    )
+    reference_values = np.array([case.age_group for case in reference_cases], dtype=float)
+
+    fraction = excess_fraction
+    for _ in range(12):
+        excess_count = int(round(fraction * test_size))
+        baseline_count = test_size - excess_count
+        baseline_cases = _draw_cases(
+            rng, baseline_count, _BASELINE_AGE_DISTRIBUTION, ha_names, ha_probabilities
+        )
+        # The injected excess goes entirely to Fraser Health (largest
+        # population), mirroring the real September 2020 situation described
+        # in the paper.
+        excess_cases = _draw_cases(
+            rng,
+            excess_count,
+            _EXCESS_AGE_DISTRIBUTION,
+            ["FHA"],
+            np.array([1.0]),
+        )
+
+        test_cases = baseline_cases + excess_cases
+        order = rng.permutation(test_size)
+        shuffled = [test_cases[i] for i in order]
+        injected = np.flatnonzero(order >= baseline_count)
+        dataset = CovidDataset(
+            reference_cases=reference_cases,
+            test_cases=shuffled,
+            injected_test_indices=injected.astype(np.int64),
+        )
+        if not ensure_failed:
+            return dataset
+        from repro.core.ks import ks_test  # local import to avoid a cycle
+
+        if ks_test(reference_values, dataset.test_values, alpha).rejected:
+            return dataset
+        fraction = min(fraction * 1.5 + 0.02, 0.9)
+    raise ValidationError(
+        "could not generate a failing COVID-like dataset; increase the sizes "
+        "or the excess fraction"
+    )

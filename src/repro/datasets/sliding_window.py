@@ -1,0 +1,142 @@
+"""Sliding-window construction of reference/test set pairs (Section 6.1.1).
+
+The paper runs a sliding window ``W`` of size ``w`` over each time series to
+obtain the reference set and uses the immediately following, non-overlapping
+window of the same size as the test set.  The KS test is conducted for every
+such pair as the windows slide through the series, and the failed tests are
+the instances to be explained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.ks import KSTestResult, ks_test
+from repro.datasets.nab import TimeSeries
+from repro.exceptions import ValidationError
+
+
+@dataclass
+class WindowPair:
+    """A reference/test window pair extracted from a time series.
+
+    Attributes
+    ----------
+    series_name:
+        Name of the originating series.
+    start:
+        Index of the first observation of the reference window.
+    window_size:
+        Number of observations per window.
+    reference, test:
+        The two windows as value arrays (multisets for the KS test).
+    test_labels:
+        Ground-truth anomaly labels of the test window (if available).
+    result:
+        The KS test outcome for this pair.
+    """
+
+    series_name: str
+    start: int
+    window_size: int
+    reference: np.ndarray
+    test: np.ndarray
+    test_labels: Optional[np.ndarray]
+    result: KSTestResult
+
+    @property
+    def failed(self) -> bool:
+        """True when the pair fails the KS test."""
+        return self.result.rejected
+
+    @property
+    def test_contains_anomaly(self) -> bool:
+        """True when the test window overlaps a labelled anomaly region."""
+        return bool(self.test_labels is not None and np.any(self.test_labels))
+
+
+def sliding_window_pairs(
+    series: TimeSeries | np.ndarray,
+    window_size: int,
+    alpha: float = 0.05,
+    step: Optional[int] = None,
+) -> Iterator[WindowPair]:
+    """Yield reference/test window pairs along a series.
+
+    Parameters
+    ----------
+    series:
+        A :class:`TimeSeries` (labels are carried through) or a plain array.
+    window_size:
+        Size ``w`` of both windows.
+    alpha:
+        Significance level of the KS test run on every pair.
+    step:
+        Stride between consecutive reference windows; defaults to
+        ``window_size`` (non-overlapping tiling, as in the paper).
+    """
+    if isinstance(series, TimeSeries):
+        values = series.values
+        labels = series.labels
+        name = series.name
+    else:
+        values = np.asarray(series, dtype=float).ravel()
+        labels = None
+        name = "series"
+    window_size = int(window_size)
+    if window_size < 2:
+        raise ValidationError("window_size must be at least 2")
+    if values.size < 2 * window_size:
+        return
+    step = window_size if step is None else int(step)
+    if step < 1:
+        raise ValidationError("step must be at least 1")
+
+    for start in range(0, values.size - 2 * window_size + 1, step):
+        reference = values[start:start + window_size]
+        test = values[start + window_size:start + 2 * window_size]
+        test_labels = (
+            labels[start + window_size:start + 2 * window_size]
+            if labels is not None
+            else None
+        )
+        result = ks_test(reference, test, alpha)
+        yield WindowPair(
+            series_name=name,
+            start=start,
+            window_size=window_size,
+            reference=reference,
+            test=test,
+            test_labels=test_labels,
+            result=result,
+        )
+
+
+def failed_window_pairs(
+    series: TimeSeries | np.ndarray,
+    window_size: int,
+    alpha: float = 0.05,
+    require_anomaly: bool = False,
+    step: Optional[int] = None,
+) -> list[WindowPair]:
+    """All window pairs of a series that fail the KS test.
+
+    Parameters
+    ----------
+    require_anomaly:
+        Only keep failed pairs whose test window overlaps a ground-truth
+        anomaly region, matching the paper's sampling of failed tests "where
+        the test sets contain the corresponding ground truth of abnormal
+        observations".
+    """
+    pairs = [
+        pair
+        for pair in sliding_window_pairs(series, window_size, alpha, step)
+        if pair.failed
+    ]
+    if require_anomaly:
+        pairs = [pair for pair in pairs if pair.test_contains_anomaly]
+    return pairs

@@ -1,0 +1,102 @@
+"""Synthetic workloads for the scalability experiments (Section 6.4).
+
+Following Kifer et al. (VLDB 2004), the paper's scalability study draws a
+reference set and a test set of equal size ``w`` from a standard normal
+distribution and then replaces a fraction ``p`` of the test set with points
+sampled uniformly from ``[-7, 7]`` so that the two sets fail the KS test at
+significance level 0.05.  Preference lists for these workloads are random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ks import ks_test
+from repro.exceptions import ValidationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class ContaminatedPair:
+    """A synthetic reference/test pair with known contaminated indices."""
+
+    reference: np.ndarray
+    test: np.ndarray
+    contaminated_indices: np.ndarray
+    fraction: float
+
+
+def contaminated_pair(
+    size: int,
+    fraction: float = 0.03,
+    low: float = -7.0,
+    high: float = 7.0,
+    seed: SeedLike = None,
+    ensure_failed: bool = True,
+    alpha: float = 0.05,
+) -> ContaminatedPair:
+    """Generate the normal-plus-uniform-contamination workload.
+
+    Parameters
+    ----------
+    size:
+        Size ``w`` of both the reference and the test set.
+    fraction:
+        Fraction ``p`` of the test set replaced by uniform noise.
+    low, high:
+        Bounds of the uniform contamination (the paper uses [-7, 7]).
+    seed:
+        Random seed.
+    ensure_failed:
+        Re-draw with increasing contamination until the pair fails the KS
+        test at ``alpha`` (the paper only studies failed tests).
+    """
+    if size < 4:
+        raise ValidationError("size must be at least 4")
+    if not 0.0 < fraction < 1.0:
+        raise ValidationError("fraction must be in (0, 1)")
+    rng = as_generator(seed)
+
+    attempt_fraction = fraction
+    for _ in range(20):
+        reference = rng.normal(size=size)
+        test = rng.normal(size=size)
+        count = max(1, int(round(attempt_fraction * size)))
+        indices = rng.choice(size, size=count, replace=False)
+        test[indices] = rng.uniform(low, high, size=count)
+        if not ensure_failed or ks_test(reference, test, alpha).rejected:
+            return ContaminatedPair(
+                reference=reference,
+                test=test,
+                contaminated_indices=np.sort(indices).astype(np.int64),
+                fraction=count / size,
+            )
+        attempt_fraction = min(attempt_fraction * 1.5, 0.9)
+    raise ValidationError(
+        "could not generate a failing pair; try a larger contamination fraction"
+    )
+
+
+def drifting_series(
+    length: int,
+    drift_start: int,
+    drift_magnitude: float = 2.0,
+    noise: float = 1.0,
+    seed: SeedLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A series with an abrupt mean drift, plus its ground-truth labels.
+
+    Used by the drift-monitoring example and the drift-pipeline tests: the
+    observations before ``drift_start`` are N(0, noise²) and afterwards
+    N(drift_magnitude, noise²).
+    """
+    if not 0 < drift_start < length:
+        raise ValidationError("drift_start must lie strictly inside the series")
+    rng = as_generator(seed)
+    values = rng.normal(0.0, noise, size=length)
+    values[drift_start:] += drift_magnitude
+    labels = np.zeros(length, dtype=bool)
+    labels[drift_start:] = True
+    return values, labels

@@ -1,0 +1,26 @@
+"""Drift detection pipeline: the application workflow the paper motivates.
+
+The introduction motivates explaining failed KS tests by the way they are
+used in practice — sliding-window drift detection over data streams (model
+monitoring, change detection, database intrusion detection).  This package
+implements that substrate end to end:
+
+* :class:`KSDriftDetector` — sliding-window two-sample KS drift detection;
+* :class:`IncrementalKS` — incremental maintenance of the KS statistic as
+  observations arrive and expire (in the spirit of dos Reis et al., KDD
+  2016), so that streaming detection does not re-sort windows;
+* :class:`ExplainedDriftMonitor` — a stream monitor that attaches a MOCHE
+  explanation to every drift alarm it raises.
+"""
+
+from repro.drift.detector import DriftAlarm, KSDriftDetector
+from repro.drift.incremental_ks import IncrementalKS
+from repro.drift.monitor import ExplainedAlarm, ExplainedDriftMonitor
+
+__all__ = [
+    "DriftAlarm",
+    "KSDriftDetector",
+    "IncrementalKS",
+    "ExplainedAlarm",
+    "ExplainedDriftMonitor",
+]

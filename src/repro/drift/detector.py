@@ -1,0 +1,135 @@
+"""Sliding-window KS drift detection.
+
+The detector maintains a reference window and a test window over a stream.
+Whenever the test window is full, a two-sample KS test is run; a rejection
+is reported as a :class:`DriftAlarm`.  After an alarm (or after every
+completed test, depending on the policy) the reference window slides
+forward, matching the paper's experimental protocol where consecutive
+non-overlapping windows are compared (Section 6.1.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.core.ks import KSTestResult, ks_test
+from repro.exceptions import ValidationError
+
+
+@dataclass
+class DriftAlarm:
+    """A detected distribution drift.
+
+    Attributes
+    ----------
+    position:
+        Stream index of the last observation of the test window.
+    reference, test:
+        Snapshots of the two windows at alarm time.
+    result:
+        The failed KS test.
+    """
+
+    position: int
+    reference: np.ndarray
+    test: np.ndarray
+    result: KSTestResult
+
+
+class KSDriftDetector:
+    """Two-window KS drift detector over a stream of observations.
+
+    Parameters
+    ----------
+    window_size:
+        Size of both the reference and the test window.
+    alpha:
+        Significance level of the KS tests.
+    slide_on_alarm:
+        When True (default) the reference window stays fixed across passing
+        tests and is replaced by the test window only after an alarm, so
+        subsequent detection is relative to the new regime; when False the
+        reference window always holds the immediately preceding window (the
+        paper's tiling protocol).
+    """
+
+    def __init__(self, window_size: int, alpha: float = 0.05, slide_on_alarm: bool = True):
+        if window_size < 2:
+            raise ValidationError("window_size must be at least 2")
+        self.window_size = int(window_size)
+        self.alpha = float(alpha)
+        self.slide_on_alarm = bool(slide_on_alarm)
+        self._reference: deque[float] = deque(maxlen=self.window_size)
+        self._test: deque[float] = deque(maxlen=self.window_size)
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def observations_seen(self) -> int:
+        """Total number of observations pushed into the detector."""
+        return self._count
+
+    @property
+    def ready(self) -> bool:
+        """True when both windows are full and a test can be conducted."""
+        return (
+            len(self._reference) == self.window_size
+            and len(self._test) == self.window_size
+        )
+
+    def reference_window(self) -> np.ndarray:
+        """Snapshot of the current reference window."""
+        return np.asarray(self._reference, dtype=float)
+
+    def test_window(self) -> np.ndarray:
+        """Snapshot of the current test window."""
+        return np.asarray(self._test, dtype=float)
+
+    # ------------------------------------------------------------------
+    def update(self, value: float) -> Optional[DriftAlarm]:
+        """Push one observation; return an alarm if drift is detected."""
+        self._count += 1
+        if len(self._reference) < self.window_size:
+            self._reference.append(float(value))
+            return None
+        self._test.append(float(value))
+        if len(self._test) < self.window_size:
+            return None
+
+        reference = self.reference_window()
+        test = self.test_window()
+        result = ks_test(reference, test, self.alpha)
+        alarm: Optional[DriftAlarm] = None
+        if result.rejected:
+            alarm = DriftAlarm(
+                position=self._count - 1,
+                reference=reference,
+                test=test,
+                result=result,
+            )
+        self._advance(result.rejected, test)
+        return alarm
+
+    def process(self, stream: Iterable[float]) -> Iterator[DriftAlarm]:
+        """Consume an iterable of observations, yielding alarms as they occur."""
+        for value in stream:
+            alarm = self.update(value)
+            if alarm is not None:
+                yield alarm
+
+    # ------------------------------------------------------------------
+    def _advance(self, alarmed: bool, test: np.ndarray) -> None:
+        """Slide the windows after a completed test."""
+        if not self.slide_on_alarm:
+            # Tiling protocol: always compare against the immediately
+            # preceding window, as in the paper's experiments.
+            self._reference = deque(test.tolist(), maxlen=self.window_size)
+        elif alarmed:
+            # Regime change: the test window becomes the new reference.
+            self._reference = deque(test.tolist(), maxlen=self.window_size)
+        # Otherwise keep the current reference window (stable baseline).
+        self._test = deque(maxlen=self.window_size)

@@ -1,0 +1,205 @@
+"""Incremental maintenance of the two-sample KS statistic.
+
+Re-running a full KS test for every new observation of a stream costs
+``O((n + m) log(n + m))`` per update because of the sort.  dos Reis et al.
+("Fast unsupervised online drift detection using incremental
+Kolmogorov-Smirnov test", KDD 2016) show the statistic can be maintained
+incrementally as observations are inserted and removed.
+
+This implementation keeps both samples in a single sorted structure — a
+balanced order-statistic tree (a treap) keyed by value — where every node
+records how many reference and test observations live in its subtree.  The
+KS statistic is the maximum over the tree's in-order prefix sums of
+``|prefix_ref / n - prefix_test / m|``, which is recomputed lazily in
+``O(n + m)`` by an in-order walk but only over the *distinct* values, and
+insert/delete are ``O(log(n + m))`` expected.
+
+The class is used by the drift monitor to cheapen repeated tests and is an
+optional extension; the core MOCHE algorithm never needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.core.ks import critical_value
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class _Node:
+    """Treap node holding the multiplicities of one distinct value."""
+
+    value: float
+    priority: float
+    ref_count: int = 0
+    test_count: int = 0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    subtree_ref: int = 0
+    subtree_test: int = 0
+
+    def recompute(self) -> None:
+        self.subtree_ref = self.ref_count + _subtree_ref(self.left) + _subtree_ref(self.right)
+        self.subtree_test = (
+            self.test_count + _subtree_test(self.left) + _subtree_test(self.right)
+        )
+
+
+def _subtree_ref(node: Optional[_Node]) -> int:
+    return node.subtree_ref if node is not None else 0
+
+
+def _subtree_test(node: Optional[_Node]) -> int:
+    return node.subtree_test if node is not None else 0
+
+
+class IncrementalKS:
+    """Incrementally maintained two-sample KS statistic.
+
+    Observations are added and removed with :meth:`insert` / :meth:`remove`,
+    each tagged as belonging to the reference sample or the test sample.
+    """
+
+    def __init__(self, seed: int | None = 0):
+        self._root: Optional[_Node] = None
+        self._rng = as_generator(seed)
+        self._n = 0
+        self._m = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def reference_size(self) -> int:
+        """Number of reference observations currently maintained."""
+        return self._n
+
+    @property
+    def test_size(self) -> int:
+        """Number of test observations currently maintained."""
+        return self._m
+
+    # ------------------------------------------------------------------
+    def insert(self, value: float, sample: str) -> None:
+        """Insert an observation into the ``"reference"`` or ``"test"`` sample."""
+        ref_delta, test_delta = self._deltas(sample)
+        self._root = self._update(self._root, float(value), ref_delta, test_delta)
+        self._n += ref_delta
+        self._m += test_delta
+
+    def remove(self, value: float, sample: str) -> None:
+        """Remove one occurrence of an observation from the given sample."""
+        ref_delta, test_delta = self._deltas(sample)
+        if (sample == "reference" and self._n == 0) or (sample == "test" and self._m == 0):
+            raise ValidationError(f"the {sample} sample is empty")
+        self._root = self._update(self._root, float(value), -ref_delta, -test_delta)
+        self._n -= ref_delta
+        self._m -= test_delta
+
+    def statistic(self) -> float:
+        """Current KS statistic ``D`` between the two maintained samples."""
+        if self._n == 0 or self._m == 0:
+            raise ValidationError("both samples must be non-empty")
+        best = 0.0
+        prefix_ref = 0
+        prefix_test = 0
+        for node in self._inorder(self._root):
+            prefix_ref += node.ref_count
+            prefix_test += node.test_count
+            gap = abs(prefix_ref / self._n - prefix_test / self._m)
+            if gap > best:
+                best = gap
+        return best
+
+    def rejected(self, alpha: float = 0.05) -> bool:
+        """Whether the two samples currently fail the KS test at ``alpha``."""
+        return self.statistic() > critical_value(alpha, self._n, self._m)
+
+    # ------------------------------------------------------------------
+    # Treap machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _deltas(sample: str) -> tuple[int, int]:
+        if sample == "reference":
+            return 1, 0
+        if sample == "test":
+            return 0, 1
+        raise ValidationError("sample must be 'reference' or 'test'")
+
+    def _update(
+        self, node: Optional[_Node], value: float, ref_delta: int, test_delta: int
+    ) -> Optional[_Node]:
+        if node is None:
+            if ref_delta < 0 or test_delta < 0:
+                raise ValidationError(f"value {value} is not present")
+            node = _Node(value=value, priority=float(self._rng.random()))
+            node.ref_count = ref_delta
+            node.test_count = test_delta
+            node.recompute()
+            return node
+        if value < node.value:
+            node.left = self._update(node.left, value, ref_delta, test_delta)
+            node = self._rebalance(node)
+        elif value > node.value:
+            node.right = self._update(node.right, value, ref_delta, test_delta)
+            node = self._rebalance(node)
+        else:
+            node.ref_count += ref_delta
+            node.test_count += test_delta
+            if node.ref_count < 0 or node.test_count < 0:
+                raise ValidationError(f"value {value} is not present in that sample")
+        node.recompute()
+        return node
+
+    def _rebalance(self, node: _Node) -> _Node:
+        if node.left is not None and node.left.priority > node.priority:
+            return self._rotate_right(node)
+        if node.right is not None and node.right.priority > node.priority:
+            return self._rotate_left(node)
+        return node
+
+    @staticmethod
+    def _rotate_right(node: _Node) -> _Node:
+        pivot = node.left
+        assert pivot is not None
+        node.left = pivot.right
+        pivot.right = node
+        node.recompute()
+        pivot.recompute()
+        return pivot
+
+    @staticmethod
+    def _rotate_left(node: _Node) -> _Node:
+        pivot = node.right
+        assert pivot is not None
+        node.right = pivot.left
+        pivot.left = node
+        node.recompute()
+        pivot.recompute()
+        return pivot
+
+    def _inorder(self, node: Optional[_Node]) -> Iterator[_Node]:
+        stack: list[_Node] = []
+        current = node
+        while stack or current is not None:
+            while current is not None:
+                stack.append(current)
+                current = current.left
+            current = stack.pop()
+            if current.ref_count or current.test_count:
+                yield current
+            current = current.right
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_samples(cls, reference: np.ndarray, test: np.ndarray, seed: int | None = 0) -> "IncrementalKS":
+        """Build an incremental KS structure from two initial samples."""
+        instance = cls(seed=seed)
+        for value in np.asarray(reference, dtype=float).ravel():
+            instance.insert(float(value), "reference")
+        for value in np.asarray(test, dtype=float).ravel():
+            instance.insert(float(value), "test")
+        return instance

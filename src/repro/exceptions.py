@@ -1,0 +1,76 @@
+"""Exception hierarchy for the MOCHE reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Errors are grouped by the stage of the pipeline
+that raises them: input validation, the KS test itself, and explanation
+generation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-provided input does not satisfy a precondition.
+
+    Examples include empty reference or test sets, non-finite data values,
+    significance levels outside ``(0, 1)``, or preference lists that are not
+    permutations of the test-set indices.
+    """
+
+
+class InvalidSignificanceLevelError(ValidationError):
+    """Raised when the significance level ``alpha`` is outside ``(0, 1)``."""
+
+
+class EmptyDatasetError(ValidationError):
+    """Raised when the reference set or the test set is empty."""
+
+
+class NonFiniteDataError(ValidationError):
+    """Raised when the reference or test data contain NaN or infinities."""
+
+
+class InvalidPreferenceError(ValidationError):
+    """Raised when a preference list is not a permutation of ``range(m)``."""
+
+
+class KSTestPassedError(ReproError):
+    """Raised when an explanation is requested for a KS test that passes.
+
+    A counterfactual explanation is only defined for a *failed* KS test
+    (Definition 1 of the paper); asking to explain a passed test is a usage
+    error.
+    """
+
+
+class NoExplanationError(ReproError):
+    """Raised when no subset of the test set can reverse the failed KS test.
+
+    Under the paper's Proposition 1 this cannot happen for significance
+    levels ``alpha <= 2 / e**2`` (~0.27); it can only be triggered by very
+    large, unconventional significance levels.
+    """
+
+
+class ExplanationVerificationError(ReproError):
+    """Raised when a produced explanation fails its post-hoc verification.
+
+    Every explainer re-runs the KS test on ``R`` and ``T \\ I`` before
+    returning.  This error indicates an internal inconsistency (for example
+    numerical issues in the bound computations) and should never occur in
+    normal operation.
+    """
+
+
+class BaselineBudgetExceededError(ReproError):
+    """Raised when a search-based baseline exhausts its budget.
+
+    The extended CornerSearch and GRACE baselines are randomized/optimized
+    searches with an iteration budget; the paper reports that they abort on
+    a fraction of the failed tests (Table 2).  The reverse-factor metric
+    counts these aborts.
+    """

@@ -1,0 +1,168 @@
+"""Figures 1 and 4: the COVID-19 case study (Examples 1-2, Section 6.3).
+
+The case study compares the most comprehensible explanations under two
+preference lists — ``L_p`` (health-authority population descending) and
+``L_a`` (age-group descending) — and contrasts MOCHE's explanation with the
+baseline explanations (sizes, age-group histograms, and the ECDF of the
+test set after removal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.baselines import D3Explainer, GreedyExplainer
+from repro.core.explanation import Explanation
+from repro.core.moche import MOCHE
+from repro.datasets.covid import AGE_GROUPS, CovidDataset, generate_covid_like_dataset
+from repro.experiments.reporting import format_table
+from repro.metrics.effectiveness import explanation_rmse
+from repro.utils.ecdf import evaluate_ecdf
+
+
+@dataclass
+class CaseStudyResult:
+    """All artefacts of the COVID-19 case study."""
+
+    dataset: CovidDataset
+    population_explanation: Explanation
+    age_explanation: Explanation
+    baseline_explanations: dict[str, Explanation] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def explanations(self) -> dict[str, Explanation]:
+        """MOCHE (under L_p) plus the baselines, keyed by method name."""
+        merged = {"moche": self.population_explanation}
+        merged.update(self.baseline_explanations)
+        return merged
+
+    def age_histograms(self) -> dict[str, np.ndarray]:
+        """Figure 4a-c: age-group histograms of each method's explanation."""
+        return {
+            name: self.dataset.age_histogram("test", explanation.indices)
+            for name, explanation in self.explanations.items()
+        }
+
+    def preference_histograms(self) -> dict[str, np.ndarray]:
+        """Figure 1c: age-group histograms of I_p and I_a."""
+        return {
+            "I_p": self.dataset.age_histogram("test", self.population_explanation.indices),
+            "I_a": self.dataset.age_histogram("test", self.age_explanation.indices),
+        }
+
+    def ha_histograms(self) -> dict[str, dict[str, int]]:
+        """Figure 1b: health-authority histograms of I_p and I_a."""
+        return {
+            "I_p": self.dataset.ha_histogram(self.population_explanation.indices),
+            "I_a": self.dataset.ha_histogram(self.age_explanation.indices),
+        }
+
+    def ecdf_after_removal(self, method: str) -> tuple[np.ndarray, np.ndarray]:
+        """Figure 4d: ECDF of the test set after removing a method's explanation."""
+        explanation = self.explanations[method]
+        test = self.dataset.test_values
+        mask = np.ones(test.size, dtype=bool)
+        mask[explanation.indices] = False
+        grid = np.arange(1, len(AGE_GROUPS) + 1, dtype=float)
+        return grid, evaluate_ecdf(test[mask], grid)
+
+    def rmse_table(self) -> dict[str, float]:
+        """Per-method ECDF RMSE after removal (the effectiveness view of Fig. 4)."""
+        reference = self.dataset.reference_values
+        test = self.dataset.test_values
+        return {
+            name: explanation_rmse(reference, test, explanation)
+            for name, explanation in self.explanations.items()
+        }
+
+
+def run_case_study(
+    alpha: float = 0.05,
+    seed: int = 2020,
+    reference_size: int = 2175,
+    test_size: int = 3375,
+    include_baselines: bool = True,
+) -> CaseStudyResult:
+    """Run the COVID-19 case study end to end.
+
+    Parameters
+    ----------
+    alpha:
+        Significance level of the KS test (0.05 in the paper).
+    seed:
+        Seed of the synthetic case-listing generator.
+    reference_size, test_size:
+        Sizes of the August and September case sets (paper: 2,175 / 3,375).
+    include_baselines:
+        Also run the Greedy and D3 baselines (the two smallest baseline
+        explanations in the paper's Figure 4).
+    """
+    dataset = generate_covid_like_dataset(
+        reference_size=reference_size, test_size=test_size, seed=seed
+    )
+    reference = dataset.reference_values
+    test = dataset.test_values
+
+    moche = MOCHE(alpha=alpha)
+    population_explanation = moche.explain(
+        reference, test, dataset.population_preference(seed=seed)
+    )
+    age_explanation = moche.explain(reference, test, dataset.age_preference(seed=seed))
+
+    baselines: dict[str, Explanation] = {}
+    if include_baselines:
+        preference = dataset.population_preference(seed=seed)
+        baselines["greedy"] = GreedyExplainer(alpha=alpha).explain(
+            reference, test, preference
+        )
+        baselines["d3"] = D3Explainer(alpha=alpha, discrete=True).explain(
+            reference, test, preference
+        )
+    return CaseStudyResult(
+        dataset=dataset,
+        population_explanation=population_explanation,
+        age_explanation=age_explanation,
+        baseline_explanations=baselines,
+    )
+
+
+def format_case_study(result: CaseStudyResult) -> str:
+    """Render the case-study summary (explanation sizes, HA concentration, RMSE)."""
+    sizes_rows = [
+        [name, explanation.size, f"{100 * explanation.fraction_of_test_set:.1f}%"]
+        for name, explanation in result.explanations.items()
+    ]
+    sizes_rows.append(
+        [
+            "moche (L_a)",
+            result.age_explanation.size,
+            f"{100 * result.age_explanation.fraction_of_test_set:.1f}%",
+        ]
+    )
+    sizes = format_table(
+        ["method", "explanation size", "fraction of test set"],
+        sizes_rows,
+        title="Figure 4 / Section 6.3 — explanation sizes",
+    )
+
+    ha_rows = []
+    for label, histogram in result.ha_histograms().items():
+        for authority, count in histogram.items():
+            ha_rows.append([label, authority, count])
+    authorities = format_table(
+        ["explanation", "health authority", "# cases"],
+        ha_rows,
+        title="Figure 1b — explanation distribution over health authorities",
+    )
+
+    rmse_rows = [[name, value] for name, value in result.rmse_table().items()]
+    rmse = format_table(
+        ["method", "ECDF RMSE after removal"],
+        rmse_rows,
+        title="Figure 4d — distribution similarity after removal",
+    )
+    return "\n\n".join([sizes, authorities, rmse])

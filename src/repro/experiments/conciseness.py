@@ -1,0 +1,33 @@
+"""Figure 2: average Is-Smallest-Explanation per dataset and method."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.evaluation import EvaluationRecord, group_by_dataset
+from repro.experiments.methods import ordered_methods
+from repro.experiments.reporting import format_table
+from repro.metrics.conciseness import mean_ise
+
+
+def run_conciseness(records: Sequence[EvaluationRecord]) -> dict[str, dict[str, float]]:
+    """Average ISE per dataset family per method (the bars of Figure 2)."""
+    results: dict[str, dict[str, float]] = {}
+    for dataset, group in group_by_dataset(records).items():
+        results[dataset] = mean_ise([record.explanations for record in group])
+    return results
+
+
+def format_ise_table(results: dict[str, dict[str, float]]) -> str:
+    """Render the Figure 2 data as a dataset x method table."""
+    datasets = sorted(results)
+    methods = ordered_methods(results[datasets[0]]) if datasets else []
+    rows = [
+        [dataset] + [results[dataset].get(method, float("nan")) for method in methods]
+        for dataset in datasets
+    ]
+    return format_table(
+        ["dataset"] + list(methods),
+        rows,
+        title="Figure 2 — average ISE (larger is better; MOCHE is always 1)",
+    )

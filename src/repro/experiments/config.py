@@ -1,0 +1,87 @@
+"""Configuration of the experiment workloads.
+
+The paper's evaluation runs thousands of failed KS tests over windows of up
+to 2,000 points and synthetic sets of up to 100,000 points.  That scale is
+reachable with this code base but takes hours; the benchmark harness
+therefore runs a reduced configuration by default.  Both configurations are
+defined here so the scale is explicit and adjustable in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Workload scale for the experiment runners.
+
+    Attributes
+    ----------
+    alpha:
+        Significance level used for every KS test (the paper fixes 0.05).
+    window_sizes:
+        Sliding-window sizes used to build reference/test pairs from the
+        time-series datasets (the paper uses 100..2000).
+    cases_per_dataset:
+        Number of failed KS tests sampled per dataset family.
+    series_per_family:
+        Number of series generated per NAB-like family (``None`` keeps
+        Table 1's counts).
+    length_scale:
+        Scale factor applied to the generated series lengths.
+    synthetic_sizes:
+        Reference/test sizes for the synthetic scalability experiment
+        (Figure 5b; the paper uses 1e4..1e5).
+    contamination:
+        Fraction ``p`` of the synthetic test set replaced by uniform noise.
+    seed:
+        Master random seed for workload generation.
+    top_k:
+        Preference-list prefix the CS and GRC baselines are restricted to.
+    """
+
+    alpha: float = 0.05
+    window_sizes: tuple[int, ...] = (100, 200, 300, 1000, 1500, 2000)
+    cases_per_dataset: int = 10
+    series_per_family: int | None = None
+    length_scale: float = 1.0
+    synthetic_sizes: tuple[int, ...] = (10_000, 30_000, 50_000, 70_000, 100_000)
+    contamination: float = 0.03
+    seed: int = 7
+    top_k: int = 100
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ValidationError("alpha must be in (0, 1)")
+        if not self.window_sizes:
+            raise ValidationError("at least one window size is required")
+        if self.cases_per_dataset < 1:
+            raise ValidationError("cases_per_dataset must be at least 1")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """A configuration close to the paper's scale (hours of runtime)."""
+        return cls()
+
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        """A reduced configuration used by the benchmark harness.
+
+        The window sizes, number of sampled failed tests and synthetic set
+        sizes are scaled down so that regenerating every table and figure
+        finishes in minutes while preserving the qualitative shape of the
+        results.
+        """
+        return cls(
+            window_sizes=(100, 200, 300),
+            cases_per_dataset=3,
+            series_per_family=2,
+            length_scale=0.25,
+            synthetic_sizes=(1_000, 3_000, 10_000),
+            contamination=0.03,
+            seed=7,
+        )

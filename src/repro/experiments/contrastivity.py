@@ -1,0 +1,45 @@
+"""Table 2: the reverse factor of the search-based baselines (CS and GRC)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.evaluation import EvaluationRecord, group_by_dataset
+from repro.experiments.reporting import format_table
+from repro.metrics.contrastivity import reverse_factor
+
+
+def run_contrastivity(
+    records: Sequence[EvaluationRecord],
+    methods: tuple[str, ...] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Reverse factor per method per dataset family (Table 2 rows).
+
+    The paper reports CS and GRC (the other methods always reach RF = 1);
+    by default every method present in the records is reported so the
+    always-1 columns can be verified too.
+    """
+    results: dict[str, dict[str, float]] = {}
+    for dataset, group in group_by_dataset(records).items():
+        present = methods or tuple(group[0].explanations)
+        results[dataset] = {
+            method: reverse_factor([record.explanations[method] for record in group])
+            for method in present
+            if method in group[0].explanations
+        }
+    return results
+
+
+def format_reverse_factor_table(results: dict[str, dict[str, float]]) -> str:
+    """Render the Table 2 data as a method x dataset table."""
+    datasets = sorted(results)
+    methods = sorted({m for per_dataset in results.values() for m in per_dataset})
+    rows = [
+        [method] + [results[dataset].get(method, float("nan")) for dataset in datasets]
+        for method in methods
+    ]
+    return format_table(
+        ["method"] + datasets,
+        rows,
+        title="Table 2 — reverse factor (larger is better; MOCHE is always 1)",
+    )

@@ -1,0 +1,50 @@
+"""Table 1: statistics of the (synthetic) evaluation datasets."""
+
+from __future__ import annotations
+
+from repro.datasets.nab import TimeSeriesDataset, generate_nab_like_corpus
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+
+
+def dataset_statistics(
+    config: ExperimentConfig,
+    corpus: dict[str, TimeSeriesDataset] | None = None,
+) -> dict[str, dict[str, object]]:
+    """Per-family series counts and length ranges (the rows of Table 1)."""
+    if corpus is None:
+        corpus = generate_nab_like_corpus(
+            seed=config.seed,
+            length_scale=config.length_scale,
+            series_per_family=config.series_per_family,
+        )
+    statistics: dict[str, dict[str, object]] = {}
+    for family, dataset in corpus.items():
+        shortest, longest = dataset.lengths
+        statistics[family] = {
+            "series": len(dataset),
+            "min_length": shortest,
+            "max_length": longest,
+            "anomaly_fraction": (
+                sum(series.anomaly_fraction for series in dataset) / max(len(dataset), 1)
+            ),
+        }
+    return statistics
+
+
+def format_dataset_statistics(statistics: dict[str, dict[str, object]]) -> str:
+    """Render Table 1 (plus the injected-anomaly fraction of the generators)."""
+    rows = [
+        [
+            family,
+            stats["series"],
+            f"{stats['min_length']}~{stats['max_length']}",
+            stats["anomaly_fraction"],
+        ]
+        for family, stats in sorted(statistics.items())
+    ]
+    return format_table(
+        ["dataset", "# time series", "length", "labelled anomaly fraction"],
+        rows,
+        title="Table 1 — dataset statistics (synthetic NAB-like corpus)",
+    )

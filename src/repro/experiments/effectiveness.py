@@ -1,0 +1,44 @@
+"""Figure 3: average ECDF RMSE after removing each method's explanation."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.experiments.evaluation import EvaluationRecord, group_by_dataset
+from repro.experiments.methods import ordered_methods
+from repro.experiments.reporting import format_table
+from repro.metrics.effectiveness import mean_rmse
+
+
+def run_effectiveness(records: Sequence[EvaluationRecord]) -> dict[str, dict[str, float]]:
+    """Average RMSE per dataset family per method (the bars of Figure 3)."""
+    results: dict[str, dict[str, float]] = {}
+    for dataset, group in group_by_dataset(records).items():
+        methods = list(group[0].explanations)
+        per_method: dict[str, float] = {}
+        for method in methods:
+            values = []
+            for record in group:
+                explanation = record.explanations[method]
+                if explanation.size >= record.case.m:
+                    continue
+                values.append(record.rmse(method))
+            per_method[method] = mean_rmse(values) if values else math.nan
+        results[dataset] = per_method
+    return results
+
+
+def format_rmse_table(results: dict[str, dict[str, float]]) -> str:
+    """Render the Figure 3 data as a dataset x method table."""
+    datasets = sorted(results)
+    methods = ordered_methods(results[datasets[0]]) if datasets else []
+    rows = [
+        [dataset] + [results[dataset].get(method, float("nan")) for method in methods]
+        for dataset in datasets
+    ]
+    return format_table(
+        ["dataset"] + list(methods),
+        rows,
+        title="Figure 3 — average ECDF RMSE (smaller is better; MOCHE lowest)",
+    )

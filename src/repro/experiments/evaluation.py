@@ -1,0 +1,60 @@
+"""Shared evaluation loop: run every method on every sampled failed test.
+
+The conciseness (Figure 2), contrastivity (Table 2) and effectiveness
+(Figure 3) experiments all consume the same per-case explanations, so the
+methods are run once here and the metric modules aggregate the records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.explanation import Explanation
+from repro.experiments.methods import Explainer
+from repro.experiments.workloads import FailedTestCase
+from repro.metrics.effectiveness import explanation_rmse
+
+
+@dataclass
+class EvaluationRecord:
+    """Explanations of every method for one failed KS test."""
+
+    case: FailedTestCase
+    explanations: dict[str, Explanation]
+
+    def rmse(self, method: str) -> float:
+        """ECDF RMSE of one method's explanation on this case."""
+        return explanation_rmse(
+            self.case.reference, self.case.test, self.explanations[method]
+        )
+
+
+def run_methods_on_cases(
+    cases: Sequence[FailedTestCase],
+    methods: Mapping[str, Explainer],
+) -> list[EvaluationRecord]:
+    """Run every explainer on every failed test case.
+
+    Methods that raise (e.g. a search baseline whose selection is degenerate
+    on a particular case) are recorded with whatever non-reversing
+    explanation they produced, if any; an outright exception is extremely
+    rare and surfaces as a missing entry so aggregations can skip it.
+    """
+    records: list[EvaluationRecord] = []
+    for case in cases:
+        explanations: dict[str, Explanation] = {}
+        for name, method in methods.items():
+            explanations[name] = method.explain(
+                case.reference, case.test, preference=case.preference
+            )
+        records.append(EvaluationRecord(case=case, explanations=explanations))
+    return records
+
+
+def group_by_dataset(records: Sequence[EvaluationRecord]) -> dict[str, list[EvaluationRecord]]:
+    """Group evaluation records by dataset family."""
+    groups: dict[str, list[EvaluationRecord]] = {}
+    for record in records:
+        groups.setdefault(record.case.dataset, []).append(record)
+    return groups

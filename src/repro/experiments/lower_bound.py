@@ -1,0 +1,61 @@
+"""Figure 6: tightness of the explanation-size lower bound (Section 6.4).
+
+For every sampled failed KS test, the estimation error ``k - k_hat`` is
+collected and summarised per test-set (window) size as a box plot: minimum,
+quartiles, median, mean and maximum.  The paper reports that the error is 0
+for more than a quarter of the tests, at most 1 for more than three
+quarters, and at most 6 in the worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.moche import MOCHE
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import FailedTestCase, build_failed_test_cases
+from repro.metrics.estimation import EstimationErrorSummary, estimation_error_summary
+
+
+def run_lower_bound_study(
+    config: ExperimentConfig,
+    cases: Sequence[FailedTestCase] | None = None,
+) -> dict[int, EstimationErrorSummary]:
+    """Estimation-error summary per window size (the bars of Figure 6)."""
+    if cases is None:
+        cases = build_failed_test_cases(config)
+    explainer = MOCHE(alpha=config.alpha)
+    errors_by_size: dict[int, list[int]] = {}
+    for case in cases:
+        explanation = explainer.explain(case.reference, case.test, case.preference)
+        error = explanation.estimation_error
+        if error is None:
+            continue
+        errors_by_size.setdefault(case.window_size, []).append(error)
+    return {
+        size: estimation_error_summary(errors)
+        for size, errors in sorted(errors_by_size.items())
+    }
+
+
+def format_estimation_error_table(summaries: dict[int, EstimationErrorSummary]) -> str:
+    """Render the Figure 6 box-plot statistics as a table."""
+    rows = [
+        [
+            size,
+            summary.count,
+            summary.minimum,
+            summary.first_quartile,
+            summary.median,
+            summary.mean,
+            summary.third_quartile,
+            summary.maximum,
+        ]
+        for size, summary in summaries.items()
+    ]
+    return format_table(
+        ["test set size", "tests", "min", "q1", "median", "mean", "q3", "max"],
+        rows,
+        title="Figure 6 — estimation error k - k_hat (smaller is better)",
+    )

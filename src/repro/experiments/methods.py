@@ -1,0 +1,73 @@
+"""Factory for the explainer line-up used across the experiments."""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from repro.baselines import (
+    CornerSearchExplainer,
+    D3Explainer,
+    GraceExplainer,
+    GreedyExplainer,
+    Series2GraphExplainer,
+    StompExplainer,
+)
+from repro.core.moche import MOCHE
+from repro.experiments.config import ExperimentConfig
+
+Explainer = Union[
+    MOCHE,
+    GreedyExplainer,
+    CornerSearchExplainer,
+    GraceExplainer,
+    D3Explainer,
+    StompExplainer,
+    Series2GraphExplainer,
+]
+
+#: Display order of the methods, matching the paper's figures.
+METHOD_ORDER = ("moche", "grace", "greedy", "corner_search", "series2graph", "stomp", "d3")
+
+
+def build_methods(
+    config: ExperimentConfig,
+    include: tuple[str, ...] | None = None,
+    include_ablation: bool = False,
+) -> dict[str, Explainer]:
+    """Build the explainer line-up of the evaluation (Section 6.1.2).
+
+    Parameters
+    ----------
+    config:
+        Supplies the significance level, the top-k restriction for CS/GRC
+        and the random seed.
+    include:
+        Restrict to a subset of method names; ``None`` builds all seven.
+    include_ablation:
+        Also include ``moche_ns``, the lower-bound ablation of Section 6.4.
+    """
+    methods: dict[str, Explainer] = {
+        "moche": MOCHE(alpha=config.alpha),
+        "greedy": GreedyExplainer(alpha=config.alpha),
+        "corner_search": CornerSearchExplainer(
+            alpha=config.alpha, top_k=config.top_k, seed=config.seed
+        ),
+        "grace": GraceExplainer(
+            alpha=config.alpha, top_k=config.top_k, seed=config.seed
+        ),
+        "d3": D3Explainer(alpha=config.alpha),
+        "stomp": StompExplainer(alpha=config.alpha),
+        "series2graph": Series2GraphExplainer(alpha=config.alpha),
+    }
+    if include is not None:
+        methods = {name: methods[name] for name in include}
+    if include_ablation:
+        methods["moche_ns"] = MOCHE(alpha=config.alpha, use_lower_bound=False)
+    return methods
+
+
+def ordered_methods(results: Mapping[str, object]) -> list[str]:
+    """Order method names as the paper's figures do, extras last."""
+    ordered = [name for name in METHOD_ORDER if name in results]
+    ordered.extend(sorted(name for name in results if name not in METHOD_ORDER))
+    return ordered

@@ -1,0 +1,122 @@
+"""Run every experiment and collect the rendered tables.
+
+This orchestrator is used by the command-line interface (``repro
+experiments``) and is handy for regenerating the whole evaluation in one
+call from a notebook or script.  Each entry of the returned mapping is the
+same table the corresponding benchmark writes to ``benchmarks/results``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.experiments.case_study import format_case_study, run_case_study
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.conciseness import format_ise_table, run_conciseness
+from repro.experiments.contrastivity import format_reverse_factor_table, run_contrastivity
+from repro.experiments.datasets_summary import dataset_statistics, format_dataset_statistics
+from repro.experiments.effectiveness import format_rmse_table, run_effectiveness
+from repro.experiments.evaluation import run_methods_on_cases
+from repro.experiments.lower_bound import format_estimation_error_table, run_lower_bound_study
+from repro.experiments.methods import build_methods
+from repro.experiments.runtime import (
+    format_runtime_table,
+    run_runtime_synthetic,
+    run_runtime_timeseries,
+)
+from repro.experiments.workloads import build_failed_test_cases
+from repro.exceptions import ValidationError
+
+#: Experiment identifiers in the order they appear in the paper.
+EXPERIMENT_IDS = (
+    "table1",
+    "figure1",
+    "figure2",
+    "table2",
+    "figure3",
+    "figure4",
+    "figure5a",
+    "figure5b",
+    "figure6",
+)
+
+
+def run_all_experiments(
+    config: ExperimentConfig | None = None,
+    only: tuple[str, ...] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, str]:
+    """Run the requested experiments and return their rendered tables.
+
+    Parameters
+    ----------
+    config:
+        Workload scale; defaults to :meth:`ExperimentConfig.smoke`.
+    only:
+        Restrict to a subset of :data:`EXPERIMENT_IDS`.
+    progress:
+        Optional callback invoked with a short message before each
+        experiment (the CLI passes ``print``).
+    """
+    config = config or ExperimentConfig.smoke()
+    selected = tuple(only) if only else EXPERIMENT_IDS
+    unknown = set(selected) - set(EXPERIMENT_IDS)
+    if unknown:
+        raise ValidationError(
+            f"unknown experiment ids {sorted(unknown)}; valid ids are {EXPERIMENT_IDS}"
+        )
+    notify = progress or (lambda message: None)
+    tables: dict[str, str] = {}
+
+    if "table1" in selected:
+        notify("Table 1: dataset statistics")
+        tables["table1"] = format_dataset_statistics(dataset_statistics(config))
+
+    if {"figure1", "figure4"} & set(selected):
+        notify("Figures 1 and 4: COVID-19 case study")
+        case_study = run_case_study(alpha=config.alpha)
+        report = format_case_study(case_study)
+        if "figure1" in selected:
+            tables["figure1"] = report
+        if "figure4" in selected:
+            tables["figure4"] = report
+
+    needs_records = {"figure2", "table2", "figure3", "figure6"} & set(selected)
+    if needs_records:
+        notify("Sampling failed KS tests from the time-series corpus")
+        cases = build_failed_test_cases(config)
+        methods = build_methods(config)
+        notify(f"Running {len(methods)} methods on {len(cases)} failed tests")
+        records = run_methods_on_cases(cases, methods)
+        if "figure2" in selected:
+            tables["figure2"] = format_ise_table(run_conciseness(records))
+        if "table2" in selected:
+            tables["table2"] = format_reverse_factor_table(run_contrastivity(records))
+        if "figure3" in selected:
+            tables["figure3"] = format_rmse_table(run_effectiveness(records))
+        if "figure6" in selected:
+            tables["figure6"] = format_estimation_error_table(
+                run_lower_bound_study(config, cases=cases)
+            )
+
+    if "figure5a" in selected:
+        notify("Figure 5a: runtime vs window size")
+        measurements = run_runtime_timeseries(config)
+        tables["figure5a"] = format_runtime_table(
+            measurements, title="Figure 5a — average runtime (seconds) vs window size"
+        )
+
+    if "figure5b" in selected:
+        notify("Figure 5b: runtime vs synthetic set size")
+        measurements = run_runtime_synthetic(config)
+        tables["figure5b"] = format_runtime_table(
+            measurements, title="Figure 5b — runtime (seconds) vs synthetic set size"
+        )
+
+    return tables
+
+
+def render_all(tables: Mapping[str, str]) -> str:
+    """Concatenate rendered experiment tables in paper order."""
+    ordered = [tables[key] for key in EXPERIMENT_IDS if key in tables]
+    return "\n\n".join(ordered)

@@ -1,0 +1,138 @@
+"""Figure 5: runtime and scalability experiments (Section 6.4).
+
+Figure 5a varies the window size on the TWT-like dataset and reports the
+average runtime of every method (including the MOCHE_ns ablation);
+Figure 5b varies the size of the synthetic normal-plus-uniform workload
+(p = 3% contamination) and compares MOCHE against the most efficient
+comprehensible baseline (Greedy) and against MOCHE_ns.
+
+Absolute times depend on the machine; the shape to verify is that MOCHE is
+orders of magnitude faster than the search baselines and consistently
+faster than MOCHE_ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.preference import PreferenceList
+from repro.datasets.synthetic import contaminated_pair
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.methods import Explainer, build_methods
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import FailedTestCase, build_failed_test_cases
+from repro.utils.rng import as_generator
+from repro.utils.timing import Timer
+
+
+@dataclass(frozen=True)
+class RuntimeMeasurement:
+    """Average runtime of one method at one workload size."""
+
+    method: str
+    size: int
+    seconds: float
+    cases: int
+
+
+def _time_method(method: Explainer, cases: Sequence[FailedTestCase]) -> float:
+    with Timer() as timer:
+        for case in cases:
+            method.explain(case.reference, case.test, preference=case.preference)
+    return timer.elapsed / max(len(cases), 1)
+
+
+def run_runtime_timeseries(
+    config: ExperimentConfig,
+    methods: Mapping[str, Explainer] | None = None,
+    family: str = "TWT",
+) -> list[RuntimeMeasurement]:
+    """Figure 5a: average runtime per window size on the TWT-like dataset."""
+    methods = methods or build_methods(config, include_ablation=True)
+    measurements: list[RuntimeMeasurement] = []
+    for window_size in config.window_sizes:
+        window_config = ExperimentConfig(
+            alpha=config.alpha,
+            window_sizes=(window_size,),
+            cases_per_dataset=config.cases_per_dataset,
+            series_per_family=config.series_per_family,
+            length_scale=config.length_scale,
+            synthetic_sizes=config.synthetic_sizes,
+            contamination=config.contamination,
+            seed=config.seed,
+            top_k=config.top_k,
+        )
+        cases = build_failed_test_cases(window_config, families=(family,))
+        if not cases:
+            continue
+        for name, method in methods.items():
+            measurements.append(
+                RuntimeMeasurement(
+                    method=name,
+                    size=window_size,
+                    seconds=_time_method(method, cases),
+                    cases=len(cases),
+                )
+            )
+    return measurements
+
+
+def run_runtime_synthetic(
+    config: ExperimentConfig,
+    methods: Mapping[str, Explainer] | None = None,
+    repetitions: int = 1,
+) -> list[RuntimeMeasurement]:
+    """Figure 5b: runtime versus synthetic set size (p = 3% contamination).
+
+    Only the comprehensible, tractable methods are timed by default (MOCHE,
+    MOCHE_ns and Greedy), matching the paper's Figure 5b line-up.
+    """
+    if methods is None:
+        methods = build_methods(config, include=("moche", "greedy"), include_ablation=True)
+    rng = as_generator(config.seed)
+    measurements: list[RuntimeMeasurement] = []
+    for size in config.synthetic_sizes:
+        cases = []
+        for _ in range(max(repetitions, 1)):
+            pair = contaminated_pair(
+                size,
+                fraction=config.contamination,
+                seed=int(rng.integers(0, 2**31 - 1)),
+                alpha=config.alpha,
+            )
+            preference = PreferenceList.random(size, seed=int(rng.integers(0, 2**31 - 1)))
+            cases.append(
+                FailedTestCase(
+                    dataset="SYN",
+                    series_name=f"synthetic_{size}",
+                    window_size=size,
+                    reference=pair.reference,
+                    test=pair.test,
+                    preference=preference,
+                )
+            )
+        for name, method in methods.items():
+            measurements.append(
+                RuntimeMeasurement(
+                    method=name,
+                    size=size,
+                    seconds=_time_method(method, cases),
+                    cases=len(cases),
+                )
+            )
+    return measurements
+
+
+def format_runtime_table(measurements: Sequence[RuntimeMeasurement], title: str) -> str:
+    """Render runtime measurements as a size x method table of seconds."""
+    sizes = sorted({m.size for m in measurements})
+    methods = sorted({m.method for m in measurements})
+    lookup = {(m.method, m.size): m.seconds for m in measurements}
+    rows = [
+        [size] + [lookup.get((method, size), float("nan")) for method in methods]
+        for size in sizes
+    ]
+    return format_table(["size"] + methods, rows, title=title)

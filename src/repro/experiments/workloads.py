@@ -1,0 +1,133 @@
+"""Workload construction: sampling failed KS tests from the datasets.
+
+The paper's protocol (Section 6.1): for every (time series, window size)
+combination, run non-overlapping sliding-window KS tests, keep the failed
+ones whose test window contains ground-truth abnormal observations, and
+uniformly sample a fixed number of them.  Preference lists are generated
+from Spectral Residual outlier scores over the test window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.preference import PreferenceList
+from repro.datasets.nab import TimeSeriesDataset, generate_nab_like_corpus
+from repro.datasets.sliding_window import WindowPair, failed_window_pairs
+from repro.experiments.config import ExperimentConfig
+from repro.outliers.spectral_residual import SpectralResidual
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class FailedTestCase:
+    """One failed KS test to be explained by every method.
+
+    Attributes
+    ----------
+    dataset:
+        Dataset family name (``"AWS"``, ``"TWT"``, ...).
+    series_name:
+        Name of the originating series.
+    window_size:
+        Size of the reference and test windows.
+    reference, test:
+        The two windows.
+    preference:
+        Preference list over the test window (Spectral Residual scores).
+    """
+
+    dataset: str
+    series_name: str
+    window_size: int
+    reference: np.ndarray
+    test: np.ndarray
+    preference: PreferenceList
+
+    @property
+    def m(self) -> int:
+        """Size of the test set."""
+        return int(self.test.size)
+
+
+def preference_for_window(reference: np.ndarray, test: np.ndarray, seed: int = 0) -> PreferenceList:
+    """Spectral Residual preference list for a test window (Section 6.1.1)."""
+    series = np.concatenate([np.asarray(reference, float), np.asarray(test, float)])
+    scores = SpectralResidual().scores(series)[-len(test):]
+    return PreferenceList.from_scores(scores, descending=True, seed=seed)
+
+
+def _cases_from_pairs(
+    dataset: str,
+    pairs: list[WindowPair],
+    count: int,
+    rng: np.random.Generator,
+) -> list[FailedTestCase]:
+    if not pairs:
+        return []
+    chosen = rng.choice(len(pairs), size=min(count, len(pairs)), replace=False)
+    cases = []
+    for index in sorted(int(i) for i in chosen):
+        pair = pairs[index]
+        cases.append(
+            FailedTestCase(
+                dataset=dataset,
+                series_name=pair.series_name,
+                window_size=pair.window_size,
+                reference=pair.reference,
+                test=pair.test,
+                preference=preference_for_window(
+                    pair.reference, pair.test, seed=int(rng.integers(0, 2**31 - 1))
+                ),
+            )
+        )
+    return cases
+
+
+def build_failed_test_cases(
+    config: ExperimentConfig,
+    corpus: dict[str, TimeSeriesDataset] | None = None,
+    families: tuple[str, ...] | None = None,
+) -> list[FailedTestCase]:
+    """Sample failed KS tests from (a corpus of) NAB-like time series.
+
+    Parameters
+    ----------
+    config:
+        Workload scale (window sizes, number of cases per family, seed).
+    corpus:
+        Optionally reuse an existing corpus; one is generated otherwise.
+    families:
+        Restrict to a subset of the dataset families.
+    """
+    rng = as_generator(config.seed)
+    if corpus is None:
+        corpus = generate_nab_like_corpus(
+            seed=config.seed,
+            length_scale=config.length_scale,
+            series_per_family=config.series_per_family,
+        )
+    if families is not None:
+        corpus = {name: corpus[name] for name in families if name in corpus}
+
+    cases: list[FailedTestCase] = []
+    for family, dataset in corpus.items():
+        family_pairs: list[WindowPair] = []
+        for series in dataset:
+            for window_size in config.window_sizes:
+                if len(series) < 2 * window_size:
+                    continue
+                family_pairs.extend(
+                    failed_window_pairs(
+                        series,
+                        window_size,
+                        alpha=config.alpha,
+                        require_anomaly=True,
+                    )
+                )
+        cases.extend(
+            _cases_from_pairs(family, family_pairs, config.cases_per_dataset, rng)
+        )
+    return cases

@@ -1,0 +1,27 @@
+"""Input/output helpers: loading samples and exporting explanations.
+
+These utilities make the library usable as a standalone tool (see
+:mod:`repro.cli`): reference/test sets can be loaded from CSV or JSON
+files, and explanations can be serialised to JSON, CSV or a plain-text
+report suitable for attaching to a monitoring alert.
+"""
+
+from repro.io.export import (
+    explanation_report,
+    explanation_to_csv,
+    explanation_to_dict,
+    explanation_to_json,
+    save_explanation,
+)
+from repro.io.loaders import load_sample, load_series_csv, load_window_pair
+
+__all__ = [
+    "explanation_report",
+    "explanation_to_csv",
+    "explanation_to_dict",
+    "explanation_to_json",
+    "save_explanation",
+    "load_sample",
+    "load_series_csv",
+    "load_window_pair",
+]

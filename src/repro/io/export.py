@@ -1,0 +1,114 @@
+"""Serialising explanations to JSON, CSV and plain-text reports."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.explanation import Explanation
+from repro.core.ks import KSTestResult
+from repro.exceptions import ValidationError
+
+PathLike = Union[str, Path]
+
+
+def _result_to_dict(result: KSTestResult | None) -> dict | None:
+    if result is None:
+        return None
+    return {
+        "statistic": result.statistic,
+        "threshold": result.threshold,
+        "alpha": result.alpha,
+        "n": result.n,
+        "m": result.m,
+        "pvalue": result.pvalue,
+        "rejected": result.rejected,
+    }
+
+
+def explanation_to_dict(explanation: Explanation) -> dict:
+    """A JSON-serialisable dictionary describing an explanation."""
+    return {
+        "method": explanation.method,
+        "alpha": explanation.alpha,
+        "size": explanation.size,
+        "fraction_of_test_set": explanation.fraction_of_test_set,
+        "indices": explanation.indices.tolist(),
+        "values": explanation.values.tolist(),
+        "reverses_test": explanation.reverses_test,
+        "converged": explanation.converged,
+        "size_lower_bound": explanation.size_lower_bound,
+        "estimation_error": explanation.estimation_error,
+        "runtime_seconds": explanation.runtime_seconds,
+        "ks_before": _result_to_dict(explanation.ks_before),
+        "ks_after": _result_to_dict(explanation.ks_after),
+    }
+
+
+def explanation_to_json(explanation: Explanation, indent: int = 2) -> str:
+    """The explanation as a JSON document."""
+    return json.dumps(explanation_to_dict(explanation), indent=indent)
+
+
+def explanation_to_csv(explanation: Explanation) -> str:
+    """The explained points as CSV text with ``index,value`` rows."""
+    lines = ["index,value"]
+    lines.extend(
+        f"{int(index)},{value!r}"
+        for index, value in zip(explanation.indices, explanation.values)
+    )
+    return "\n".join(lines) + "\n"
+
+
+def explanation_report(explanation: Explanation) -> str:
+    """A short human-readable report, suitable for a monitoring alert."""
+    before = explanation.ks_before
+    after = explanation.ks_after
+    lines = [
+        f"Counterfactual explanation ({explanation.method})",
+        "-" * 48,
+        f"failed KS test      : D = {before.statistic:.4f} > threshold "
+        f"{before.threshold:.4f} (alpha = {before.alpha}, n = {before.n}, m = {before.m})",
+        f"explanation size    : {explanation.size} points "
+        f"({100 * explanation.fraction_of_test_set:.1f}% of the test set)",
+    ]
+    if explanation.size_lower_bound is not None:
+        lines.append(
+            f"size lower bound    : {explanation.size_lower_bound} "
+            f"(estimation error {explanation.estimation_error})"
+        )
+    if after is not None:
+        verdict = "passes" if after.passed else "still fails"
+        lines.append(
+            f"after removal       : D = {after.statistic:.4f} vs threshold "
+            f"{after.threshold:.4f} -> {verdict}"
+        )
+    if explanation.size:
+        lines.append(
+            f"explained value range: [{explanation.values.min():.4g}, "
+            f"{explanation.values.max():.4g}]"
+        )
+    lines.append(f"runtime             : {explanation.runtime_seconds * 1000:.1f} ms")
+    return "\n".join(lines)
+
+
+def save_explanation(explanation: Explanation, path: PathLike) -> Path:
+    """Write an explanation to disk; the format follows the file extension.
+
+    ``.json`` writes the full structured record, ``.csv`` writes the
+    ``index,value`` rows, ``.txt`` writes the plain-text report.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        content = explanation_to_json(explanation)
+    elif suffix == ".csv":
+        content = explanation_to_csv(explanation)
+    elif suffix in (".txt", ""):
+        content = explanation_report(explanation)
+    else:
+        raise ValidationError(f"unsupported explanation format: {suffix!r}")
+    path.write_text(content)
+    return path

@@ -1,0 +1,123 @@
+"""Loading samples and series from files.
+
+Two simple formats are supported, chosen by file extension:
+
+* ``.csv`` / ``.txt`` — one value per line, or a delimited table with a
+  named column to extract;
+* ``.json`` — either a flat JSON array of numbers or an object whose
+  ``values`` key holds the array.
+
+The loaders return plain NumPy arrays so the rest of the library stays
+file-format agnostic.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+PathLike = Union[str, Path]
+
+
+def _load_csv(path: Path, column: Optional[str], delimiter: str) -> np.ndarray:
+    with path.open(newline="") as handle:
+        sample = handle.read(4096)
+        handle.seek(0)
+        has_header = False
+        if sample:
+            try:
+                has_header = csv.Sniffer().has_header(sample)
+            except csv.Error:
+                has_header = False
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = [row for row in reader if row and any(cell.strip() for cell in row)]
+    if not rows:
+        raise ValidationError(f"{path} contains no data")
+
+    if column is not None:
+        header = [cell.strip() for cell in rows[0]]
+        if column not in header:
+            raise ValidationError(f"column {column!r} not found in {path} (have {header})")
+        index = header.index(column)
+        body = rows[1:]
+    else:
+        index = 0
+        body = rows[1:] if has_header else rows
+        if has_header and not body:
+            raise ValidationError(f"{path} contains only a header row")
+
+    try:
+        values = [float(row[index]) for row in body]
+    except (ValueError, IndexError) as error:
+        raise ValidationError(f"could not parse numeric values from {path}: {error}") from error
+    return np.asarray(values, dtype=float)
+
+
+def _load_json(path: Path, column: Optional[str]) -> np.ndarray:
+    with path.open() as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        key = column or "values"
+        if key not in payload:
+            raise ValidationError(f"key {key!r} not found in {path}")
+        payload = payload[key]
+    if not isinstance(payload, list):
+        raise ValidationError(f"{path} must contain a JSON array of numbers")
+    try:
+        return np.asarray([float(v) for v in payload], dtype=float)
+    except (TypeError, ValueError) as error:
+        raise ValidationError(f"non-numeric entry in {path}: {error}") from error
+
+
+def load_sample(
+    path: PathLike,
+    column: Optional[str] = None,
+    delimiter: str = ",",
+) -> np.ndarray:
+    """Load a univariate sample (multiset) from a CSV/TXT/JSON file.
+
+    Parameters
+    ----------
+    path:
+        File to read.  ``.json`` files may hold a flat array or an object
+        with a ``values`` key; anything else is parsed as delimited text.
+    column:
+        For tabular files, the name of the column holding the values (the
+        first column is used when omitted); for JSON objects, the key.
+    delimiter:
+        Field delimiter for tabular files.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"file not found: {path}")
+    if path.suffix.lower() == ".json":
+        return _load_json(path, column)
+    return _load_csv(path, column, delimiter)
+
+
+def load_series_csv(
+    path: PathLike,
+    value_column: Optional[str] = None,
+    delimiter: str = ",",
+) -> np.ndarray:
+    """Load a time series (ordered observations) from a delimited file."""
+    return load_sample(path, column=value_column, delimiter=delimiter)
+
+
+def load_window_pair(
+    reference_path: PathLike,
+    test_path: PathLike,
+    column: Optional[str] = None,
+    delimiter: str = ",",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Load a reference sample and a test sample from two files."""
+    return (
+        load_sample(reference_path, column=column, delimiter=delimiter),
+        load_sample(test_path, column=column, delimiter=delimiter),
+    )

@@ -1,0 +1,16 @@
+"""Evaluation metrics from Section 6 of the paper."""
+
+from repro.metrics.conciseness import is_smallest_explanation, mean_ise
+from repro.metrics.contrastivity import reverse_factor
+from repro.metrics.effectiveness import explanation_rmse, mean_rmse
+from repro.metrics.estimation import estimation_error, estimation_error_summary
+
+__all__ = [
+    "is_smallest_explanation",
+    "mean_ise",
+    "reverse_factor",
+    "explanation_rmse",
+    "mean_rmse",
+    "estimation_error",
+    "estimation_error_summary",
+]

@@ -1,0 +1,63 @@
+"""Conciseness metric: Is-Smallest-Explanation (ISE, Section 6.2).
+
+For each failed KS test, the methods' explanations are compared by size and
+the smallest one(s) receive ISE = 1 while the others receive ISE = 0.
+Figure 2 of the paper reports the per-method average ISE over all failed
+tests where every method produced an explanation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.explanation import Explanation
+from repro.exceptions import ValidationError
+
+
+def is_smallest_explanation(explanations: Mapping[str, Explanation]) -> dict[str, int]:
+    """ISE indicator per method for a single failed KS test.
+
+    Only explanations that actually reverse the failed test participate in
+    the comparison; a non-reversing result automatically gets ISE = 0.
+    """
+    if not explanations:
+        raise ValidationError("at least one explanation is required")
+    sizes = {
+        method: explanation.size
+        for method, explanation in explanations.items()
+        if explanation.reverses_test
+    }
+    if not sizes:
+        return {method: 0 for method in explanations}
+    smallest = min(sizes.values())
+    return {
+        method: int(explanation.reverses_test and explanation.size == smallest)
+        for method, explanation in explanations.items()
+    }
+
+
+def mean_ise(per_test_results: Sequence[Mapping[str, Explanation]]) -> dict[str, float]:
+    """Average ISE per method over a collection of failed KS tests.
+
+    Mirrors the paper's protocol: only tests where *all* methods produced a
+    reversing explanation are counted, so slow/aborting methods are not
+    penalised for coverage in this particular metric.
+    """
+    if not per_test_results:
+        raise ValidationError("at least one test result is required")
+    methods = set(per_test_results[0])
+    eligible = [
+        result
+        for result in per_test_results
+        if set(result) == methods and all(e.reverses_test for e in result.values())
+    ]
+    if not eligible:
+        return {method: float("nan") for method in methods}
+    totals = {method: 0.0 for method in methods}
+    for result in eligible:
+        indicators = is_smallest_explanation(result)
+        for method, indicator in indicators.items():
+            totals[method] += indicator
+    return {method: totals[method] / len(eligible) for method in methods}

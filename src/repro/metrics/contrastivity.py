@@ -1,0 +1,22 @@
+"""Contrastivity metric: the reverse factor (RF, Section 6.2.1).
+
+The reverse factor of a method is the fraction of failed KS tests for which
+the method's explanation actually reverses the test.  Search-based baselines
+(CS, GRC) can abort within their budget, so their RF is below 1 (Table 2);
+MOCHE and the greedy-style baselines always reach RF = 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.explanation import Explanation
+from repro.exceptions import ValidationError
+
+
+def reverse_factor(explanations: Sequence[Explanation]) -> float:
+    """Fraction of explanations that reverse their failed KS test."""
+    if not explanations:
+        raise ValidationError("at least one explanation is required")
+    reversed_count = sum(1 for e in explanations if e.reverses_test)
+    return reversed_count / len(explanations)

@@ -1,0 +1,41 @@
+"""Effectiveness metric: ECDF RMSE after removal (Section 6.3).
+
+An explanation is effective if removing it from the test set makes the
+distributions of the reference set and the remaining test set similar.  The
+paper quantifies this with the root mean square error between the two
+ECDFs evaluated over ``R ∪ (T \\ I)``; Figure 3 reports per-method averages.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.explanation import Explanation
+from repro.exceptions import ValidationError
+from repro.utils.ecdf import ecdf_rmse
+
+
+def explanation_rmse(
+    reference: np.ndarray, test: np.ndarray, explanation: Explanation
+) -> float:
+    """RMSE between the ECDFs of ``R`` and ``T`` with the explanation removed."""
+    test = np.asarray(test, dtype=float).ravel()
+    mask = np.ones(test.size, dtype=bool)
+    indices = explanation.indices
+    if indices.size:
+        if indices.max() >= test.size:
+            raise ValidationError("explanation indices do not match the test set")
+        mask[indices] = False
+    remaining = test[mask]
+    if remaining.size == 0:
+        raise ValidationError("the explanation removes the entire test set")
+    return ecdf_rmse(reference, remaining)
+
+
+def mean_rmse(values: Sequence[float]) -> float:
+    """Average RMSE over a collection of failed KS tests."""
+    if not values:
+        raise ValidationError("at least one RMSE value is required")
+    return float(np.mean(np.asarray(values, dtype=float)))

@@ -1,0 +1,70 @@
+"""Lower-bound tightness metric: the estimation error (EE, Section 6.4).
+
+The estimation error of a failed KS test is ``k - k_hat``, the gap between
+the true explanation size and the binary-search lower bound of Theorem 2.
+Figure 6 reports its distribution (quartiles, extremes, mean, median) per
+test-set size; small values explain why the lower-bound pruning makes MOCHE
+faster than the MOCHE_ns ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.explanation import Explanation
+from repro.exceptions import ValidationError
+
+
+def estimation_error(explanation: Explanation) -> int:
+    """``k - k_hat`` of a MOCHE explanation."""
+    error = explanation.estimation_error
+    if error is None:
+        raise ValidationError(
+            "estimation error is only defined for MOCHE explanations that "
+            "carry a size lower bound"
+        )
+    return error
+
+
+@dataclass(frozen=True)
+class EstimationErrorSummary:
+    """Box-plot statistics of the estimation errors of a group of tests."""
+
+    count: int
+    minimum: float
+    first_quartile: float
+    median: float
+    mean: float
+    third_quartile: float
+    maximum: float
+
+    def as_row(self) -> dict[str, float]:
+        """The summary as a flat mapping, convenient for table printing."""
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "q1": self.first_quartile,
+            "median": self.median,
+            "mean": self.mean,
+            "q3": self.third_quartile,
+            "max": self.maximum,
+        }
+
+
+def estimation_error_summary(errors: Sequence[int]) -> EstimationErrorSummary:
+    """Box-plot summary of a sequence of estimation errors (one Figure 6 bar)."""
+    if not len(errors):
+        raise ValidationError("at least one estimation error is required")
+    arr = np.asarray(errors, dtype=float)
+    return EstimationErrorSummary(
+        count=int(arr.size),
+        minimum=float(arr.min()),
+        first_quartile=float(np.percentile(arr, 25)),
+        median=float(np.median(arr)),
+        mean=float(arr.mean()),
+        third_quartile=float(np.percentile(arr, 75)),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,23 @@
+"""Multidimensional KS testing and explanation (the paper's future work).
+
+Section 7 of the paper lists extending MOCHE to multidimensional data as
+future work, citing the Fasano-Franceschini generalisation of the KS test.
+This package implements:
+
+* :func:`ks2d_test` — the two-sample Fasano-Franceschini test for 2-D data;
+* :class:`GreedyKS2DExplainer` — a greedy counterfactual explainer for
+  failed 2-D tests (MOCHE's exact machinery does not carry over because the
+  2-D statistic is not a simple function of one cumulative vector, so a
+  greedy heuristic is used instead, with the same interface).
+"""
+
+from repro.multidim.explain2d import GreedyKS2DExplainer, KS2DExplanation
+from repro.multidim.fasano_franceschini import KS2DResult, ks2d_statistic, ks2d_test
+
+__all__ = [
+    "GreedyKS2DExplainer",
+    "KS2DExplanation",
+    "KS2DResult",
+    "ks2d_statistic",
+    "ks2d_test",
+]

@@ -1,0 +1,140 @@
+"""Greedy counterfactual explanation of failed 2-D KS tests.
+
+The exact MOCHE machinery relies on the one-dimensional cumulative-vector
+characterisation of the KS statistic and does not carry over to the
+Fasano-Franceschini statistic.  As a forward-looking extension (the paper's
+stated future work) this module provides a greedy explainer with the same
+interface: it repeatedly removes the preferred test point whose removal
+reduces the 2-D statistic the most, until the test passes or a budget is
+exhausted.  The result is a (not necessarily minimum) counterfactual
+explanation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.preference import PreferenceList
+from repro.exceptions import KSTestPassedError, NoExplanationError, ValidationError
+from repro.multidim.fasano_franceschini import KS2DResult, ks2d_test
+from repro.utils.timing import Timer
+
+
+@dataclass
+class KS2DExplanation:
+    """A counterfactual explanation of a failed 2-D KS test."""
+
+    indices: np.ndarray
+    points: np.ndarray
+    result_before: KS2DResult
+    result_after: KS2DResult
+    runtime_seconds: float
+
+    @property
+    def size(self) -> int:
+        """Number of removed test points."""
+        return int(self.indices.size)
+
+    @property
+    def reverses_test(self) -> bool:
+        """True when removing the explanation makes the 2-D test pass."""
+        return self.result_after.passed
+
+
+class GreedyKS2DExplainer:
+    """Greedy explainer for failed Fasano-Franceschini tests.
+
+    Parameters
+    ----------
+    alpha:
+        Significance level of the 2-D test.
+    candidate_pool:
+        At each step only the ``candidate_pool`` most preferred remaining
+        points are evaluated, to bound the per-step cost.
+    max_fraction:
+        Abort (raise) if more than this fraction of the test set would have
+        to be removed; guards against pathological inputs.
+    """
+
+    def __init__(self, alpha: float = 0.05, candidate_pool: int = 20, max_fraction: float = 0.9):
+        if candidate_pool < 1:
+            raise ValidationError("candidate_pool must be at least 1")
+        self.alpha = float(alpha)
+        self.candidate_pool = int(candidate_pool)
+        self.max_fraction = float(max_fraction)
+
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        reference: np.ndarray,
+        test: np.ndarray,
+        preference: Optional[PreferenceList] = None,
+    ) -> KS2DExplanation:
+        """Remove preferred points greedily until the 2-D test passes."""
+        reference = np.asarray(reference, dtype=float)
+        test = np.asarray(test, dtype=float)
+        before = ks2d_test(reference, test, self.alpha)
+        if before.passed:
+            raise KSTestPassedError(
+                "the two samples pass the 2-D KS test; there is nothing to explain"
+            )
+        m = test.shape[0]
+        preference = preference or PreferenceList.identity(m)
+        budget = int(self.max_fraction * m)
+
+        removed: list[int] = []
+        remaining_mask = np.ones(m, dtype=bool)
+        with Timer() as timer:
+            current = before
+            while current.rejected and len(removed) < budget:
+                choice = self._best_removal(reference, test, remaining_mask, preference)
+                if choice is None:
+                    break
+                index, current = choice
+                removed.append(index)
+                remaining_mask[index] = False
+        after = ks2d_test(reference, test[remaining_mask], self.alpha)
+        if after.rejected:
+            raise NoExplanationError(
+                "the greedy 2-D explainer exhausted its budget without "
+                "reversing the failed test"
+            )
+        indices = np.asarray(removed, dtype=np.int64)
+        return KS2DExplanation(
+            indices=indices,
+            points=test[indices],
+            result_before=before,
+            result_after=after,
+            runtime_seconds=timer.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _best_removal(
+        self,
+        reference: np.ndarray,
+        test: np.ndarray,
+        remaining_mask: np.ndarray,
+        preference: PreferenceList,
+    ) -> Optional[tuple[int, KS2DResult]]:
+        """The candidate whose removal lowers the statistic the most."""
+        candidates = [
+            index for index in preference.order if remaining_mask[index]
+        ][: self.candidate_pool]
+        if not candidates:
+            return None
+        best_index: Optional[int] = None
+        best_result: Optional[KS2DResult] = None
+        for index in candidates:
+            trial_mask = remaining_mask.copy()
+            trial_mask[index] = False
+            if not trial_mask.any():
+                continue
+            result = ks2d_test(reference, test[trial_mask], self.alpha)
+            if best_result is None or result.statistic < best_result.statistic:
+                best_index, best_result = index, result
+        if best_index is None or best_result is None:
+            return None
+        return best_index, best_result

@@ -1,0 +1,27 @@
+"""Outlier and anomaly scorers used as substrates by the evaluation.
+
+The paper builds preference lists from the Spectral Residual saliency
+detector and compares against baselines built on kernel density estimation
+(Extended-D3), the STOMP matrix profile (Extended-STOMP) and Series2Graph
+(Extended-Series2Graph).  All of these substrates are re-implemented here
+from their published algorithm descriptions.
+"""
+
+from repro.outliers.kde import GaussianKDE, empirical_pmf
+from repro.outliers.matrix_profile import matrix_profile, subsequence_anomaly_scores
+from repro.outliers.series2graph import Series2Graph
+from repro.outliers.simple import iqr_scores, knn_distance_scores, zscore_scores
+from repro.outliers.spectral_residual import SpectralResidual, spectral_residual_scores
+
+__all__ = [
+    "GaussianKDE",
+    "empirical_pmf",
+    "matrix_profile",
+    "subsequence_anomaly_scores",
+    "Series2Graph",
+    "iqr_scores",
+    "knn_distance_scores",
+    "zscore_scores",
+    "SpectralResidual",
+    "spectral_residual_scores",
+]

@@ -1,0 +1,75 @@
+"""Simple, classical outlier scorers.
+
+These are not part of the paper's evaluation but serve two purposes in the
+reproduction: they are additional preference-list generators for exploring
+how the most comprehensible explanation changes with the user's domain
+knowledge, and they provide cheap, well-understood scores for tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError, ValidationError
+
+
+def zscore_scores(values: np.ndarray, reference: np.ndarray | None = None) -> np.ndarray:
+    """Absolute z-score of every value, optionally w.r.t. a reference sample."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise EmptyDatasetError("cannot score an empty sample")
+    baseline = values if reference is None else np.asarray(reference, dtype=float).ravel()
+    if baseline.size == 0:
+        raise EmptyDatasetError("the reference sample must be non-empty")
+    center = baseline.mean()
+    spread = baseline.std()
+    if spread <= 0:
+        spread = 1.0
+    return np.abs(values - center) / spread
+
+
+def iqr_scores(values: np.ndarray, reference: np.ndarray | None = None) -> np.ndarray:
+    """Distance outside the interquartile fence, in units of the IQR."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise EmptyDatasetError("cannot score an empty sample")
+    baseline = values if reference is None else np.asarray(reference, dtype=float).ravel()
+    if baseline.size == 0:
+        raise EmptyDatasetError("the reference sample must be non-empty")
+    q1, q3 = np.percentile(baseline, [25, 75])
+    iqr = max(q3 - q1, 1e-12)
+    below = np.maximum(q1 - values, 0.0)
+    above = np.maximum(values - q3, 0.0)
+    return np.maximum(below, above) / iqr
+
+
+def knn_distance_scores(
+    values: np.ndarray, reference: np.ndarray, neighbours: int = 5
+) -> np.ndarray:
+    """Average distance to the ``neighbours`` nearest reference points.
+
+    The classic distance-based outlier score (Ramaswamy et al., SIGMOD
+    2000) specialised to univariate data, where the nearest neighbours can
+    be found by sorting.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    reference = np.asarray(reference, dtype=float).ravel()
+    if values.size == 0 or reference.size == 0:
+        raise EmptyDatasetError("both samples must be non-empty")
+    neighbours = int(neighbours)
+    if neighbours < 1:
+        raise ValidationError("neighbours must be at least 1")
+    neighbours = min(neighbours, reference.size)
+
+    sorted_reference = np.sort(reference)
+    scores = np.empty(values.size)
+    for i, value in enumerate(values):
+        # Candidate nearest neighbours lie in a window around the insertion
+        # position in the sorted reference array.
+        position = np.searchsorted(sorted_reference, value)
+        low = max(position - neighbours, 0)
+        high = min(position + neighbours, sorted_reference.size)
+        distances = np.abs(sorted_reference[low:high] - value)
+        distances.sort()
+        scores[i] = distances[:neighbours].mean()
+    return scores

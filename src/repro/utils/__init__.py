@@ -1,0 +1,7 @@
+"""Shared utilities: ECDF evaluation, RNG handling, timing helpers."""
+
+from repro.utils.ecdf import ecdf_values, evaluate_ecdf
+from repro.utils.rng import as_generator
+from repro.utils.timing import Timer
+
+__all__ = ["ecdf_values", "evaluate_ecdf", "as_generator", "Timer"]

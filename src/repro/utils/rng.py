@@ -1,0 +1,41 @@
+"""Random-number-generator helpers.
+
+Every stochastic component of the library (dataset generators, randomized
+baselines, random preference lists) accepts a ``seed`` argument that may be
+``None``, an integer, or an existing :class:`numpy.random.Generator`.  This
+module provides the single conversion point so behaviour is reproducible
+and consistent across the code base.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Convert ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a non-deterministic generator, an integer for a
+        deterministic one, or an existing generator which is returned
+        unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Useful when a workload fans out over several datasets or trials and each
+    one should have an independent but reproducible stream.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

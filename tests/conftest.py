@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cumulative import ExplanationProblem
+from repro.core.preference import PreferenceList
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_example() -> tuple[np.ndarray, np.ndarray, float]:
+    """The running example of the paper (Examples 3-6).
+
+    ``T = {13, 13, 12, 20}``, ``R = {14, 14, 14, 14, 20, 20, 20, 20}``,
+    alpha = 0.3.  The sets fail the KS test, the explanation size is 2 and
+    under the preference ``[t4, t3, t2, t1]`` the most comprehensible
+    explanation is ``{t3, t2} = {12, 13}``.
+    """
+    test = np.array([13.0, 13.0, 12.0, 20.0])
+    reference = np.array([14.0, 14.0, 14.0, 14.0, 20.0, 20.0, 20.0, 20.0])
+    return reference, test, 0.3
+
+
+@pytest.fixture
+def shifted_pair(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """A moderately sized failed KS test: normal reference, shifted tail."""
+    reference = rng.normal(size=500)
+    test = np.concatenate([rng.normal(size=440), rng.normal(3.0, 0.5, size=60)])
+    return reference, test
+
+
+@pytest.fixture
+def small_failed_problem(rng: np.random.Generator) -> ExplanationProblem:
+    """A small failed problem suitable for brute-force cross-checks."""
+    reference = rng.normal(size=40)
+    test = np.concatenate([rng.normal(size=4), rng.uniform(4.0, 5.0, size=6)])
+    problem = ExplanationProblem(reference, test, alpha=0.05)
+    assert problem.initial_result.rejected
+    return problem
+
+
+@pytest.fixture
+def identity_preference() -> PreferenceList:
+    """Identity preference over ten points."""
+    return PreferenceList.identity(10)
+
+
+def make_failed_pair(
+    rng: np.random.Generator,
+    reference_size: int = 400,
+    test_size: int = 400,
+    shift_fraction: float = 0.12,
+    shift: float = 3.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Helper to build failed KS test pairs of configurable size."""
+    shifted = int(round(shift_fraction * test_size))
+    reference = rng.normal(size=reference_size)
+    test = np.concatenate(
+        [rng.normal(size=test_size - shifted), rng.normal(shift, 0.5, size=shifted)]
+    )
+    return reference, test

@@ -1,0 +1,137 @@
+"""Tests for the explanation-space analysis tools (repro.core.analysis)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import alpha_sensitivity, enumerate_explanations, relevant_points
+from repro.core.cumulative import ExplanationProblem
+from repro.core.moche import explain_ks_failure
+from repro.core.preference import PreferenceList
+from repro.core.size_search import explanation_size
+from repro.exceptions import ValidationError
+from tests.conftest import make_failed_pair
+
+
+def brute_force_explanations(problem: ExplanationProblem, size: int) -> list[tuple[int, ...]]:
+    """All reversing subsets of the given size, as sorted index tuples."""
+    return [
+        subset
+        for subset in combinations(range(problem.m), size)
+        if problem.is_reversing_subset(np.array(subset))
+    ]
+
+
+class TestRelevantPoints:
+    def test_matches_brute_force_membership(self, small_failed_problem):
+        problem = small_failed_problem
+        size = explanation_size(problem).size
+        expected = np.zeros(problem.m, dtype=bool)
+        for subset in brute_force_explanations(problem, size):
+            expected[list(subset)] = True
+        assert np.array_equal(relevant_points(problem), expected)
+
+    def test_moche_only_selects_relevant_points(self, small_failed_problem):
+        problem = small_failed_problem
+        mask = relevant_points(problem)
+        for seed in range(3):
+            preference = PreferenceList.random(problem.m, seed=seed)
+            explanation = explain_ks_failure(
+                problem.reference, problem.test, problem.alpha, preference
+            )
+            assert mask[explanation.indices].all()
+
+    def test_relevant_points_exist_for_every_failed_test(self, shifted_pair):
+        reference, test = shifted_pair
+        problem = ExplanationProblem(reference, test, 0.05)
+        mask = relevant_points(problem)
+        assert mask.any()
+        assert not mask.all()
+
+    def test_paper_example_relevance(self, paper_example):
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        mask = relevant_points(problem)
+        # Example 6: t4 = 20 is in no explanation; 12 and 13 are.
+        assert not mask[3]
+        assert mask[0] and mask[1] and mask[2]
+
+
+class TestEnumerateExplanations:
+    def test_enumerates_exactly_the_brute_force_set(self, small_failed_problem):
+        problem = small_failed_problem
+        size = explanation_size(problem).size
+        expected = {tuple(sorted(s)) for s in brute_force_explanations(problem, size)}
+        enumerated = {
+            tuple(sorted(e.tolist())) for e in enumerate_explanations(problem)
+        }
+        assert enumerated == expected
+
+    def test_first_explanation_is_the_most_comprehensible(self, small_failed_problem):
+        problem = small_failed_problem
+        preference = PreferenceList.random(problem.m, seed=5)
+        first = next(iter(enumerate_explanations(problem, preference)))
+        moche = explain_ks_failure(
+            problem.reference, problem.test, problem.alpha, preference
+        )
+        assert set(first.tolist()) == set(moche.indices.tolist())
+
+    def test_order_is_lexicographic(self, small_failed_problem):
+        problem = small_failed_problem
+        preference = PreferenceList.identity(problem.m)
+        keys = [
+            preference.lexicographic_key(explanation)
+            for explanation in enumerate_explanations(problem, preference)
+        ]
+        assert keys == sorted(keys)
+
+    def test_limit_truncates(self, small_failed_problem):
+        problem = small_failed_problem
+        limited = list(enumerate_explanations(problem, limit=2))
+        assert len(limited) <= 2
+
+    def test_all_enumerated_explanations_reverse(self, small_failed_problem):
+        problem = small_failed_problem
+        for explanation in enumerate_explanations(problem, limit=10):
+            assert problem.is_reversing_subset(explanation)
+
+    def test_enumeration_on_larger_instance_is_lazy(self, rng):
+        reference, test = make_failed_pair(rng, 300, 200, shift_fraction=0.2)
+        problem = ExplanationProblem(reference, test, 0.05)
+        top_three = list(enumerate_explanations(problem, limit=3))
+        assert len(top_three) == 3
+        sizes = {e.size for e in top_three}
+        assert len(sizes) == 1
+        # Explanations are distinct.
+        assert len({tuple(sorted(e.tolist())) for e in top_three}) == 3
+
+
+class TestAlphaSensitivity:
+    def test_size_decreases_with_smaller_alpha(self, shifted_pair):
+        reference, test = shifted_pair
+        points = alpha_sensitivity(reference, test, [0.10, 0.05, 0.01])
+        sizes = [p.size for p in points if p.failed]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_passed_levels_reported_without_size(self, rng):
+        reference = rng.normal(size=300)
+        test = np.concatenate([rng.normal(size=285), rng.normal(2.5, 0.3, size=15)])
+        points = alpha_sensitivity(reference, test, [0.2, 1e-6])
+        by_alpha = {p.alpha: p for p in points}
+        assert not by_alpha[1e-6].failed
+        assert by_alpha[1e-6].size is None
+
+    def test_lower_bound_accompanies_size(self, shifted_pair):
+        reference, test = shifted_pair
+        for point in alpha_sensitivity(reference, test, [0.05]):
+            if point.failed:
+                assert point.lower_bound is not None
+                assert point.lower_bound <= point.size
+
+    def test_empty_alphas_rejected(self, shifted_pair):
+        reference, test = shifted_pair
+        with pytest.raises(ValidationError):
+            alpha_sensitivity(reference, test, [])

@@ -1,0 +1,214 @@
+"""Tests for the six baseline explainers (repro.baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CornerSearchExplainer,
+    D3Explainer,
+    GraceExplainer,
+    GreedyExplainer,
+    Series2GraphExplainer,
+    StompExplainer,
+    greedy_prefix_until_pass,
+)
+from repro.core.cumulative import ExplanationProblem
+from repro.core.moche import explain_ks_failure
+from repro.core.preference import PreferenceList
+from repro.exceptions import KSTestPassedError
+from tests.conftest import make_failed_pair
+
+ALL_BASELINES = [
+    GreedyExplainer,
+    CornerSearchExplainer,
+    GraceExplainer,
+    D3Explainer,
+    StompExplainer,
+    Series2GraphExplainer,
+]
+
+
+@pytest.fixture
+def failed_pair(rng):
+    return make_failed_pair(rng, reference_size=300, test_size=250, shift_fraction=0.15)
+
+
+@pytest.fixture
+def preference(failed_pair):
+    _, test = failed_pair
+    return PreferenceList.from_scores(test, descending=True, seed=0)
+
+
+class TestGreedyPrefixHelper:
+    def test_prefix_reverses_and_each_step_is_a_real_ks_test(self, failed_pair, preference):
+        reference, test = failed_pair
+        problem = ExplanationProblem(reference, test, 0.05)
+        indices, reversed_test = greedy_prefix_until_pass(problem, preference.order)
+        assert reversed_test
+        assert problem.is_reversing_subset(indices)
+        # One point fewer must not reverse (the helper stops at the first
+        # passing prefix).
+        if indices.size > 1:
+            assert not problem.is_reversing_subset(indices[:-1])
+
+    def test_prefix_is_a_preference_prefix(self, failed_pair, preference):
+        reference, test = failed_pair
+        problem = ExplanationProblem(reference, test, 0.05)
+        indices, _ = greedy_prefix_until_pass(problem, preference.order)
+        assert np.array_equal(indices, preference.order[: indices.size])
+
+    def test_max_points_cap(self, failed_pair, preference):
+        reference, test = failed_pair
+        problem = ExplanationProblem(reference, test, 0.05)
+        indices, reversed_test = greedy_prefix_until_pass(problem, preference.order, max_points=1)
+        assert indices.size <= 1
+        assert not reversed_test
+
+
+class TestCommonBaselineBehaviour:
+    @pytest.mark.parametrize("explainer_class", ALL_BASELINES)
+    def test_explanations_are_valid_subsets(self, explainer_class, failed_pair, preference):
+        reference, test = failed_pair
+        explainer = explainer_class(alpha=0.05)
+        explanation = explainer.explain(reference, test, preference)
+        assert explanation.method == explainer.name
+        assert explanation.indices.size == np.unique(explanation.indices).size
+        assert explanation.indices.size < test.size
+        assert np.all((0 <= explanation.indices) & (explanation.indices < test.size))
+        assert np.array_equal(explanation.values, np.asarray(test)[explanation.indices])
+
+    @pytest.mark.parametrize("explainer_class", ALL_BASELINES)
+    def test_explanations_never_smaller_than_moche(self, explainer_class, failed_pair, preference):
+        """MOCHE's size is provably minimum; no baseline can beat it."""
+        reference, test = failed_pair
+        moche_size = explain_ks_failure(reference, test, 0.05, preference).size
+        explanation = explainer_class(alpha=0.05).explain(reference, test, preference)
+        if explanation.reverses_test:
+            assert explanation.size >= moche_size
+
+    @pytest.mark.parametrize("explainer_class", ALL_BASELINES)
+    def test_passed_test_raises(self, explainer_class, rng):
+        sample = rng.normal(size=150)
+        with pytest.raises(KSTestPassedError):
+            explainer_class(alpha=0.05).explain(sample, sample.copy())
+
+
+class TestGreedy:
+    def test_greedy_prefix_matches_preference(self, failed_pair, preference):
+        reference, test = failed_pair
+        explanation = GreedyExplainer(alpha=0.05).explain(reference, test, preference)
+        assert explanation.reverses_test
+        assert np.array_equal(explanation.indices, preference.order[: explanation.size])
+
+    def test_bad_preference_gives_larger_explanation(self, failed_pair):
+        reference, test = failed_pair
+        aligned = PreferenceList.from_scores(test, descending=True, seed=0)
+        misaligned = PreferenceList.from_scores(test, descending=False, seed=0)
+        good = GreedyExplainer(alpha=0.05).explain(reference, test, aligned)
+        bad = GreedyExplainer(alpha=0.05).explain(reference, test, misaligned)
+        assert bad.size >= good.size
+
+
+class TestCornerSearch:
+    def test_reverses_on_easy_instance(self, failed_pair, preference):
+        reference, test = failed_pair
+        explainer = CornerSearchExplainer(alpha=0.05, max_samples=3000, seed=0)
+        explanation = explainer.explain(reference, test, preference)
+        assert explanation.reverses_test
+
+    def test_restricted_to_top_k(self, failed_pair, preference):
+        reference, test = failed_pair
+        explainer = CornerSearchExplainer(alpha=0.05, top_k=30, max_samples=500, seed=0)
+        explanation = explainer.explain(reference, test, preference)
+        allowed = set(preference.top(30).tolist())
+        assert set(explanation.indices.tolist()) <= allowed
+
+    def test_abort_reported_when_budget_too_small(self, rng):
+        # A hard instance with a tiny budget and a misaligned preference
+        # cannot be reversed; the result must be flagged as not converged.
+        reference, test = make_failed_pair(rng, 400, 300, shift_fraction=0.3)
+        misaligned = PreferenceList.from_scores(test, descending=False, seed=0)
+        explainer = CornerSearchExplainer(alpha=0.05, top_k=10, max_samples=5, seed=0)
+        explanation = explainer.explain(reference, test, misaligned)
+        assert not explanation.converged
+        assert not explanation.reverses_test
+
+    def test_deterministic_given_seed(self, failed_pair, preference):
+        reference, test = failed_pair
+        first = CornerSearchExplainer(alpha=0.05, seed=3).explain(reference, test, preference)
+        second = CornerSearchExplainer(alpha=0.05, seed=3).explain(reference, test, preference)
+        assert np.array_equal(first.indices, second.indices)
+
+
+class TestGrace:
+    def test_reverses_on_easy_instance(self, failed_pair, preference):
+        reference, test = failed_pair
+        explainer = GraceExplainer(alpha=0.05, max_iterations=100, seed=0)
+        explanation = explainer.explain(reference, test, preference)
+        assert explanation.reverses_test
+
+    def test_restricted_to_top_k(self, failed_pair, preference):
+        reference, test = failed_pair
+        explainer = GraceExplainer(alpha=0.05, top_k=40, max_iterations=60, seed=0)
+        explanation = explainer.explain(reference, test, preference)
+        allowed = set(preference.top(40).tolist())
+        assert set(explanation.indices.tolist()) <= allowed
+
+    def test_abort_flagged_when_budget_tiny(self, rng):
+        reference, test = make_failed_pair(rng, 400, 300, shift_fraction=0.3)
+        misaligned = PreferenceList.from_scores(test, descending=False, seed=0)
+        explainer = GraceExplainer(alpha=0.05, top_k=10, max_iterations=1, seed=0)
+        explanation = explainer.explain(reference, test, misaligned)
+        assert not explanation.reverses_test
+
+
+class TestD3:
+    def test_continuous_mode_reverses(self, failed_pair, preference):
+        reference, test = failed_pair
+        explanation = D3Explainer(alpha=0.05).explain(reference, test, preference)
+        assert explanation.reverses_test
+
+    def test_discrete_mode_on_ordinal_data(self, rng):
+        reference = rng.integers(1, 6, size=400).astype(float)
+        test = np.concatenate(
+            [rng.integers(1, 6, size=300), rng.integers(8, 11, size=100)]
+        ).astype(float)
+        explanation = D3Explainer(alpha=0.05, discrete=True).explain(reference, test)
+        assert explanation.reverses_test
+        # The discrete density ratio should point at the out-of-range values.
+        assert explanation.values.min() >= 8
+
+    def test_ignores_preference(self, failed_pair):
+        reference, test = failed_pair
+        first = D3Explainer(alpha=0.05).explain(
+            reference, test, PreferenceList.identity(test.size)
+        )
+        second = D3Explainer(alpha=0.05).explain(
+            reference, test, PreferenceList.random(test.size, seed=9)
+        )
+        assert np.array_equal(first.indices, second.indices)
+
+
+class TestSubsequenceBaselines:
+    @pytest.mark.parametrize("explainer_class", [StompExplainer, Series2GraphExplainer])
+    def test_reverses_on_time_series_window(self, explainer_class, rng):
+        # A window pair where the test window has an injected square anomaly.
+        reference = rng.normal(size=300)
+        test = rng.normal(size=300)
+        test[200:260] += 4.0
+        explanation = explainer_class(alpha=0.05).explain(reference, test)
+        assert explanation.reverses_test
+
+    @pytest.mark.parametrize("explainer_class", [StompExplainer, Series2GraphExplainer])
+    def test_subsequence_length_is_5_percent(self, explainer_class):
+        explainer = explainer_class(alpha=0.05)
+        assert explainer.subsequence_length(1000) == 50
+        assert explainer.subsequence_length(40) >= explainer.min_subsequence_length
+
+    def test_small_window_falls_back_to_preference(self, rng):
+        reference = rng.normal(size=12)
+        test = np.concatenate([rng.normal(size=4), rng.uniform(4, 5, size=8)])
+        explanation = StompExplainer(alpha=0.05).explain(reference, test)
+        assert explanation.reverses_test

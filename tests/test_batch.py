@@ -1,0 +1,100 @@
+"""Tests for the batch explainer (repro.core.batch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchExplainer, BatchItem, windows_to_items
+from repro.core.preference import PreferenceList
+from repro.datasets.nab import generate_family
+from repro.datasets.sliding_window import failed_window_pairs
+from repro.exceptions import ValidationError
+from tests.conftest import make_failed_pair
+
+
+@pytest.fixture
+def items(rng):
+    entries = []
+    for index in range(3):
+        reference, test = make_failed_pair(rng, 200, 150, shift_fraction=0.2)
+        entries.append(BatchItem(reference=reference, test=test, label=f"failed-{index}"))
+    passing = rng.normal(size=150)
+    entries.append(BatchItem(reference=passing, test=passing.copy(), label="passing"))
+    return entries
+
+
+class TestBatchExplainer:
+    def test_explains_only_failing_pairs(self, items):
+        batch = BatchExplainer(alpha=0.05)
+        results = batch.run(items)
+        assert len(results) == 4
+        failed = [r for r in results if r.failed]
+        assert len(failed) == 3
+        assert all(r.explained for r in failed)
+        passing = next(r for r in results if r.label == "passing")
+        assert not passing.failed and not passing.explained
+
+    def test_all_explanations_reverse(self, items):
+        batch = BatchExplainer(alpha=0.05)
+        batch.run(items)
+        assert all(e.reverses_test for e in batch.explanations())
+
+    def test_summary_statistics(self, items):
+        batch = BatchExplainer(alpha=0.05)
+        batch.run(items)
+        summary = batch.summary()
+        assert summary.total_pairs == 4
+        assert summary.failed_pairs == 3
+        assert summary.explained_pairs == 3
+        assert summary.mean_size > 0
+        assert 0 < summary.mean_fraction < 1
+        assert summary.mean_estimation_error is not None
+        assert summary.mean_estimation_error >= 0
+        row = summary.as_row()
+        assert row["pairs"] == 4
+
+    def test_summary_before_run_rejected(self):
+        with pytest.raises(ValidationError):
+            BatchExplainer().summary()
+
+    def test_summary_with_no_failures(self, rng):
+        sample = rng.normal(size=100)
+        batch = BatchExplainer(alpha=0.05)
+        batch.run([BatchItem(reference=sample, test=sample.copy())])
+        summary = batch.summary()
+        assert summary.failed_pairs == 0
+        assert summary.explained_pairs == 0
+        assert summary.mean_estimation_error is None
+
+    def test_preference_builder_used_when_item_has_none(self, items):
+        calls = {"count": 0}
+
+        def builder(reference, test):
+            calls["count"] += 1
+            return PreferenceList.identity(test.size)
+
+        batch = BatchExplainer(alpha=0.05, preference_builder=builder)
+        batch.run(items)
+        assert calls["count"] == 3  # only the failing pairs get explained
+
+    def test_item_preference_takes_precedence(self, rng):
+        reference, test = make_failed_pair(rng, 200, 150, shift_fraction=0.2)
+        preference = PreferenceList.from_scores(test, descending=True, seed=0)
+
+        def builder(reference_, test_):  # pragma: no cover - must not be called
+            raise AssertionError("builder should not be used")
+
+        batch = BatchExplainer(alpha=0.05, preference_builder=builder)
+        results = batch.run([BatchItem(reference=reference, test=test, preference=preference)])
+        assert results[0].explained
+
+    def test_windows_to_items_from_sliding_windows(self):
+        dataset = generate_family("ART", seed=9, series_count=1)
+        pairs = failed_window_pairs(dataset.series[0], window_size=200)[:2]
+        items = windows_to_items(pairs)
+        assert len(items) == len(pairs)
+        assert all("@" in item.label for item in items)
+        batch = BatchExplainer(alpha=0.05)
+        results = batch.run(items)
+        assert all(result.explained for result in results)

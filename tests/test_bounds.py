@@ -1,0 +1,194 @@
+"""Tests for the Equation 4/5 bound machinery (repro.core.bounds)."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import BoundsCalculator, tolerant_ceil, tolerant_floor
+from repro.core.cumulative import ExplanationProblem, subset_from_cumulative
+from repro.core.ks import ks_test
+from repro.exceptions import ValidationError
+
+
+def brute_force_qualified_exists(problem: ExplanationProblem, size: int) -> bool:
+    """Ground truth for Theorem 1: enumerate all size-``size`` subsets."""
+    indices = range(problem.m)
+    return any(
+        problem.is_reversing_subset(np.array(subset))
+        for subset in combinations(indices, size)
+    )
+
+
+class TestTolerantRounding:
+    def test_exact_integers_survive_ceil(self):
+        values = np.array([1.0, 2.0, -3.0, 0.0])
+        assert np.array_equal(tolerant_ceil(values), values)
+
+    def test_exact_integers_survive_floor(self):
+        values = np.array([1.0, 2.0, -3.0, 0.0])
+        assert np.array_equal(tolerant_floor(values), values)
+
+    def test_near_integer_noise_is_absorbed(self):
+        assert tolerant_ceil(np.array([2.0 + 1e-12]))[0] == 2.0
+        assert tolerant_floor(np.array([2.0 - 1e-12]))[0] == 2.0
+
+    def test_genuine_fractions_round_normally(self):
+        assert tolerant_ceil(np.array([1.5]))[0] == 2.0
+        assert tolerant_floor(np.array([1.5]))[0] == 1.0
+
+
+class TestOmegaGamma:
+    def test_omega_positive_and_decreasing_in_h(self, small_failed_problem):
+        calculator = BoundsCalculator(small_failed_problem)
+        omegas = [calculator.omega(h) for h in range(1, small_failed_problem.m)]
+        assert all(o > 0 for o in omegas)
+        assert all(a >= b for a, b in zip(omegas, omegas[1:]))
+
+    def test_omega_formula(self, paper_example):
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        calculator = BoundsCalculator(problem)
+        h = 2
+        remaining = problem.m - h
+        expected = problem.c_alpha * np.sqrt(remaining + remaining**2 / problem.n)
+        assert calculator.omega(h) == pytest.approx(expected)
+
+    def test_gamma_formula(self, paper_example):
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        calculator = BoundsCalculator(problem)
+        h = 1
+        expected = problem.cum_test - (problem.m - h) / problem.n * problem.cum_reference
+        assert np.allclose(calculator.gamma(h), expected)
+
+    def test_running_max_is_monotone(self, small_failed_problem):
+        calculator = BoundsCalculator(small_failed_problem)
+        running = calculator.running_max_gamma(2)
+        assert np.all(np.diff(running) >= 0)
+
+    @pytest.mark.parametrize("h", [0, -1, 1000])
+    def test_invalid_h_rejected(self, small_failed_problem, h):
+        calculator = BoundsCalculator(small_failed_problem)
+        with pytest.raises(ValidationError):
+            calculator.omega(h)
+
+
+class TestSizeBounds:
+    def test_bounds_bracket_every_reversing_subset(self, small_failed_problem):
+        """Lemma 1: the cumulative vector of any qualified subset obeys the bounds."""
+        problem = small_failed_problem
+        calculator = BoundsCalculator(problem)
+        for size in range(1, problem.m):
+            bounds = calculator.size_bounds(size)
+            for subset in combinations(range(problem.m), size):
+                if not problem.is_reversing_subset(np.array(subset)):
+                    continue
+                vector = problem.cumulative_of_indices(np.array(subset))
+                assert np.all(bounds.lower <= vector), (size, subset)
+                assert np.all(vector <= bounds.upper), (size, subset)
+
+    def test_upper_bounds_capped_by_test_counts_and_h(self, small_failed_problem):
+        calculator = BoundsCalculator(small_failed_problem)
+        for size in range(1, small_failed_problem.m):
+            bounds = calculator.size_bounds(size)
+            assert np.all(bounds.upper <= small_failed_problem.cum_test)
+            assert np.all(bounds.upper <= size)
+            assert np.all(bounds.lower >= 0)
+
+    def test_paper_example_h1_infeasible_h2_feasible(self, paper_example):
+        """Example 4: no qualified 1-subset, a qualified 2-subset exists."""
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        calculator = BoundsCalculator(problem)
+        assert not calculator.qualified_vector_exists(1)
+        assert calculator.qualified_vector_exists(2)
+
+    def test_paper_example_h2_bounds(self, paper_example):
+        """The h=2 bounds of Example 4 are feasible at every position.
+
+        The paper's Example 4 lists the pairs as (0,1), (1,2), (1,2), (1,2);
+        evaluating Equations 4a/4b exactly gives lower bounds [0, 2, 2, 2]
+        (both qualified 2-subsets, {12, 13} and {13, 13}, indeed have
+        C_S[2] = 2), so the example's "1" entries are a slight slack.  What
+        matters — and what this test pins down — is the upper bounds and the
+        feasibility l_i <= u_i at every i.
+        """
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        bounds = BoundsCalculator(problem).size_bounds(2)
+        assert np.array_equal(bounds.lower, [0, 2, 2, 2])
+        assert np.array_equal(bounds.upper, [1, 2, 2, 2])
+        assert bounds.feasible
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_theorem1_matches_brute_force(self, seed):
+        """Theorem 1's feasibility check agrees with exhaustive search."""
+        rng = np.random.default_rng(seed)
+        reference = rng.normal(size=25)
+        test = np.concatenate([rng.normal(size=5), rng.uniform(3, 4, size=3)])
+        problem = ExplanationProblem(reference, test, 0.05, require_failed=False)
+        if problem.initial_result.passed:
+            pytest.skip("pair does not fail the KS test")
+        calculator = BoundsCalculator(problem)
+        for size in range(1, problem.m):
+            assert calculator.qualified_vector_exists(size) == brute_force_qualified_exists(
+                problem, size
+            ), size
+
+
+class TestNecessaryCondition:
+    def test_monotone_in_h(self, small_failed_problem):
+        """Theorem 2: once the condition holds it keeps holding for larger h."""
+        calculator = BoundsCalculator(small_failed_problem)
+        flags = [
+            calculator.necessary_condition_holds(h)
+            for h in range(1, small_failed_problem.m)
+        ]
+        # No True followed by False.
+        assert all(not (a and not b) for a, b in zip(flags, flags[1:]))
+
+    def test_implied_by_feasibility(self, small_failed_problem):
+        """Theorem 1 feasibility implies the Theorem 2 necessary condition."""
+        calculator = BoundsCalculator(small_failed_problem)
+        for size in range(1, small_failed_problem.m):
+            if calculator.qualified_vector_exists(size):
+                assert calculator.necessary_condition_holds(size)
+
+    def test_paper_example_lower_bound(self, paper_example):
+        """Example 5: h=1 violates the necessary condition, h=2 satisfies it."""
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        calculator = BoundsCalculator(problem)
+        assert not calculator.necessary_condition_holds(1)
+        assert calculator.necessary_condition_holds(2)
+
+
+class TestConstructQualifiedVector:
+    def test_constructed_vector_is_a_real_reversing_subset(self, small_failed_problem):
+        problem = small_failed_problem
+        calculator = BoundsCalculator(problem)
+        for size in range(1, problem.m):
+            if not calculator.qualified_vector_exists(size):
+                continue
+            vector = calculator.construct_qualified_vector(size)
+            subset = subset_from_cumulative(problem.base, vector)
+            assert subset.size == size
+            remaining = _remove_multiset(problem.test, subset)
+            assert ks_test(problem.reference, remaining, problem.alpha).passed
+
+    def test_infeasible_size_raises(self, paper_example):
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        with pytest.raises(ValidationError):
+            BoundsCalculator(problem).construct_qualified_vector(1)
+
+
+def _remove_multiset(test: np.ndarray, subset: np.ndarray) -> np.ndarray:
+    """Remove the multiset ``subset`` from ``test`` (both treated as multisets)."""
+    remaining = list(np.sort(test))
+    for value in np.sort(subset):
+        remaining.remove(value)
+    return np.array(remaining)

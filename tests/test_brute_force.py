@@ -1,0 +1,60 @@
+"""Tests for the brute-force oracle (repro.core.brute_force)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.brute_force import BruteForceExplainer
+from repro.core.preference import PreferenceList
+from repro.exceptions import KSTestPassedError, ValidationError
+
+
+class TestBruteForce:
+    def test_paper_example(self, paper_example):
+        reference, test, alpha = paper_example
+        explainer = BruteForceExplainer(alpha=alpha)
+        explanation = explainer.explain(
+            reference, test, PreferenceList.from_order([3, 2, 1, 0])
+        )
+        assert explanation.size == 2
+        assert sorted(explanation.indices.tolist()) == [1, 2]
+        assert explanation.reverses_test
+
+    def test_smaller_subsets_do_not_reverse(self, paper_example):
+        reference, test, alpha = paper_example
+        explainer = BruteForceExplainer(alpha=alpha)
+        size = explainer.explanation_size(reference, test)
+        from repro.core.cumulative import ExplanationProblem
+        from itertools import combinations
+
+        problem = ExplanationProblem(reference, test, alpha)
+        for subset in combinations(range(problem.m), size - 1):
+            assert not problem.is_reversing_subset(np.array(subset))
+
+    def test_respects_preference_order(self, rng):
+        reference = rng.normal(size=40)
+        test = np.concatenate([rng.normal(size=4), rng.uniform(3, 5, size=5)])
+        first = BruteForceExplainer().explain(
+            reference, test, PreferenceList.identity(test.size)
+        )
+        reversed_pref = PreferenceList.from_order(list(range(test.size))[::-1])
+        second = BruteForceExplainer().explain(reference, test, reversed_pref)
+        assert first.size == second.size
+
+    def test_rejects_large_test_sets(self, rng):
+        reference = rng.normal(size=100)
+        test = rng.normal(3.0, size=50)
+        with pytest.raises(ValidationError):
+            BruteForceExplainer(max_size=20).explain(reference, test)
+
+    def test_rejects_passed_tests(self, rng):
+        sample = rng.normal(size=50)
+        with pytest.raises(KSTestPassedError):
+            BruteForceExplainer().explain(sample, sample.copy())
+
+    def test_method_name_and_runtime(self, paper_example):
+        reference, test, alpha = paper_example
+        explanation = BruteForceExplainer(alpha=alpha).explain(reference, test)
+        assert explanation.method == "brute_force"
+        assert explanation.runtime_seconds >= 0

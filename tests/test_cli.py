@@ -1,0 +1,122 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.synthetic import drifting_series
+from tests.conftest import make_failed_pair
+
+
+@pytest.fixture
+def sample_files(tmp_path, rng):
+    reference, test = make_failed_pair(rng, 300, 250, shift_fraction=0.15)
+    ref_path = tmp_path / "reference.csv"
+    test_path = tmp_path / "test.csv"
+    ref_path.write_text("\n".join(str(v) for v in reference) + "\n")
+    test_path.write_text("\n".join(str(v) for v in test) + "\n")
+    return str(ref_path), str(test_path)
+
+
+@pytest.fixture
+def passing_files(tmp_path, rng):
+    sample = rng.normal(size=200)
+    ref_path = tmp_path / "ref_pass.csv"
+    test_path = tmp_path / "test_pass.csv"
+    ref_path.write_text("\n".join(str(v) for v in sample) + "\n")
+    test_path.write_text("\n".join(str(v) for v in sample) + "\n")
+    return str(ref_path), str(test_path)
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_explain_defaults(self):
+        args = build_parser().parse_args(["explain", "r.csv", "t.csv"])
+        assert args.method == "moche"
+        assert args.alpha == 0.05
+        assert args.preference == "spectral-residual"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "r.csv", "t.csv", "--method", "nope"])
+
+
+class TestTestCommand:
+    def test_failed_test_returns_one(self, sample_files, capsys):
+        code = main(["test", *sample_files])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_passing_test_returns_zero(self, passing_files, capsys):
+        code = main(["test", *passing_files])
+        assert code == 0
+        assert "passed" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_explain_prints_report_and_writes_json(self, sample_files, tmp_path, capsys):
+        output = tmp_path / "explanation.json"
+        code = main([
+            "explain", *sample_files,
+            "--preference", "values-desc",
+            "--output", str(output),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Counterfactual explanation (moche)" in out
+        payload = json.loads(output.read_text())
+        assert payload["reverses_test"] is True
+        assert payload["method"] == "moche"
+
+    def test_explain_with_baseline_method(self, sample_files, capsys):
+        code = main(["explain", *sample_files, "--method", "greedy",
+                     "--preference", "values-desc"])
+        assert code == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_explain_with_scores_file(self, sample_files, tmp_path, capsys):
+        _, test_path = sample_files
+        values = [float(line) for line in open(test_path).read().split()]
+        scores_path = tmp_path / "scores.csv"
+        scores_path.write_text("\n".join(str(v) for v in values) + "\n")
+        code = main(["explain", *sample_files, "--preference-scores", str(scores_path)])
+        assert code == 0
+
+    def test_explain_passing_pair_reports_error(self, passing_files, capsys):
+        code = main(["explain", *passing_files])
+        assert code == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_missing_file_reports_error(self, tmp_path, capsys):
+        code = main(["explain", str(tmp_path / "a.csv"), str(tmp_path / "b.csv")])
+        assert code == 3
+
+
+class TestMonitorCommand:
+    def test_monitor_prints_alarms(self, tmp_path, capsys):
+        values, _ = drifting_series(length=1200, drift_start=600, drift_magnitude=3.0, seed=5)
+        series_path = tmp_path / "series.csv"
+        series_path.write_text("\n".join(str(v) for v in values) + "\n")
+        code = main(["monitor", str(series_path), "--window", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drift alarm" in out
+        assert "observations processed" in out
+
+
+class TestExperimentsCommand:
+    def test_single_experiment_runs(self, capsys):
+        code = main(["experiments", "--only", "table1"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "--only", "figure99"])

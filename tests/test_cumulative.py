@@ -1,0 +1,126 @@
+"""Tests for cumulative vectors and ExplanationProblem (repro.core.cumulative)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import cumulative
+from repro.core.cumulative import ExplanationProblem
+from repro.exceptions import KSTestPassedError, ValidationError
+
+
+class TestBaseVector:
+    def test_base_vector_is_sorted_unique_union(self):
+        base = cumulative.base_vector([3.0, 1.0, 1.0], [2.0, 3.0, 5.0])
+        assert np.array_equal(base, [1.0, 2.0, 3.0, 5.0])
+
+    def test_paper_example_base_vector(self, paper_example):
+        reference, test, _ = paper_example
+        base = cumulative.base_vector(reference, test)
+        assert np.array_equal(base, [12.0, 13.0, 14.0, 20.0])
+
+
+class TestCumulativeVector:
+    def test_paper_example_subset(self, paper_example):
+        reference, test, _ = paper_example
+        base = cumulative.base_vector(reference, test)
+        # S = {13, 13}: Example 3 gives C_S = <0, 0, 2, 2, 2>; our arrays drop
+        # the leading constant 0.
+        vector = cumulative.cumulative_vector(base, [13.0, 13.0])
+        assert np.array_equal(vector, [0, 2, 2, 2])
+
+    def test_full_test_set_cumulative(self, paper_example):
+        reference, test, _ = paper_example
+        base = cumulative.base_vector(reference, test)
+        vector = cumulative.cumulative_vector(base, test)
+        assert vector[-1] == test.size
+        assert np.all(np.diff(vector) >= 0)
+
+    def test_empty_subset_is_all_zeros(self, paper_example):
+        reference, test, _ = paper_example
+        base = cumulative.base_vector(reference, test)
+        assert np.array_equal(cumulative.cumulative_vector(base, []), np.zeros(4))
+
+    def test_values_outside_base_rejected(self):
+        with pytest.raises(ValidationError):
+            cumulative.cumulative_vector(np.array([1.0, 2.0]), [5.0])
+
+    def test_counts_roundtrip(self, paper_example):
+        reference, test, _ = paper_example
+        base = cumulative.base_vector(reference, test)
+        vector = cumulative.cumulative_vector(base, test)
+        counts = cumulative.counts_from_cumulative(vector)
+        rebuilt = cumulative.subset_from_cumulative(base, vector)
+        assert counts.sum() == test.size
+        assert np.array_equal(np.sort(rebuilt), np.sort(test))
+
+    def test_decreasing_cumulative_vector_rejected(self):
+        with pytest.raises(ValidationError):
+            cumulative.subset_from_cumulative(np.array([1.0, 2.0]), np.array([2, 1]))
+
+
+class TestExplanationProblem:
+    def test_requires_failed_test_by_default(self, rng):
+        sample = rng.normal(size=200)
+        with pytest.raises(KSTestPassedError):
+            ExplanationProblem(sample, sample, alpha=0.05)
+
+    def test_passed_test_allowed_when_not_required(self, rng):
+        sample = rng.normal(size=100)
+        problem = ExplanationProblem(sample, sample.copy(), 0.05, require_failed=False)
+        assert problem.initial_result.passed
+
+    def test_sizes_and_base(self, paper_example):
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        assert (problem.n, problem.m, problem.q) == (8, 4, 4)
+        assert np.array_equal(problem.base, [12.0, 13.0, 14.0, 20.0])
+
+    def test_cumulative_vectors(self, paper_example):
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        assert np.array_equal(problem.cum_reference, [0, 0, 4, 8])
+        assert np.array_equal(problem.cum_test, [1, 3, 3, 4])
+
+    def test_test_base_indices(self, paper_example):
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        # T = [13, 13, 12, 20] maps to base positions [1, 1, 0, 3].
+        assert np.array_equal(problem.test_base_indices, [1, 1, 0, 3])
+
+    def test_cumulative_of_indices_matches_direct_computation(self, small_failed_problem):
+        problem = small_failed_problem
+        indices = np.array([0, 3, 7])
+        expected = cumulative.cumulative_vector(problem.base, problem.test[indices])
+        assert np.array_equal(problem.cumulative_of_indices(indices), expected)
+
+    def test_cumulative_of_empty_indices(self, small_failed_problem):
+        vector = small_failed_problem.cumulative_of_indices(np.array([], dtype=int))
+        assert np.array_equal(vector, np.zeros(small_failed_problem.q))
+
+    def test_remove_indices(self, paper_example):
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        remaining = problem.remove_indices(np.array([1, 2]))
+        assert np.array_equal(np.sort(remaining), [13.0, 20.0])
+
+    def test_out_of_range_indices_rejected(self, small_failed_problem):
+        with pytest.raises(ValidationError):
+            small_failed_problem.remove_indices(np.array([100]))
+
+    def test_duplicate_indices_rejected(self, small_failed_problem):
+        with pytest.raises(ValidationError):
+            small_failed_problem.remove_indices(np.array([1, 1]))
+
+    def test_is_reversing_subset_matches_ks_test(self, small_failed_problem):
+        problem = small_failed_problem
+        # Removing nothing cannot reverse a failed test.
+        assert not problem.is_reversing_subset(np.array([], dtype=int))
+        # Removing all the out-of-distribution points (the last four) does.
+        assert problem.is_reversing_subset(np.arange(6, 10))
+
+    def test_alpha_validation(self, paper_example):
+        reference, test, _ = paper_example
+        with pytest.raises(ValidationError):
+            ExplanationProblem(reference, test, alpha=1.5)

@@ -1,0 +1,215 @@
+"""Tests for the dataset generators (repro.datasets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ks import ks_test
+from repro.datasets.covid import (
+    AGE_GROUPS,
+    HEALTH_AUTHORITIES,
+    CovidCase,
+    generate_covid_like_dataset,
+)
+from repro.datasets.nab import NAB_FAMILIES, generate_family, generate_nab_like_corpus
+from repro.datasets.sliding_window import failed_window_pairs, sliding_window_pairs
+from repro.datasets.synthetic import contaminated_pair, drifting_series
+from repro.exceptions import ValidationError
+
+
+class TestCovidDataset:
+    def test_default_sizes_match_paper(self):
+        dataset = generate_covid_like_dataset(seed=0)
+        assert len(dataset.reference_cases) == 2175
+        assert len(dataset.test_cases) == 3375
+
+    def test_fails_ks_test_at_005(self):
+        dataset = generate_covid_like_dataset(seed=0)
+        result = ks_test(dataset.reference_values, dataset.test_values, 0.05)
+        assert result.rejected
+
+    def test_values_are_valid_age_groups(self):
+        dataset = generate_covid_like_dataset(seed=1, reference_size=100, test_size=150)
+        for values in (dataset.reference_values, dataset.test_values):
+            assert values.min() >= 1
+            assert values.max() <= len(AGE_GROUPS)
+
+    def test_injected_indices_are_fha_and_older(self):
+        dataset = generate_covid_like_dataset(seed=2)
+        injected = [dataset.test_cases[i] for i in dataset.injected_test_indices]
+        assert all(case.health_authority == "FHA" for case in injected)
+        injected_mean_age = np.mean([case.age_group for case in injected])
+        overall_mean_age = dataset.reference_values.mean()
+        assert injected_mean_age > overall_mean_age
+
+    def test_preferences_are_permutations(self):
+        dataset = generate_covid_like_dataset(seed=3, reference_size=200, test_size=300)
+        assert len(dataset.population_preference(seed=0)) == 300
+        assert len(dataset.age_preference(seed=0)) == 300
+
+    def test_population_preference_ranks_fha_first(self):
+        dataset = generate_covid_like_dataset(seed=4, reference_size=200, test_size=300)
+        preference = dataset.population_preference(seed=0)
+        top_cases = [dataset.test_cases[i] for i in preference.top(10)]
+        assert all(case.health_authority == "FHA" for case in top_cases)
+
+    def test_age_preference_ranks_seniors_first(self):
+        dataset = generate_covid_like_dataset(seed=5, reference_size=200, test_size=300)
+        preference = dataset.age_preference(seed=0)
+        ages = [dataset.test_cases[i].age_group for i in preference.order]
+        assert ages == sorted(ages, reverse=True)
+
+    def test_histograms_sum_to_sizes(self):
+        dataset = generate_covid_like_dataset(seed=6, reference_size=150, test_size=250)
+        assert dataset.age_histogram("reference").sum() == 150
+        assert dataset.age_histogram("test").sum() == 250
+        assert sum(dataset.ha_histogram().values()) == 250
+
+    def test_histogram_subset(self):
+        dataset = generate_covid_like_dataset(seed=7, reference_size=100, test_size=100)
+        assert dataset.age_histogram("test", indices=[0, 1, 2]).sum() == 3
+
+    def test_reproducible(self):
+        first = generate_covid_like_dataset(seed=8, reference_size=50, test_size=60)
+        second = generate_covid_like_dataset(seed=8, reference_size=50, test_size=60)
+        assert np.array_equal(first.test_values, second.test_values)
+
+    def test_invalid_case_metadata_rejected(self):
+        with pytest.raises(ValidationError):
+            CovidCase(age_group=0, health_authority="FHA")
+        with pytest.raises(ValidationError):
+            CovidCase(age_group=3, health_authority="NOPE")
+
+    def test_invalid_generator_arguments_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_covid_like_dataset(reference_size=0)
+        with pytest.raises(ValidationError):
+            generate_covid_like_dataset(excess_fraction=1.5)
+
+    def test_health_authorities_ordered_by_population(self):
+        populations = list(HEALTH_AUTHORITIES.values())
+        assert populations == sorted(populations, reverse=True)
+
+
+class TestNabCorpus:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_family("NOPE")
+
+    @pytest.mark.parametrize("family", sorted(NAB_FAMILIES))
+    def test_family_counts_and_lengths_match_table1(self, family):
+        count, (min_length, max_length), _ = NAB_FAMILIES[family]
+        dataset = generate_family(family, seed=0)
+        assert len(dataset) == count
+        shortest, longest = dataset.lengths
+        assert shortest >= min_length * 0.99
+        assert longest <= max_length * 1.01
+
+    def test_series_carry_anomaly_labels(self):
+        dataset = generate_family("ART", seed=1)
+        for series in dataset:
+            assert 0.0 < series.anomaly_fraction < 1.0
+            assert len(series) == series.labels.size
+
+    def test_length_scale_shrinks_series(self):
+        full = generate_family("AD", seed=2)
+        scaled = generate_family("AD", seed=2, length_scale=0.3)
+        assert max(len(s) for s in scaled) < max(len(s) for s in full)
+
+    def test_series_count_override(self):
+        dataset = generate_family("AWS", seed=3, series_count=2)
+        assert len(dataset) == 2
+
+    def test_corpus_contains_all_families(self):
+        corpus = generate_nab_like_corpus(seed=4, length_scale=0.2, series_per_family=1)
+        assert set(corpus) == set(NAB_FAMILIES)
+
+    def test_generation_is_reproducible(self):
+        first = generate_family("TRF", seed=5, series_count=1, length_scale=0.3)
+        second = generate_family("TRF", seed=5, series_count=1, length_scale=0.3)
+        assert np.array_equal(first.series[0].values, second.series[0].values)
+
+    def test_invalid_length_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_family("AWS", length_scale=0.0)
+
+
+class TestSlidingWindows:
+    def test_pairs_are_adjacent_and_non_overlapping(self, rng):
+        series = rng.normal(size=1000)
+        pairs = list(sliding_window_pairs(series, window_size=100))
+        assert len(pairs) == 9
+        for pair in pairs:
+            assert pair.reference.size == pair.test.size == 100
+            assert np.array_equal(pair.reference, series[pair.start:pair.start + 100])
+            assert np.array_equal(pair.test, series[pair.start + 100:pair.start + 200])
+
+    def test_labels_carried_from_time_series(self):
+        dataset = generate_family("ART", seed=6, series_count=1)
+        series = dataset.series[0]
+        pairs = list(sliding_window_pairs(series, window_size=200))
+        assert any(pair.test_contains_anomaly for pair in pairs)
+
+    def test_failed_pairs_all_fail(self):
+        dataset = generate_family("ART", seed=7, series_count=1)
+        failed = failed_window_pairs(dataset.series[0], window_size=200)
+        assert failed
+        assert all(pair.failed for pair in failed)
+
+    def test_require_anomaly_filters(self):
+        dataset = generate_family("KC", seed=8, series_count=1, length_scale=0.3)
+        all_failed = failed_window_pairs(dataset.series[0], window_size=150)
+        with_anomaly = failed_window_pairs(
+            dataset.series[0], window_size=150, require_anomaly=True
+        )
+        assert len(with_anomaly) <= len(all_failed)
+        assert all(pair.test_contains_anomaly for pair in with_anomaly)
+
+    def test_too_short_series_yields_nothing(self, rng):
+        assert list(sliding_window_pairs(rng.normal(size=50), window_size=100)) == []
+
+    def test_invalid_window_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            list(sliding_window_pairs(rng.normal(size=100), window_size=1))
+
+    def test_custom_step(self, rng):
+        series = rng.normal(size=600)
+        dense = list(sliding_window_pairs(series, window_size=100, step=50))
+        sparse = list(sliding_window_pairs(series, window_size=100))
+        assert len(dense) > len(sparse)
+
+
+class TestSyntheticWorkloads:
+    def test_contaminated_pair_fails_ks_test(self):
+        pair = contaminated_pair(size=2000, fraction=0.03, seed=0)
+        assert ks_test(pair.reference, pair.test, 0.05).rejected
+        assert pair.reference.size == pair.test.size == 2000
+
+    def test_contamination_fraction_respected(self):
+        pair = contaminated_pair(size=1000, fraction=0.05, seed=1)
+        assert pair.contaminated_indices.size >= 0.05 * 1000
+        assert pair.fraction >= 0.05
+
+    def test_contaminated_values_in_range(self):
+        pair = contaminated_pair(size=500, fraction=0.1, low=-7, high=7, seed=2)
+        contaminated = pair.test[pair.contaminated_indices]
+        assert contaminated.min() >= -7
+        assert contaminated.max() <= 7
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            contaminated_pair(size=2)
+        with pytest.raises(ValidationError):
+            contaminated_pair(size=100, fraction=0.0)
+
+    def test_drifting_series_labels(self):
+        values, labels = drifting_series(length=500, drift_start=300, seed=3)
+        assert values.size == labels.size == 500
+        assert not labels[:300].any()
+        assert labels[300:].all()
+        assert values[300:].mean() > values[:300].mean() + 1.0
+
+    def test_drifting_series_invalid_start_rejected(self):
+        with pytest.raises(ValidationError):
+            drifting_series(length=100, drift_start=100)

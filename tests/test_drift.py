@@ -1,0 +1,183 @@
+"""Tests for the drift-detection pipeline (repro.drift)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ks import ks_statistic, ks_test
+from repro.datasets.synthetic import drifting_series
+from repro.drift.detector import KSDriftDetector
+from repro.drift.incremental_ks import IncrementalKS
+from repro.drift.monitor import ExplainedDriftMonitor, spectral_residual_preference
+from repro.exceptions import ValidationError
+
+
+class TestKSDriftDetector:
+    def test_no_alarm_on_stationary_stream(self, rng):
+        detector = KSDriftDetector(window_size=100, alpha=0.01)
+        alarms = list(detector.process(rng.normal(size=2000)))
+        assert len(alarms) <= 1  # false alarms are rare at alpha = 0.01
+
+    def test_alarm_raised_on_abrupt_drift(self, rng):
+        values, _ = drifting_series(length=2000, drift_start=1000, drift_magnitude=3.0, seed=0)
+        detector = KSDriftDetector(window_size=200, alpha=0.05)
+        alarms = list(detector.process(values))
+        assert alarms
+        assert all(alarm.result.rejected for alarm in alarms)
+        assert any(800 <= alarm.position <= 1400 for alarm in alarms)
+
+    def test_alarm_windows_have_correct_size(self, rng):
+        values, _ = drifting_series(length=1500, drift_start=700, drift_magnitude=3.0, seed=1)
+        detector = KSDriftDetector(window_size=150)
+        for alarm in detector.process(values):
+            assert alarm.reference.size == 150
+            assert alarm.test.size == 150
+
+    def test_observation_counter(self, rng):
+        detector = KSDriftDetector(window_size=50)
+        list(detector.process(rng.normal(size=500)))
+        assert detector.observations_seen == 500
+
+    def test_not_ready_before_two_windows(self, rng):
+        detector = KSDriftDetector(window_size=100)
+        for value in rng.normal(size=150):
+            detector.update(value)
+        assert not detector.ready
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValidationError):
+            KSDriftDetector(window_size=1)
+
+    def test_tiling_mode_uses_previous_window_as_reference(self, rng):
+        values = np.concatenate([rng.normal(size=300), rng.normal(5.0, size=300)])
+        detector = KSDriftDetector(window_size=100, slide_on_alarm=False)
+        alarms = list(detector.process(values))
+        # With the tiling protocol the drift boundary triggers exactly around
+        # the window containing the change.
+        assert len(alarms) >= 1
+
+
+class TestIncrementalKS:
+    def test_matches_batch_statistic(self, rng):
+        reference = rng.normal(size=80)
+        test = rng.normal(0.5, size=60)
+        incremental = IncrementalKS.from_samples(reference, test)
+        assert incremental.statistic() == pytest.approx(ks_statistic(reference, test))
+
+    def test_matches_batch_after_insert_and_remove(self, rng):
+        reference = list(rng.normal(size=50))
+        test = list(rng.normal(size=50))
+        incremental = IncrementalKS.from_samples(np.array(reference), np.array(test))
+        # Slide the test window: remove the oldest 20, add 20 new drifted points.
+        new_points = list(rng.normal(2.0, size=20))
+        for value in test[:20]:
+            incremental.remove(value, "test")
+        for value in new_points:
+            incremental.insert(value, "test")
+        updated_test = np.array(test[20:] + new_points)
+        assert incremental.statistic() == pytest.approx(
+            ks_statistic(np.array(reference), updated_test)
+        )
+        assert incremental.test_size == 50
+
+    def test_rejected_matches_ks_test(self, rng):
+        reference = rng.normal(size=100)
+        test = rng.normal(1.5, size=100)
+        incremental = IncrementalKS.from_samples(reference, test)
+        assert incremental.rejected(0.05) == ks_test(reference, test, 0.05).rejected
+
+    def test_duplicate_values_counted(self):
+        incremental = IncrementalKS()
+        for value in [1.0, 1.0, 2.0]:
+            incremental.insert(value, "reference")
+        for value in [1.0, 3.0]:
+            incremental.insert(value, "test")
+        assert incremental.reference_size == 3
+        assert incremental.test_size == 2
+        expected = ks_statistic(np.array([1.0, 1.0, 2.0]), np.array([1.0, 3.0]))
+        assert incremental.statistic() == pytest.approx(expected)
+
+    def test_remove_missing_value_rejected(self):
+        incremental = IncrementalKS()
+        incremental.insert(1.0, "reference")
+        incremental.insert(2.0, "test")
+        with pytest.raises(ValidationError):
+            incremental.remove(5.0, "test")
+
+    def test_remove_from_empty_sample_rejected(self):
+        incremental = IncrementalKS()
+        incremental.insert(1.0, "reference")
+        with pytest.raises(ValidationError):
+            incremental.remove(1.0, "test")
+
+    def test_unknown_sample_label_rejected(self):
+        with pytest.raises(ValidationError):
+            IncrementalKS().insert(1.0, "other")
+
+    def test_statistic_requires_both_samples(self):
+        incremental = IncrementalKS()
+        incremental.insert(1.0, "reference")
+        with pytest.raises(ValidationError):
+            incremental.statistic()
+
+    def test_large_random_sequence_of_updates(self, rng):
+        incremental = IncrementalKS(seed=1)
+        reference: list[float] = []
+        test: list[float] = []
+        for _ in range(300):
+            value = float(np.round(rng.normal(), 1))
+            if rng.random() < 0.5:
+                incremental.insert(value, "reference")
+                reference.append(value)
+            else:
+                incremental.insert(value, "test")
+                test.append(value)
+        if reference and test:
+            assert incremental.statistic() == pytest.approx(
+                ks_statistic(np.array(reference), np.array(test))
+            )
+
+
+class TestExplainedDriftMonitor:
+    def test_alarms_come_with_reversing_explanations(self, rng):
+        values, labels = drifting_series(
+            length=1600, drift_start=800, drift_magnitude=3.0, noise=1.0, seed=2
+        )
+        monitor = ExplainedDriftMonitor(window_size=200, alpha=0.05)
+        alarms = list(monitor.process(values))
+        assert alarms
+        for alarm in alarms:
+            assert alarm.explanation.reverses_test
+            assert 0 < alarm.explanation.size < 200
+            assert alarm.culprit_values.size == alarm.explanation.size
+
+    def test_culprits_overlap_true_drift(self, rng):
+        values, _ = drifting_series(
+            length=1600, drift_start=800, drift_magnitude=4.0, noise=0.5, seed=3
+        )
+        monitor = ExplainedDriftMonitor(window_size=200, alpha=0.05)
+        alarms = list(monitor.process(values))
+        assert alarms
+        first = alarms[0]
+        # The explained points should be drawn from the drifted regime, i.e.
+        # their values should be clearly above the pre-drift mean of ~0.
+        assert first.culprit_values.mean() > 1.0
+
+    def test_custom_preference_builder_used(self, rng):
+        calls = {"count": 0}
+
+        def builder(reference, test):
+            calls["count"] += 1
+            return spectral_residual_preference(reference, test)
+
+        values, _ = drifting_series(length=1200, drift_start=600, drift_magnitude=3.0, seed=4)
+        monitor = ExplainedDriftMonitor(window_size=150, preference_builder=builder)
+        alarms = list(monitor.process(values))
+        assert calls["count"] == len(alarms)
+
+    def test_spectral_residual_preference_is_valid(self, rng):
+        reference = rng.normal(size=100)
+        test = rng.normal(size=100)
+        preference = spectral_residual_preference(reference, test)
+        assert len(preference) == 100

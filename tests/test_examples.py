@@ -1,0 +1,32 @@
+"""Smoke tests that run every example script end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[s.stem for s in EXAMPLES])
+def test_example_runs_cleanly(script):
+    """Every example script exits with status 0 and prints something useful."""
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print their results"
+
+
+def test_expected_examples_present():
+    names = {script.stem for script in EXAMPLES}
+    assert {"quickstart", "covid_case_study", "drift_monitoring",
+            "preference_sensitivity"} <= names

@@ -1,0 +1,226 @@
+"""Tests for the experiment runners (repro.experiments)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ks import ks_test
+from repro.experiments.case_study import format_case_study, run_case_study
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.conciseness import format_ise_table, run_conciseness
+from repro.experiments.contrastivity import format_reverse_factor_table, run_contrastivity
+from repro.experiments.datasets_summary import dataset_statistics, format_dataset_statistics
+from repro.experiments.effectiveness import format_rmse_table, run_effectiveness
+from repro.experiments.evaluation import run_methods_on_cases
+from repro.experiments.lower_bound import format_estimation_error_table, run_lower_bound_study
+from repro.experiments.methods import build_methods, ordered_methods
+from repro.experiments.reporting import format_table
+from repro.experiments.runtime import (
+    format_runtime_table,
+    run_runtime_synthetic,
+    run_runtime_timeseries,
+)
+from repro.experiments.workloads import build_failed_test_cases, preference_for_window
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def smoke_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        window_sizes=(100,),
+        cases_per_dataset=2,
+        series_per_family=1,
+        length_scale=0.2,
+        synthetic_sizes=(400,),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def smoke_cases(smoke_config):
+    return build_failed_test_cases(smoke_config, families=("ART", "AWS"))
+
+
+@pytest.fixture(scope="module")
+def smoke_records(smoke_config, smoke_cases):
+    methods = build_methods(smoke_config, include=("moche", "greedy", "d3"))
+    return run_methods_on_cases(smoke_cases, methods)
+
+
+class TestConfig:
+    def test_paper_and_smoke_configs_valid(self):
+        assert ExperimentConfig.paper().window_sizes[-1] == 2000
+        assert ExperimentConfig.smoke().cases_per_dataset <= 5
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValidationError):
+            ExperimentConfig(alpha=2.0)
+        with pytest.raises(ValidationError):
+            ExperimentConfig(window_sizes=())
+        with pytest.raises(ValidationError):
+            ExperimentConfig(cases_per_dataset=0)
+
+
+class TestWorkloads:
+    def test_cases_are_failed_ks_tests_with_valid_preferences(self, smoke_cases, smoke_config):
+        assert smoke_cases
+        for case in smoke_cases:
+            assert ks_test(case.reference, case.test, smoke_config.alpha).rejected
+            assert len(case.preference) == case.m
+            assert case.dataset in ("ART", "AWS")
+
+    def test_cases_capped_per_dataset(self, smoke_cases, smoke_config):
+        for family in ("ART", "AWS"):
+            count = sum(case.dataset == family for case in smoke_cases)
+            assert count <= smoke_config.cases_per_dataset
+
+    def test_preference_for_window_valid(self, rng):
+        reference = rng.normal(size=120)
+        test = rng.normal(size=120)
+        preference = preference_for_window(reference, test, seed=0)
+        assert len(preference) == 120
+
+    def test_workload_reproducible(self, smoke_config):
+        first = build_failed_test_cases(smoke_config, families=("ART",))
+        second = build_failed_test_cases(smoke_config, families=("ART",))
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert np.array_equal(a.test, b.test)
+
+
+class TestMethods:
+    def test_build_all_methods(self):
+        methods = build_methods(ExperimentConfig.smoke(), include_ablation=True)
+        assert set(methods) == {
+            "moche", "greedy", "corner_search", "grace", "d3", "stomp",
+            "series2graph", "moche_ns",
+        }
+
+    def test_include_filter(self):
+        methods = build_methods(ExperimentConfig.smoke(), include=("moche", "greedy"))
+        assert set(methods) == {"moche", "greedy"}
+
+    def test_ordered_methods_puts_moche_first(self):
+        order = ordered_methods({"d3": 1, "moche": 2, "custom": 3})
+        assert order[0] == "moche"
+        assert order[-1] == "custom"
+
+
+class TestEvaluationAndMetrics:
+    def test_records_cover_all_cases_and_methods(self, smoke_records, smoke_cases):
+        assert len(smoke_records) == len(smoke_cases)
+        for record in smoke_records:
+            assert set(record.explanations) == {"moche", "greedy", "d3"}
+
+    def test_moche_always_smallest(self, smoke_records):
+        for record in smoke_records:
+            moche_size = record.explanations["moche"].size
+            for name, explanation in record.explanations.items():
+                if explanation.reverses_test:
+                    assert explanation.size >= moche_size, name
+
+    def test_conciseness_table(self, smoke_records):
+        results = run_conciseness(smoke_records)
+        for per_method in results.values():
+            assert per_method["moche"] == pytest.approx(1.0)
+        table = format_ise_table(results)
+        assert "Figure 2" in table and "moche" in table
+
+    def test_effectiveness_table(self, smoke_records):
+        results = run_effectiveness(smoke_records)
+        for per_method in results.values():
+            for value in per_method.values():
+                assert value >= 0 or np.isnan(value)
+        assert "Figure 3" in format_rmse_table(results)
+
+    def test_contrastivity_table(self, smoke_records):
+        results = run_contrastivity(smoke_records)
+        for per_method in results.values():
+            assert per_method["moche"] == 1.0
+        assert "Table 2" in format_reverse_factor_table(results)
+
+
+class TestRuntimeExperiments:
+    def test_runtime_timeseries_measurements(self, smoke_config):
+        methods = build_methods(smoke_config, include=("moche", "greedy"), include_ablation=True)
+        measurements = run_runtime_timeseries(smoke_config, methods=methods, family="ART")
+        assert measurements
+        names = {m.method for m in measurements}
+        assert names == {"moche", "greedy", "moche_ns"}
+        assert all(m.seconds >= 0 for m in measurements)
+        assert "size" in format_runtime_table(measurements, title="Figure 5a")
+
+    def test_runtime_synthetic_measurements(self, smoke_config):
+        measurements = run_runtime_synthetic(smoke_config)
+        sizes = {m.size for m in measurements}
+        assert sizes == set(smoke_config.synthetic_sizes)
+        assert {m.method for m in measurements} == {"moche", "greedy", "moche_ns"}
+
+
+class TestLowerBoundStudy:
+    def test_summaries_per_window_size(self, smoke_config, smoke_cases):
+        summaries = run_lower_bound_study(smoke_config, cases=smoke_cases)
+        assert summaries
+        for summary in summaries.values():
+            assert summary.minimum >= 0
+            assert summary.maximum >= summary.minimum
+        assert "Figure 6" in format_estimation_error_table(summaries)
+
+
+class TestCaseStudy:
+    def test_case_study_results(self):
+        result = run_case_study(
+            alpha=0.05, seed=2020, reference_size=400, test_size=600
+        )
+        assert result.population_explanation.reverses_test
+        assert result.age_explanation.reverses_test
+        # Both most comprehensible explanations have the same (minimum) size.
+        assert result.population_explanation.size == result.age_explanation.size
+        # The population-preference explanation draws from FHA only.
+        ha_histogram = result.ha_histograms()["I_p"]
+        assert ha_histogram["FHA"] == result.population_explanation.size
+        # Age-preference explanation is skewed to seniors compared with I_p.
+        age_i_a = result.preference_histograms()["I_a"]
+        age_i_p = result.preference_histograms()["I_p"]
+        mean_age = lambda hist: np.average(np.arange(1, 11), weights=np.maximum(hist, 1e-9))
+        assert mean_age(age_i_a) >= mean_age(age_i_p)
+        report = format_case_study(result)
+        assert "Figure 1b" in report and "Figure 4d" in report
+
+    def test_case_study_rmse_table(self):
+        result = run_case_study(alpha=0.05, seed=1, reference_size=300, test_size=500)
+        rmse = result.rmse_table()
+        assert set(rmse) >= {"moche", "greedy", "d3"}
+        assert all(value >= 0 for value in rmse.values())
+
+    def test_ecdf_after_removal_is_monotone(self):
+        result = run_case_study(alpha=0.05, seed=2, reference_size=300, test_size=500,
+                                include_baselines=False)
+        grid, ecdf = result.ecdf_after_removal("moche")
+        assert grid.size == 10
+        assert np.all(np.diff(ecdf) >= -1e-12)
+        assert ecdf[-1] == pytest.approx(1.0)
+
+
+class TestDatasetSummary:
+    def test_statistics_cover_all_families(self):
+        config = ExperimentConfig(
+            window_sizes=(100,), series_per_family=1, length_scale=0.2, seed=3
+        )
+        statistics = dataset_statistics(config)
+        assert set(statistics) == {"AWS", "AD", "TRF", "TWT", "KC", "ART"}
+        assert "Table 1" in format_dataset_statistics(statistics)
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        table = format_table(["a", "bb"], [[1, 2.5], ["xyz", 3.25]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "2.5000" in table
+        assert "xyz" in table
+
+    def test_format_table_without_title(self):
+        table = format_table(["col"], [[1]])
+        assert table.splitlines()[0].startswith("col")

@@ -1,0 +1,97 @@
+"""Tests for the Explanation result object (repro.core.explanation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.explanation import Explanation
+from repro.core.ks import KSTestResult
+
+
+def make_result(statistic: float, threshold: float, n: int = 100, m: int = 80) -> KSTestResult:
+    return KSTestResult(
+        statistic=statistic, threshold=threshold, alpha=0.05, n=n, m=m, pvalue=0.01
+    )
+
+
+@pytest.fixture
+def explanation() -> Explanation:
+    return Explanation(
+        indices=np.array([3, 1, 7]),
+        values=np.array([5.0, 2.0, 9.0]),
+        method="moche",
+        alpha=0.05,
+        ks_before=make_result(0.3, 0.1),
+        ks_after=make_result(0.05, 0.11),
+        size_lower_bound=2,
+        sizes_checked=2,
+        runtime_seconds=0.01,
+    )
+
+
+class TestExplanation:
+    def test_size_and_len(self, explanation):
+        assert explanation.size == 3
+        assert len(explanation) == 3
+
+    def test_reverses_test(self, explanation):
+        assert explanation.reverses_test
+
+    def test_non_reversing_when_after_still_fails(self, explanation):
+        failing = Explanation(
+            indices=explanation.indices,
+            values=explanation.values,
+            method="greedy",
+            alpha=0.05,
+            ks_before=make_result(0.3, 0.1),
+            ks_after=make_result(0.2, 0.1),
+        )
+        assert not failing.reverses_test
+
+    def test_non_reversing_when_after_missing(self, explanation):
+        missing = Explanation(
+            indices=explanation.indices,
+            values=explanation.values,
+            method="corner_search",
+            alpha=0.05,
+            ks_before=make_result(0.3, 0.1),
+            ks_after=None,
+            converged=False,
+        )
+        assert not missing.reverses_test
+        assert not missing.converged
+
+    def test_fraction_of_test_set(self, explanation):
+        assert explanation.fraction_of_test_set == pytest.approx(3 / 80)
+
+    def test_estimation_error(self, explanation):
+        assert explanation.estimation_error == 1
+
+    def test_estimation_error_none_without_lower_bound(self, explanation):
+        baseline = Explanation(
+            indices=explanation.indices,
+            values=explanation.values,
+            method="greedy",
+            alpha=0.05,
+            ks_before=make_result(0.3, 0.1),
+            ks_after=make_result(0.05, 0.11),
+        )
+        assert baseline.estimation_error is None
+
+    def test_summary_mentions_method_and_status(self, explanation):
+        summary = explanation.summary()
+        assert "moche" in summary
+        assert "reverses" in summary
+
+    def test_indices_and_values_coerced_to_arrays(self):
+        explanation = Explanation(
+            indices=[1, 2],
+            values=[3.0, 4.0],
+            method="moche",
+            alpha=0.05,
+            ks_before=make_result(0.3, 0.1),
+            ks_after=make_result(0.05, 0.11),
+        )
+        assert explanation.indices.dtype == np.int64
+        assert explanation.values.dtype == float

@@ -1,0 +1,128 @@
+"""End-to-end integration tests across modules.
+
+These tests glue several subsystems together the way a downstream user
+would: generate a dataset, detect failed tests via sliding windows, build
+preference lists from outlier scores, explain with MOCHE and the baselines,
+evaluate with the metrics, and export the results.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import GreedyExplainer
+from repro.core.batch import BatchExplainer, windows_to_items
+from repro.core.moche import MOCHE
+from repro.core.preference import PreferenceList
+from repro.datasets.covid import generate_covid_like_dataset
+from repro.datasets.nab import generate_family
+from repro.datasets.sliding_window import failed_window_pairs
+from repro.drift.monitor import ExplainedDriftMonitor
+from repro.io.export import explanation_to_dict, save_explanation
+from repro.metrics.conciseness import is_smallest_explanation
+from repro.metrics.effectiveness import explanation_rmse
+from repro.outliers.spectral_residual import SpectralResidual
+
+
+class TestTimeSeriesPipeline:
+    def test_detect_explain_evaluate_export(self, tmp_path):
+        """Full pipeline on a generated ART series."""
+        dataset = generate_family("ART", seed=21, series_count=1)
+        series = dataset.series[0]
+        failed = failed_window_pairs(series, window_size=250, require_anomaly=True)
+        assert failed, "the generated ART series must produce failed KS tests"
+        pair = failed[0]
+
+        scores = SpectralResidual().scores(
+            np.concatenate([pair.reference, pair.test])
+        )[-pair.test.size:]
+        preference = PreferenceList.from_scores(scores, descending=True, seed=0)
+
+        moche = MOCHE(alpha=0.05).explain(pair.reference, pair.test, preference)
+        greedy = GreedyExplainer(alpha=0.05).explain(pair.reference, pair.test, preference)
+
+        # The metrics agree with MOCHE's guarantees.
+        indicators = is_smallest_explanation({"moche": moche, "greedy": greedy})
+        assert indicators["moche"] == 1
+        assert explanation_rmse(pair.reference, pair.test, moche) <= 1.0
+
+        # Export round-trip.
+        path = save_explanation(moche, tmp_path / "alarm.json")
+        payload = json.loads(path.read_text())
+        assert payload["size"] == moche.size
+        assert payload["reverses_test"] is True
+
+    def test_batch_over_all_failed_windows_of_a_series(self):
+        dataset = generate_family("AWS", seed=22, series_count=1, length_scale=0.5)
+        series = dataset.series[0]
+        pairs = failed_window_pairs(series, window_size=150)
+        if not pairs:
+            pytest.skip("no failed windows in this generated series")
+        batch = BatchExplainer(alpha=0.05)
+        batch.run(windows_to_items(pairs))
+        summary = batch.summary()
+        assert summary.explained_pairs == len(pairs)
+        assert all(e.reverses_test for e in batch.explanations())
+        assert 0 < summary.mean_fraction < 1
+
+
+class TestCovidPipeline:
+    def test_two_preferences_two_explanations_one_size(self):
+        dataset = generate_covid_like_dataset(
+            seed=33, reference_size=600, test_size=900
+        )
+        reference, test = dataset.reference_values, dataset.test_values
+        explainer = MOCHE(alpha=0.05)
+        by_population = explainer.explain(reference, test, dataset.population_preference(seed=0))
+        by_age = explainer.explain(reference, test, dataset.age_preference(seed=0))
+
+        assert by_population.size == by_age.size
+        assert by_population.reverses_test and by_age.reverses_test
+        # L_p concentrates on the largest health authority.
+        ha_counts = dataset.ha_histogram(by_population.indices)
+        assert ha_counts["FHA"] == by_population.size
+        # L_a prefers seniors: its minimum selected age group is at least as
+        # old as L_p's minimum.
+        assert by_age.values.min() >= by_population.values.min()
+
+    def test_explanation_overlaps_injected_ground_truth(self):
+        dataset = generate_covid_like_dataset(seed=34, reference_size=800, test_size=1200)
+        explainer = MOCHE(alpha=0.05)
+        explanation = explainer.explain(
+            dataset.reference_values,
+            dataset.test_values,
+            dataset.population_preference(seed=0),
+        )
+        injected = set(dataset.injected_test_indices.tolist())
+        overlap = len(set(explanation.indices.tolist()) & injected)
+        # Most of the explanation comes from the injected September excess.
+        assert overlap >= 0.5 * explanation.size
+
+
+class TestStreamingPipeline:
+    def test_monitor_alarms_can_be_serialised(self, tmp_path, rng):
+        stream = np.concatenate([rng.normal(size=700), rng.normal(3.0, 1.0, size=700)])
+        monitor = ExplainedDriftMonitor(window_size=200, alpha=0.05)
+        alarms = list(monitor.process(stream))
+        assert alarms
+        for index, alarm in enumerate(alarms):
+            path = save_explanation(alarm.explanation, tmp_path / f"alarm_{index}.json")
+            assert json.loads(path.read_text())["reverses_test"] is True
+
+    def test_monitor_and_batch_agree(self, rng):
+        """The monitor's explanation equals a direct MOCHE call on the same windows."""
+        stream = np.concatenate([rng.normal(size=500), rng.normal(4.0, 0.5, size=300)])
+        monitor = ExplainedDriftMonitor(window_size=150, alpha=0.05)
+        alarms = list(monitor.process(stream))
+        assert alarms
+        alarm = alarms[0]
+        direct = MOCHE(alpha=0.05).explain(
+            alarm.alarm.reference,
+            alarm.alarm.test,
+            monitor.preference_builder(alarm.alarm.reference, alarm.alarm.test),
+        )
+        assert direct.size == alarm.explanation.size
+        assert np.array_equal(np.sort(direct.indices), np.sort(alarm.explanation.indices))

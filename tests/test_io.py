@@ -1,0 +1,133 @@
+"""Tests for the I/O helpers (repro.io)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.moche import explain_ks_failure
+from repro.exceptions import ValidationError
+from repro.io.export import (
+    explanation_report,
+    explanation_to_csv,
+    explanation_to_dict,
+    explanation_to_json,
+    save_explanation,
+)
+from repro.io.loaders import load_sample, load_series_csv, load_window_pair
+
+
+@pytest.fixture
+def explanation(shifted_pair):
+    reference, test = shifted_pair
+    return explain_ks_failure(reference, test)
+
+
+class TestLoaders:
+    def test_load_plain_csv(self, tmp_path):
+        path = tmp_path / "sample.csv"
+        path.write_text("1.5\n2.5\n3.5\n")
+        assert np.array_equal(load_sample(path), [1.5, 2.5, 3.5])
+
+    def test_load_csv_with_header_and_column(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("timestamp,value\n1,10.0\n2,20.0\n3,30.0\n")
+        assert np.array_equal(load_sample(path, column="value"), [10.0, 20.0, 30.0])
+
+    def test_load_csv_header_without_column_uses_first(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("value,other\n10.0,1\n20.0,2\n")
+        assert np.array_equal(load_sample(path), [10.0, 20.0])
+
+    def test_load_csv_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValidationError):
+            load_sample(path, column="missing")
+
+    def test_load_json_array(self, tmp_path):
+        path = tmp_path / "sample.json"
+        path.write_text("[1, 2, 3.5]")
+        assert np.array_equal(load_sample(path), [1.0, 2.0, 3.5])
+
+    def test_load_json_object(self, tmp_path):
+        path = tmp_path / "sample.json"
+        path.write_text(json.dumps({"values": [4, 5]}))
+        assert np.array_equal(load_sample(path), [4.0, 5.0])
+
+    def test_load_json_object_custom_key(self, tmp_path):
+        path = tmp_path / "sample.json"
+        path.write_text(json.dumps({"latency": [1, 2]}))
+        assert np.array_equal(load_sample(path, column="latency"), [1.0, 2.0])
+
+    def test_load_json_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "sample.json"
+        path.write_text(json.dumps({"other": [1]}))
+        with pytest.raises(ValidationError):
+            load_sample(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_sample(tmp_path / "nope.csv")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            load_sample(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x\nhello\n")
+        with pytest.raises(ValidationError):
+            load_sample(path, column="x")
+
+    def test_load_window_pair(self, tmp_path):
+        ref_path = tmp_path / "ref.csv"
+        test_path = tmp_path / "test.csv"
+        ref_path.write_text("1\n2\n")
+        test_path.write_text("3\n4\n")
+        reference, test = load_window_pair(ref_path, test_path)
+        assert np.array_equal(reference, [1.0, 2.0])
+        assert np.array_equal(test, [3.0, 4.0])
+
+    def test_load_series_alias(self, tmp_path):
+        path = tmp_path / "series.csv"
+        path.write_text("t,v\n0,1.0\n1,2.0\n")
+        assert np.array_equal(load_series_csv(path, value_column="v"), [1.0, 2.0])
+
+
+class TestExport:
+    def test_dict_round_trips_through_json(self, explanation):
+        payload = json.loads(explanation_to_json(explanation))
+        assert payload == explanation_to_dict(explanation)
+        assert payload["method"] == "moche"
+        assert payload["size"] == explanation.size
+        assert payload["reverses_test"] is True
+        assert len(payload["indices"]) == explanation.size
+
+    def test_csv_has_one_row_per_point(self, explanation):
+        csv_text = explanation_to_csv(explanation)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "index,value"
+        assert len(lines) == explanation.size + 1
+
+    def test_report_mentions_key_facts(self, explanation):
+        report = explanation_report(explanation)
+        assert "failed KS test" in report
+        assert "explanation size" in report
+        assert "passes" in report
+
+    def test_save_json_csv_txt(self, explanation, tmp_path):
+        json_path = save_explanation(explanation, tmp_path / "e.json")
+        csv_path = save_explanation(explanation, tmp_path / "e.csv")
+        txt_path = save_explanation(explanation, tmp_path / "e.txt")
+        assert json.loads(json_path.read_text())["size"] == explanation.size
+        assert csv_path.read_text().startswith("index,value")
+        assert "Counterfactual explanation" in txt_path.read_text()
+
+    def test_save_unknown_format_rejected(self, explanation, tmp_path):
+        with pytest.raises(ValidationError):
+            save_explanation(explanation, tmp_path / "e.xml")

@@ -1,0 +1,171 @@
+"""Tests for the two-sample KS test substrate (repro.core.ks)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core import ks
+from repro.exceptions import (
+    EmptyDatasetError,
+    InvalidSignificanceLevelError,
+    NonFiniteDataError,
+)
+
+
+class TestValidation:
+    def test_empty_reference_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            ks.ks_test([], [1.0, 2.0])
+
+    def test_empty_test_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            ks.ks_test([1.0, 2.0], [])
+
+    def test_nan_rejected(self):
+        with pytest.raises(NonFiniteDataError):
+            ks.ks_test([1.0, float("nan")], [1.0, 2.0])
+
+    def test_infinity_rejected(self):
+        with pytest.raises(NonFiniteDataError):
+            ks.ks_test([1.0, 2.0], [float("inf"), 2.0])
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.1, 1.5, 2.0])
+    def test_invalid_alpha_rejected(self, alpha):
+        with pytest.raises(InvalidSignificanceLevelError):
+            ks.ks_test([1.0, 2.0], [1.0, 2.0], alpha=alpha)
+
+    def test_multidimensional_input_is_flattened(self):
+        result = ks.ks_test(np.ones((2, 3)), np.ones(4) * 2, alpha=0.05)
+        assert result.n == 6
+        assert result.m == 4
+
+
+class TestStatistic:
+    def test_identical_samples_have_zero_statistic(self):
+        sample = np.array([1.0, 2.0, 3.0, 4.0])
+        assert ks.ks_statistic(sample, sample) == 0.0
+
+    def test_disjoint_samples_have_statistic_one(self):
+        assert ks.ks_statistic([1.0, 2.0], [10.0, 11.0]) == 1.0
+
+    def test_statistic_is_symmetric(self, rng):
+        a = rng.normal(size=50)
+        b = rng.normal(0.5, size=60)
+        assert ks.ks_statistic(a, b) == pytest.approx(ks.ks_statistic(b, a))
+
+    def test_statistic_in_unit_interval(self, rng):
+        a = rng.normal(size=37)
+        b = rng.uniform(-2, 2, size=23)
+        statistic = ks.ks_statistic(a, b)
+        assert 0.0 <= statistic <= 1.0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_statistic_matches_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=int(rng.integers(10, 200)))
+        b = rng.normal(rng.uniform(-1, 1), size=int(rng.integers(10, 200)))
+        expected = stats.ks_2samp(a, b, method="asymp").statistic
+        assert ks.ks_statistic(a, b) == pytest.approx(expected, abs=1e-12)
+
+    def test_statistic_with_ties_matches_scipy(self):
+        a = np.array([1, 1, 2, 2, 3, 3, 3], dtype=float)
+        b = np.array([2, 2, 2, 3, 4, 4], dtype=float)
+        expected = stats.ks_2samp(a, b, method="asymp").statistic
+        assert ks.ks_statistic(a, b) == pytest.approx(expected, abs=1e-12)
+
+    def test_paper_example_statistic(self, paper_example):
+        reference, test, _ = paper_example
+        # F_R(12)=0, F_T(12)=1/4 ; F_R(13)=0, F_T(13)=3/4 ; difference 0.75.
+        assert ks.ks_statistic(reference, test) == pytest.approx(0.75)
+
+
+class TestCriticalValue:
+    def test_critical_coefficient_at_0_05(self):
+        assert ks.critical_coefficient(0.05) == pytest.approx(
+            math.sqrt(-0.5 * math.log(0.025))
+        )
+
+    def test_critical_value_formula(self):
+        n, m, alpha = 100, 50, 0.05
+        expected = ks.critical_coefficient(alpha) * math.sqrt((n + m) / (n * m))
+        assert ks.critical_value(alpha, n, m) == pytest.approx(expected)
+
+    def test_smaller_alpha_gives_larger_threshold(self):
+        assert ks.critical_value(0.01, 100, 100) > ks.critical_value(0.10, 100, 100)
+
+    def test_larger_samples_give_smaller_threshold(self):
+        assert ks.critical_value(0.05, 1000, 1000) < ks.critical_value(0.05, 50, 50)
+
+    def test_zero_sizes_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            ks.critical_value(0.05, 0, 10)
+
+    def test_existence_guarantee_bound(self):
+        assert ks.existence_guaranteed(0.05)
+        assert ks.existence_guaranteed(2.0 / math.e**2)
+        assert not ks.existence_guaranteed(0.5)
+
+
+class TestPValue:
+    def test_kolmogorov_survival_limits(self):
+        assert ks.kolmogorov_survival(0.0) == 1.0
+        assert ks.kolmogorov_survival(10.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_kolmogorov_survival_monotone(self):
+        values = [ks.kolmogorov_survival(x) for x in np.linspace(0.3, 3.0, 20)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_pvalue_close_to_scipy_for_large_samples(self, rng):
+        a = rng.normal(size=400)
+        b = rng.normal(0.3, size=450)
+        statistic = ks.ks_statistic(a, b)
+        ours = ks.asymptotic_pvalue(statistic, a.size, b.size)
+        theirs = stats.ks_2samp(a, b, method="asymp").pvalue
+        assert ours == pytest.approx(theirs, rel=0.1, abs=0.02)
+
+    def test_identical_samples_have_pvalue_one(self):
+        sample = np.arange(20, dtype=float)
+        result = ks.ks_test(sample, sample)
+        assert result.pvalue == pytest.approx(1.0)
+
+
+class TestDecision:
+    def test_same_distribution_usually_passes(self, rng):
+        reference = rng.normal(size=300)
+        test = rng.normal(size=300)
+        result = ks.ks_test(reference, test, alpha=0.01)
+        assert result.passed
+
+    def test_shifted_distribution_fails(self, rng):
+        reference = rng.normal(size=300)
+        test = rng.normal(2.0, size=300)
+        result = ks.ks_test(reference, test, alpha=0.05)
+        assert result.rejected
+
+    def test_rejected_and_passed_are_complements(self, rng):
+        reference = rng.normal(size=100)
+        test = rng.normal(size=120)
+        result = ks.ks_test(reference, test)
+        assert result.rejected != result.passed
+
+    def test_decision_uses_strict_inequality(self):
+        # Construct a result at the boundary: statistic equal to threshold
+        # must NOT be a rejection (Section 3.1, Step 3).
+        result = ks.KSTestResult(
+            statistic=0.5, threshold=0.5, alpha=0.05, n=10, m=10, pvalue=0.2
+        )
+        assert result.passed
+
+    def test_paper_example_fails_at_alpha_03(self, paper_example):
+        reference, test, alpha = paper_example
+        assert ks.ks_test(reference, test, alpha).rejected
+
+    def test_result_records_sizes_and_alpha(self, rng):
+        reference = rng.normal(size=30)
+        test = rng.normal(size=40)
+        result = ks.ks_test(reference, test, alpha=0.07)
+        assert (result.n, result.m, result.alpha) == (30, 40, 0.07)

@@ -1,0 +1,169 @@
+"""Tests for the evaluation metrics (repro.metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.explanation import Explanation
+from repro.core.ks import KSTestResult
+from repro.exceptions import ValidationError
+from repro.metrics.conciseness import is_smallest_explanation, mean_ise
+from repro.metrics.contrastivity import reverse_factor
+from repro.metrics.effectiveness import explanation_rmse, mean_rmse
+from repro.metrics.estimation import estimation_error, estimation_error_summary
+
+
+def make_explanation(
+    size: int,
+    reverses: bool = True,
+    method: str = "method",
+    m: int = 100,
+    lower_bound: int | None = None,
+) -> Explanation:
+    before = KSTestResult(statistic=0.4, threshold=0.2, alpha=0.05, n=100, m=m, pvalue=0.0)
+    after_stat = 0.1 if reverses else 0.3
+    after = KSTestResult(statistic=after_stat, threshold=0.2, alpha=0.05, n=100, m=m - size, pvalue=0.5)
+    return Explanation(
+        indices=np.arange(size),
+        values=np.zeros(size),
+        method=method,
+        alpha=0.05,
+        ks_before=before,
+        ks_after=after,
+        size_lower_bound=lower_bound,
+    )
+
+
+class TestISE:
+    def test_smallest_reversing_explanation_gets_one(self):
+        explanations = {
+            "moche": make_explanation(5),
+            "greedy": make_explanation(20),
+            "d3": make_explanation(5),
+        }
+        indicators = is_smallest_explanation(explanations)
+        assert indicators == {"moche": 1, "greedy": 0, "d3": 1}
+
+    def test_non_reversing_explanations_never_win(self):
+        explanations = {
+            "moche": make_explanation(8),
+            "cs": make_explanation(2, reverses=False),
+        }
+        assert is_smallest_explanation(explanations) == {"moche": 1, "cs": 0}
+
+    def test_all_non_reversing_gives_all_zero(self):
+        explanations = {"a": make_explanation(3, reverses=False)}
+        assert is_smallest_explanation(explanations) == {"a": 0}
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValidationError):
+            is_smallest_explanation({})
+
+    def test_mean_ise_averages_over_eligible_tests(self):
+        per_test = [
+            {"moche": make_explanation(5), "greedy": make_explanation(9)},
+            {"moche": make_explanation(4), "greedy": make_explanation(4)},
+        ]
+        averages = mean_ise(per_test)
+        assert averages["moche"] == pytest.approx(1.0)
+        assert averages["greedy"] == pytest.approx(0.5)
+
+    def test_mean_ise_skips_tests_with_aborted_methods(self):
+        per_test = [
+            {"moche": make_explanation(5), "cs": make_explanation(3, reverses=False)},
+            {"moche": make_explanation(5), "cs": make_explanation(7)},
+        ]
+        averages = mean_ise(per_test)
+        # Only the second test counts; CS loses there.
+        assert averages["moche"] == pytest.approx(1.0)
+        assert averages["cs"] == pytest.approx(0.0)
+
+    def test_mean_ise_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            mean_ise([])
+
+
+class TestReverseFactor:
+    def test_fraction_of_reversing_explanations(self):
+        explanations = [
+            make_explanation(3),
+            make_explanation(3, reverses=False),
+            make_explanation(3),
+            make_explanation(3),
+        ]
+        assert reverse_factor(explanations) == pytest.approx(0.75)
+
+    def test_all_reversing_gives_one(self):
+        assert reverse_factor([make_explanation(2)] * 5) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            reverse_factor([])
+
+
+class TestRMSE:
+    def test_rmse_decreases_after_removing_good_explanation(self, rng):
+        reference = rng.normal(size=400)
+        test = np.concatenate([rng.normal(size=350), rng.normal(4.0, 0.3, size=50)])
+        good = Explanation(
+            indices=np.arange(350, 400),
+            values=test[350:],
+            method="oracle",
+            alpha=0.05,
+            ks_before=KSTestResult(0.3, 0.1, 0.05, 400, 400, 0.0),
+            ks_after=KSTestResult(0.05, 0.1, 0.05, 400, 350, 0.5),
+        )
+        empty = Explanation(
+            indices=np.array([], dtype=int),
+            values=np.array([]),
+            method="noop",
+            alpha=0.05,
+            ks_before=KSTestResult(0.3, 0.1, 0.05, 400, 400, 0.0),
+            ks_after=KSTestResult(0.3, 0.1, 0.05, 400, 400, 0.0),
+        )
+        assert explanation_rmse(reference, test, good) < explanation_rmse(reference, test, empty)
+
+    def test_rmse_rejects_mismatched_indices(self, rng):
+        reference = rng.normal(size=50)
+        test = rng.normal(size=40)
+        bad = make_explanation(3)
+        bad.indices = np.array([100])
+        with pytest.raises(ValidationError):
+            explanation_rmse(reference, test, bad)
+
+    def test_rmse_rejects_full_removal(self, rng):
+        reference = rng.normal(size=10)
+        test = rng.normal(size=5)
+        explanation = make_explanation(5, m=5)
+        with pytest.raises(ValidationError):
+            explanation_rmse(reference, test, explanation)
+
+    def test_mean_rmse(self):
+        assert mean_rmse([0.1, 0.3]) == pytest.approx(0.2)
+        with pytest.raises(ValidationError):
+            mean_rmse([])
+
+
+class TestEstimationError:
+    def test_error_from_moche_explanation(self):
+        explanation = make_explanation(6, lower_bound=4)
+        assert estimation_error(explanation) == 2
+
+    def test_error_requires_lower_bound(self):
+        with pytest.raises(ValidationError):
+            estimation_error(make_explanation(6))
+
+    def test_summary_statistics(self):
+        summary = estimation_error_summary([0, 0, 1, 1, 2, 6])
+        assert summary.count == 6
+        assert summary.minimum == 0
+        assert summary.maximum == 6
+        assert summary.median == pytest.approx(1.0)
+        assert summary.mean == pytest.approx(10 / 6)
+        row = summary.as_row()
+        assert row["q1"] <= row["median"] <= row["q3"]
+
+    def test_summary_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            estimation_error_summary([])

@@ -1,0 +1,171 @@
+"""End-to-end tests for the MOCHE explainer (repro.core.moche)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.brute_force import BruteForceExplainer
+from repro.core.moche import MOCHE, explain_ks_failure
+from repro.core.preference import PreferenceList
+from repro.exceptions import KSTestPassedError
+from tests.conftest import make_failed_pair
+
+
+class TestPaperExample:
+    def test_example6_most_comprehensible_explanation(self, paper_example):
+        reference, test, alpha = paper_example
+        preference = PreferenceList.from_order([3, 2, 1, 0])
+        explanation = explain_ks_failure(reference, test, alpha, preference)
+        assert explanation.size == 2
+        assert sorted(explanation.indices.tolist()) == [1, 2]
+        assert sorted(explanation.values.tolist()) == [12.0, 13.0]
+
+    def test_example_reverses_failed_test(self, paper_example):
+        reference, test, alpha = paper_example
+        explanation = explain_ks_failure(reference, test, alpha)
+        assert explanation.ks_before.rejected
+        assert explanation.reverses_test
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force_exactly(self, seed):
+        """MOCHE returns exactly the brute-force most comprehensible explanation."""
+        rng = np.random.default_rng(seed + 100)
+        reference = rng.normal(size=40)
+        test = np.concatenate([rng.normal(size=4), rng.uniform(3.0, 5.0, size=5)])
+        preference = PreferenceList.random(test.size, seed=seed)
+        brute = BruteForceExplainer(alpha=0.05)
+        try:
+            expected = brute.explain(reference, test, preference)
+        except KSTestPassedError:
+            pytest.skip("pair does not fail the KS test")
+        actual = explain_ks_failure(reference, test, 0.05, preference)
+        assert actual.size == expected.size
+        assert set(actual.indices.tolist()) == set(expected.indices.tolist())
+
+    def test_explanation_is_minimal(self, shifted_pair):
+        """Removing any strictly smaller prefix-of-preference subset cannot work."""
+        reference, test = shifted_pair
+        explanation = explain_ks_failure(reference, test)
+        # By Definition 1 all explanations share the minimum size; check that
+        # the reported lower bound and size are consistent and that removing
+        # size-1 arbitrary points from the explanation no longer reverses.
+        assert explanation.size >= 1
+        if explanation.size > 1:
+            from repro.core.cumulative import ExplanationProblem
+
+            problem = ExplanationProblem(reference, test, 0.05)
+            assert not problem.is_reversing_subset(explanation.indices[:-1])
+
+    def test_explanation_reverses_for_larger_instances(self, rng):
+        reference, test = make_failed_pair(rng, 2000, 1500)
+        explanation = explain_ks_failure(reference, test)
+        assert explanation.reverses_test
+        assert explanation.size < test.size
+
+    def test_lower_bound_le_size(self, shifted_pair):
+        reference, test = shifted_pair
+        explanation = explain_ks_failure(reference, test)
+        assert explanation.size_lower_bound <= explanation.size
+        assert explanation.estimation_error >= 0
+
+    def test_identity_preference_default(self, shifted_pair):
+        reference, test = shifted_pair
+        default = explain_ks_failure(reference, test)
+        explicit = explain_ks_failure(
+            reference, test, preference=PreferenceList.identity(test.size)
+        )
+        assert np.array_equal(default.indices, explicit.indices)
+
+    def test_preference_as_plain_list(self, paper_example):
+        reference, test, alpha = paper_example
+        explanation = explain_ks_failure(reference, test, alpha, preference=[3, 2, 1, 0])
+        assert sorted(explanation.indices.tolist()) == [1, 2]
+
+
+class TestComprehensibility:
+    def test_result_is_lexicographically_minimal_among_sampled_alternatives(self, rng):
+        """No same-size reversing subset is more preferred than MOCHE's."""
+        reference, test = make_failed_pair(rng, 300, 200, shift_fraction=0.15)
+        preference = PreferenceList.random(test.size, seed=0)
+        explanation = explain_ks_failure(reference, test, 0.05, preference)
+        from repro.core.cumulative import ExplanationProblem
+
+        problem = ExplanationProblem(reference, test, 0.05)
+        moche_key = preference.lexicographic_key(explanation.indices)
+        # Randomly sample same-size subsets; none may both reverse the test
+        # and precede MOCHE's explanation lexicographically.
+        for _ in range(50):
+            candidate = rng.choice(test.size, size=explanation.size, replace=False)
+            if not problem.is_reversing_subset(candidate):
+                continue
+            assert moche_key <= preference.lexicographic_key(candidate)
+
+    def test_explanation_respects_preference_prefix(self, rng):
+        """Points strictly preferred to the first selected point are in no explanation."""
+        reference, test = make_failed_pair(rng, 200, 150, shift_fraction=0.2)
+        preference = PreferenceList.random(test.size, seed=1)
+        explanation = explain_ks_failure(reference, test, 0.05, preference)
+        first_rank = preference.ranks[explanation.indices].min()
+        from repro.core.construction import PartialExplanationChecker
+        from repro.core.cumulative import ExplanationProblem
+
+        problem = ExplanationProblem(reference, test, 0.05)
+        checker = PartialExplanationChecker(problem, explanation.size)
+        for rank in range(int(first_rank)):
+            index = preference[rank]
+            assert not checker.would_extend(index)
+
+    def test_different_preferences_may_select_different_points(self, rng):
+        reference, test = make_failed_pair(rng, 400, 300)
+        ascending = PreferenceList.from_scores(test, descending=False, seed=0)
+        descending = PreferenceList.from_scores(test, descending=True, seed=0)
+        low = explain_ks_failure(reference, test, 0.05, ascending)
+        high = explain_ks_failure(reference, test, 0.05, descending)
+        assert low.size == high.size
+        assert set(low.indices.tolist()) != set(high.indices.tolist())
+
+
+class TestInterface:
+    def test_passed_test_raises(self, rng):
+        sample = rng.normal(size=200)
+        with pytest.raises(KSTestPassedError):
+            explain_ks_failure(sample, sample)
+
+    def test_ablation_mode_matches_full_moche(self, shifted_pair):
+        reference, test = shifted_pair
+        full = MOCHE(alpha=0.05, use_lower_bound=True).explain(reference, test)
+        ablation = MOCHE(alpha=0.05, use_lower_bound=False).explain(reference, test)
+        assert full.size == ablation.size
+        assert np.array_equal(full.indices, ablation.indices)
+        assert ablation.method == "moche_ns"
+        assert ablation.size_lower_bound is None
+
+    def test_find_size_matches_explain(self, shifted_pair):
+        reference, test = shifted_pair
+        explainer = MOCHE(alpha=0.05)
+        assert explainer.find_size(reference, test).size == explainer.explain(
+            reference, test
+        ).size
+
+    def test_explanation_metadata(self, shifted_pair):
+        reference, test = shifted_pair
+        explanation = explain_ks_failure(reference, test)
+        assert explanation.method == "moche"
+        assert explanation.alpha == 0.05
+        assert explanation.runtime_seconds >= 0
+        assert 0 < explanation.fraction_of_test_set < 1
+        assert "reverses" in explanation.summary()
+
+    def test_values_match_indices(self, shifted_pair):
+        reference, test = shifted_pair
+        explanation = explain_ks_failure(reference, test)
+        assert np.array_equal(explanation.values, np.asarray(test)[explanation.indices])
+
+    def test_repeated_runs_are_deterministic(self, shifted_pair):
+        reference, test = shifted_pair
+        first = explain_ks_failure(reference, test)
+        second = explain_ks_failure(reference, test)
+        assert np.array_equal(first.indices, second.indices)

@@ -1,0 +1,98 @@
+"""Tests for the multidimensional KS extension (repro.multidim)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preference import PreferenceList
+from repro.exceptions import EmptyDatasetError, KSTestPassedError, ValidationError
+from repro.multidim.explain2d import GreedyKS2DExplainer
+from repro.multidim.fasano_franceschini import ks2d_statistic, ks2d_test
+
+
+class TestKS2DStatistic:
+    def test_identical_samples_have_small_statistic(self, rng):
+        sample = rng.normal(size=(100, 2))
+        assert ks2d_statistic(sample, sample) == pytest.approx(0.0, abs=1e-12)
+
+    def test_separated_clouds_have_large_statistic(self, rng):
+        first = rng.normal(size=(80, 2))
+        second = rng.normal(size=(80, 2)) + 10.0
+        assert ks2d_statistic(first, second) > 0.9
+
+    def test_statistic_symmetric(self, rng):
+        a = rng.normal(size=(40, 2))
+        b = rng.normal(0.5, size=(50, 2))
+        assert ks2d_statistic(a, b) == pytest.approx(ks2d_statistic(b, a))
+
+    def test_statistic_in_unit_interval(self, rng):
+        a = rng.uniform(size=(30, 2))
+        b = rng.uniform(size=(45, 2))
+        assert 0.0 <= ks2d_statistic(a, b) <= 1.0
+
+    def test_invalid_shapes_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            ks2d_statistic(rng.normal(size=(10, 3)), rng.normal(size=(10, 2)))
+        with pytest.raises(EmptyDatasetError):
+            ks2d_statistic(np.empty((0, 2)), rng.normal(size=(10, 2)))
+
+
+class TestKS2DTest:
+    def test_same_distribution_passes(self, rng):
+        first = rng.normal(size=(200, 2))
+        second = rng.normal(size=(200, 2))
+        assert ks2d_test(first, second, alpha=0.01).passed
+
+    def test_shifted_distribution_fails(self, rng):
+        first = rng.normal(size=(200, 2))
+        second = rng.normal(size=(200, 2)) + np.array([2.0, 0.0])
+        result = ks2d_test(first, second, alpha=0.05)
+        assert result.rejected
+        assert result.pvalue < 0.05
+
+    def test_invalid_alpha_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            ks2d_test(rng.normal(size=(10, 2)), rng.normal(size=(10, 2)), alpha=2.0)
+
+    def test_result_records_sizes(self, rng):
+        result = ks2d_test(rng.normal(size=(30, 2)), rng.normal(size=(40, 2)))
+        assert (result.n, result.m) == (30, 40)
+
+
+class TestGreedyKS2DExplainer:
+    def test_explanation_reverses_failed_2d_test(self, rng):
+        reference = rng.normal(size=(150, 2))
+        test = np.vstack([rng.normal(size=(120, 2)), rng.normal(4.0, 0.3, size=(30, 2))])
+        explainer = GreedyKS2DExplainer(alpha=0.05)
+        explanation = explainer.explain(reference, test)
+        assert explanation.reverses_test
+        assert 0 < explanation.size < test.shape[0]
+
+    def test_explanation_targets_outlying_cluster(self, rng):
+        reference = rng.normal(size=(150, 2))
+        test = np.vstack([rng.normal(size=(130, 2)), rng.normal(5.0, 0.2, size=(20, 2))])
+        # Domain knowledge: points far from the reference centroid are more
+        # suspicious, so they head the preference list.
+        distances = np.linalg.norm(test - reference.mean(axis=0), axis=1)
+        preference = PreferenceList.from_scores(distances, descending=True, seed=0)
+        explanation = GreedyKS2DExplainer(alpha=0.05).explain(reference, test, preference)
+        outlier_indices = set(range(130, 150))
+        overlap = len(set(explanation.indices.tolist()) & outlier_indices)
+        assert overlap >= 0.5 * explanation.size
+
+    def test_preference_is_respected_in_candidate_order(self, rng):
+        reference = rng.normal(size=(100, 2))
+        test = np.vstack([rng.normal(size=(80, 2)), rng.normal(4.0, 0.3, size=(20, 2))])
+        preference = PreferenceList.from_order(list(range(test.shape[0]))[::-1])
+        explanation = GreedyKS2DExplainer(alpha=0.05).explain(reference, test, preference)
+        assert explanation.reverses_test
+
+    def test_passed_test_raises(self, rng):
+        sample = rng.normal(size=(100, 2))
+        with pytest.raises(KSTestPassedError):
+            GreedyKS2DExplainer().explain(sample, sample.copy())
+
+    def test_invalid_candidate_pool_rejected(self):
+        with pytest.raises(ValidationError):
+            GreedyKS2DExplainer(candidate_pool=0)

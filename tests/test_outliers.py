@@ -1,0 +1,238 @@
+"""Tests for the outlier/anomaly scoring substrates (repro.outliers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyDatasetError, ValidationError
+from repro.outliers.kde import GaussianKDE, density_ratio_scores, empirical_pmf, pmf_evaluate
+from repro.outliers.matrix_profile import (
+    matrix_profile,
+    point_scores_from_subsequences,
+    subsequence_anomaly_scores,
+)
+from repro.outliers.series2graph import Series2Graph
+from repro.outliers.simple import iqr_scores, knn_distance_scores, zscore_scores
+from repro.outliers.spectral_residual import SpectralResidual, spectral_residual_scores
+
+
+class TestSpectralResidual:
+    def test_scores_have_series_length(self, rng):
+        series = rng.normal(size=200)
+        scores = spectral_residual_scores(series)
+        assert scores.shape == (200,)
+
+    def test_spike_gets_high_score(self, rng):
+        series = np.sin(np.linspace(0, 20 * np.pi, 500)) + rng.normal(0, 0.05, 500)
+        series[250] += 8.0
+        scores = SpectralResidual().scores(series)
+        assert np.argmax(scores) in range(245, 256)
+
+    def test_anomalous_region_scores_above_normal_region(self, rng):
+        series = rng.normal(0, 0.2, size=400)
+        series[300:320] += 5.0
+        scores = SpectralResidual().scores(series)
+        assert scores[300:320].mean() > scores[50:250].mean()
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            SpectralResidual().scores(np.array([]))
+
+    def test_short_series_falls_back_gracefully(self):
+        scores = SpectralResidual().scores(np.array([1.0, 5.0, 1.0]))
+        assert scores.shape == (3,)
+        assert np.isfinite(scores).all()
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValidationError):
+            spectral_residual_scores(np.arange(10.0), bogus=1)
+
+    def test_constant_series_produces_finite_scores(self):
+        scores = SpectralResidual().scores(np.full(100, 3.0))
+        assert np.isfinite(scores).all()
+
+
+class TestKDE:
+    def test_density_integrates_to_about_one(self, rng):
+        sample = rng.normal(size=400)
+        kde = GaussianKDE(sample)
+        grid = np.linspace(-6, 6, 2000)
+        integral = np.trapezoid(kde.evaluate(grid), grid)
+        assert integral == pytest.approx(1.0, abs=0.05)
+
+    def test_density_higher_near_data(self, rng):
+        sample = rng.normal(size=300)
+        kde = GaussianKDE(sample)
+        assert kde.evaluate(np.array([0.0]))[0] > kde.evaluate(np.array([6.0]))[0]
+
+    def test_constant_sample_does_not_crash(self):
+        kde = GaussianKDE(np.full(50, 2.0))
+        assert np.isfinite(kde.evaluate(np.array([2.0, 3.0]))).all()
+
+    def test_invalid_bandwidth_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            GaussianKDE(rng.normal(size=10), bandwidth=-1.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            GaussianKDE(np.array([]))
+
+    def test_callable_interface(self, rng):
+        sample = rng.normal(size=100)
+        kde = GaussianKDE(sample)
+        points = np.array([0.0, 1.0])
+        assert np.array_equal(kde(points), kde.evaluate(points))
+
+    def test_empirical_pmf_sums_to_one(self):
+        pmf = empirical_pmf(np.array([1.0, 1.0, 2.0, 3.0]))
+        assert sum(pmf.values()) == pytest.approx(1.0)
+        assert pmf[1.0] == pytest.approx(0.5)
+
+    def test_pmf_evaluate_unseen_values_are_zero(self):
+        pmf = empirical_pmf(np.array([1.0, 2.0]))
+        assert np.array_equal(pmf_evaluate(pmf, np.array([3.0])), [0.0])
+
+    def test_density_ratio_highlights_test_only_region(self, rng):
+        reference = rng.normal(size=400)
+        test = np.concatenate([rng.normal(size=300), rng.normal(6.0, 0.3, size=100)])
+        scores = density_ratio_scores(reference, test)
+        assert scores[300:].mean() > scores[:300].mean()
+
+    def test_density_ratio_discrete_mode(self, rng):
+        reference = rng.integers(1, 5, size=200).astype(float)
+        test = np.concatenate(
+            [rng.integers(1, 5, size=150), np.full(50, 9.0)]
+        ).astype(float)
+        scores = density_ratio_scores(reference, test, discrete=True)
+        assert scores[150:].min() > np.median(scores[:150])
+
+
+class TestMatrixProfile:
+    def test_profile_length(self, rng):
+        query = rng.normal(size=120)
+        reference = rng.normal(size=150)
+        profile = matrix_profile(query, reference, window=20)
+        assert profile.shape == (101,)
+
+    def test_similar_series_have_small_profile(self, rng):
+        base = np.sin(np.linspace(0, 10 * np.pi, 300))
+        profile = matrix_profile(base + rng.normal(0, 0.01, 300), base, window=25)
+        assert profile.max() < 2.0
+
+    def test_anomalous_subsequence_scores_highest(self, rng):
+        reference = np.sin(np.linspace(0, 12 * np.pi, 400)) + rng.normal(0, 0.05, 400)
+        query = np.sin(np.linspace(0, 12 * np.pi, 400)) + rng.normal(0, 0.05, 400)
+        query[200:230] = 5.0 + rng.normal(0, 0.05, 30)  # flat alien segment
+        window = 25
+        profile = subsequence_anomaly_scores(query, reference, window)
+        assert 175 <= int(np.argmax(profile)) <= 230
+
+    def test_matches_naive_computation(self, rng):
+        query = rng.normal(size=40)
+        reference = rng.normal(size=45)
+        window = 8
+        fast = matrix_profile(query, reference, window)
+        slow = _naive_matrix_profile(query, reference, window)
+        assert np.allclose(fast, slow, atol=1e-6)
+
+    def test_window_too_long_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            matrix_profile(rng.normal(size=10), rng.normal(size=10), window=20)
+
+    def test_window_too_short_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            matrix_profile(rng.normal(size=10), rng.normal(size=10), window=1)
+
+    def test_point_scores_cover_series(self):
+        scores = np.array([1.0, 5.0, 2.0])
+        points = point_scores_from_subsequences(scores, series_length=6, window=4)
+        assert points.shape == (6,)
+        assert points.max() == 5.0
+        # Points covered by the highest-scoring subsequence inherit its score.
+        assert np.all(points[1:5] == 5.0)
+
+
+def _naive_matrix_profile(query: np.ndarray, reference: np.ndarray, window: int) -> np.ndarray:
+    def znorm(x: np.ndarray) -> np.ndarray:
+        std = x.std()
+        if std < 1e-12:
+            return np.zeros_like(x)
+        return (x - x.mean()) / std
+
+    query_count = query.size - window + 1
+    reference_count = reference.size - window + 1
+    profile = np.empty(query_count)
+    for i in range(query_count):
+        a = znorm(query[i:i + window])
+        best = np.inf
+        for j in range(reference_count):
+            b = znorm(reference[j:j + window])
+            best = min(best, float(np.linalg.norm(a - b)))
+        profile[i] = best
+    return profile
+
+
+class TestSeries2Graph:
+    def test_scores_have_expected_length(self, rng):
+        reference = np.sin(np.linspace(0, 20 * np.pi, 400)) + rng.normal(0, 0.05, 400)
+        query = np.sin(np.linspace(0, 20 * np.pi, 300)) + rng.normal(0, 0.05, 300)
+        model = Series2Graph(window=20).fit(reference)
+        scores = model.score_subsequences(query)
+        assert scores.shape == (281,)
+        assert np.all(scores >= 0)
+
+    def test_anomalous_shape_scores_higher(self, rng):
+        reference = np.sin(np.linspace(0, 30 * np.pi, 600)) + rng.normal(0, 0.03, 600)
+        query = np.sin(np.linspace(0, 15 * np.pi, 300)) + rng.normal(0, 0.03, 300)
+        query[150:180] = np.linspace(0, 6, 30)  # alien ramp
+        model = Series2Graph(window=20).fit(reference)
+        scores = model.score_subsequences(query)
+        assert scores[140:180].max() >= np.median(scores)
+
+    def test_scoring_before_fit_rejected(self, rng):
+        model = Series2Graph(window=10)
+        with pytest.raises(ValidationError):
+            model.score_subsequences(rng.normal(size=50))
+
+    @pytest.mark.parametrize("kwargs", [{"window": 1}, {"window": 10, "node_count": 1}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            Series2Graph(**kwargs)
+
+
+class TestSimpleScores:
+    def test_zscore_flags_extreme_values(self, rng):
+        values = np.concatenate([rng.normal(size=100), [10.0]])
+        scores = zscore_scores(values)
+        assert np.argmax(scores) == 100
+
+    def test_zscore_with_reference(self, rng):
+        reference = rng.normal(size=200)
+        values = np.array([0.0, 5.0])
+        scores = zscore_scores(values, reference)
+        assert scores[1] > scores[0]
+
+    def test_iqr_scores_zero_inside_box(self, rng):
+        values = rng.normal(size=500)
+        scores = iqr_scores(values)
+        q1, q3 = np.percentile(values, [25, 75])
+        inside = (values >= q1) & (values <= q3)
+        assert np.all(scores[inside] == 0.0)
+
+    def test_knn_distance_larger_for_far_points(self, rng):
+        reference = rng.normal(size=300)
+        scores = knn_distance_scores(np.array([0.0, 8.0]), reference, neighbours=5)
+        assert scores[1] > scores[0]
+
+    def test_knn_invalid_neighbours_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            knn_distance_scores(np.array([1.0]), rng.normal(size=10), neighbours=0)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            zscore_scores(np.array([]))
+        with pytest.raises(EmptyDatasetError):
+            iqr_scores(np.array([]))
+        with pytest.raises(EmptyDatasetError):
+            knn_distance_scores(np.array([1.0]), np.array([]))

@@ -1,0 +1,111 @@
+"""Tests for preference lists (repro.core.preference)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preference import PreferenceList, preference_from_metadata
+from repro.exceptions import InvalidPreferenceError
+
+
+class TestConstruction:
+    def test_identity(self):
+        preference = PreferenceList.identity(5)
+        assert list(preference) == [0, 1, 2, 3, 4]
+        assert len(preference) == 5
+
+    def test_from_order(self):
+        preference = PreferenceList.from_order([2, 0, 1])
+        assert preference[0] == 2
+        assert preference[2] == 1
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(InvalidPreferenceError):
+            PreferenceList.from_order([0, 0, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidPreferenceError):
+            PreferenceList.from_order([1, 2, 3])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidPreferenceError):
+            PreferenceList.from_order([])
+
+    def test_from_scores_descending(self):
+        preference = PreferenceList.from_scores([0.1, 0.9, 0.5])
+        assert preference[0] == 1
+        assert preference[2] == 0
+
+    def test_from_scores_ascending(self):
+        preference = PreferenceList.from_scores([0.1, 0.9, 0.5], descending=False)
+        assert preference[0] == 0
+        assert preference[2] == 1
+
+    def test_from_scores_ties_broken_randomly_but_reproducibly(self):
+        scores = [1.0] * 6
+        first = PreferenceList.from_scores(scores, seed=1)
+        second = PreferenceList.from_scores(scores, seed=1)
+        third = PreferenceList.from_scores(scores, seed=2)
+        assert np.array_equal(first.order, second.order)
+        assert not np.array_equal(first.order, third.order)
+
+    def test_from_key(self):
+        items = [{"age": 30}, {"age": 70}, {"age": 50}]
+        preference = PreferenceList.from_key(items, key=lambda item: item["age"])
+        assert preference[0] == 1
+
+    def test_preference_from_metadata_wrapper(self):
+        preference = preference_from_metadata([3, 1, 2], key=float)
+        assert preference[0] == 0
+
+    def test_random_is_permutation(self):
+        preference = PreferenceList.random(20, seed=0)
+        assert sorted(preference) == list(range(20))
+
+    def test_random_reproducible(self):
+        assert np.array_equal(
+            PreferenceList.random(15, seed=5).order,
+            PreferenceList.random(15, seed=5).order,
+        )
+
+    def test_order_is_read_only_copy_semantics(self):
+        order = np.array([0, 1, 2])
+        preference = PreferenceList.from_order(order)
+        order[0] = 2  # mutating the input must not corrupt the preference
+        assert preference[0] == 0 or sorted(preference) == [0, 1, 2]
+
+
+class TestRanksAndTop:
+    def test_ranks_inverse_of_order(self):
+        preference = PreferenceList.from_order([2, 0, 3, 1])
+        ranks = preference.ranks
+        for rank, index in enumerate(preference.order):
+            assert ranks[index] == rank
+
+    def test_top(self):
+        preference = PreferenceList.from_order([2, 0, 3, 1])
+        assert np.array_equal(preference.top(2), [2, 0])
+
+    def test_top_more_than_length(self):
+        preference = PreferenceList.identity(3)
+        assert preference.top(10).size == 3
+
+
+class TestLexicographic:
+    def test_key_is_sorted_ranks(self):
+        preference = PreferenceList.from_order([3, 1, 0, 2])
+        assert preference.lexicographic_key([0, 3]) == (0, 2)
+
+    def test_more_comprehensible_prefers_better_first_element(self):
+        preference = PreferenceList.identity(6)
+        assert preference.more_comprehensible([0, 5], [1, 2])
+
+    def test_more_comprehensible_breaks_ties_on_later_elements(self):
+        preference = PreferenceList.identity(6)
+        assert preference.more_comprehensible([0, 2], [0, 3])
+        assert not preference.more_comprehensible([0, 3], [0, 2])
+
+    def test_shorter_prefix_precedes(self):
+        preference = PreferenceList.identity(6)
+        assert preference.more_comprehensible([0], [0, 1])

@@ -1,0 +1,75 @@
+"""Property-based tests for the explanation-space analysis tools."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import enumerate_explanations, relevant_points
+from repro.core.cumulative import ExplanationProblem
+from repro.core.ks import ks_test
+from repro.core.preference import PreferenceList
+from repro.core.size_search import explanation_size
+
+values = st.integers(min_value=0, max_value=10).map(float)
+reference_sets = st.lists(values, min_size=4, max_size=25)
+test_sets = st.lists(values, min_size=3, max_size=8)
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def failed_problem_or_none(reference, test, alpha=0.2):
+    reference = np.asarray(reference, dtype=float)
+    test = np.asarray(test, dtype=float)
+    if ks_test(reference, test, alpha).passed:
+        return None
+    return ExplanationProblem(reference, test, alpha)
+
+
+class TestAnalysisProperties:
+    @SETTINGS
+    @given(reference_sets, test_sets)
+    def test_every_enumerated_explanation_reverses_and_has_size_k(self, reference, test):
+        problem = failed_problem_or_none(reference, test)
+        assume(problem is not None)
+        size = explanation_size(problem).size
+        explanations = list(enumerate_explanations(problem, limit=20))
+        assert explanations
+        for explanation in explanations:
+            assert explanation.size == size
+            assert problem.is_reversing_subset(explanation)
+
+    @SETTINGS
+    @given(reference_sets, test_sets)
+    def test_enumerated_explanations_are_distinct(self, reference, test):
+        problem = failed_problem_or_none(reference, test)
+        assume(problem is not None)
+        seen = [tuple(sorted(e.tolist())) for e in enumerate_explanations(problem, limit=25)]
+        assert len(seen) == len(set(seen))
+
+    @SETTINGS
+    @given(reference_sets, test_sets)
+    def test_relevant_points_cover_every_enumerated_explanation(self, reference, test):
+        problem = failed_problem_or_none(reference, test)
+        assume(problem is not None)
+        mask = relevant_points(problem)
+        for explanation in enumerate_explanations(problem, limit=20):
+            assert mask[explanation].all()
+
+    @SETTINGS
+    @given(reference_sets, test_sets, st.integers(min_value=0, max_value=50))
+    def test_first_enumerated_matches_moche_for_any_preference(self, reference, test, seed):
+        problem = failed_problem_or_none(reference, test)
+        assume(problem is not None)
+        preference = PreferenceList.random(problem.m, seed=seed)
+        first = next(iter(enumerate_explanations(problem, preference)))
+        from repro.core.moche import explain_ks_failure
+
+        moche = explain_ks_failure(problem.reference, problem.test, problem.alpha, preference)
+        assert set(first.tolist()) == set(moche.indices.tolist())

@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) for the core MOCHE invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.brute_force import BruteForceExplainer
+from repro.core.bounds import BoundsCalculator
+from repro.core.cumulative import ExplanationProblem, cumulative_vector
+from repro.core.ks import critical_value, ks_statistic, ks_test
+from repro.core.moche import explain_ks_failure
+from repro.core.preference import PreferenceList
+from repro.core.size_search import explanation_size, lower_bound_size
+from repro.utils.ecdf import evaluate_ecdf
+
+# Strategies ------------------------------------------------------------
+values = st.integers(min_value=0, max_value=12).map(float)
+reference_sets = st.lists(values, min_size=4, max_size=30)
+test_sets = st.lists(values, min_size=3, max_size=9)
+samples = st.lists(
+    st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def failed_problem_or_none(reference, test, alpha=0.2):
+    reference = np.asarray(reference, dtype=float)
+    test = np.asarray(test, dtype=float)
+    result = ks_test(reference, test, alpha)
+    if result.passed:
+        return None
+    return ExplanationProblem(reference, test, alpha)
+
+
+# KS test properties ----------------------------------------------------
+class TestKSProperties:
+    @COMMON_SETTINGS
+    @given(samples, samples)
+    def test_statistic_bounds_and_symmetry(self, a, b):
+        statistic = ks_statistic(a, b)
+        assert 0.0 <= statistic <= 1.0
+        assert statistic == pytest.approx(ks_statistic(b, a))
+
+    @COMMON_SETTINGS
+    @given(samples)
+    def test_identical_samples_never_fail(self, a):
+        result = ks_test(a, a, alpha=0.05)
+        assert result.statistic == pytest.approx(0.0)
+        assert result.passed
+
+    @COMMON_SETTINGS
+    @given(samples, samples)
+    def test_ecdf_is_monotone_and_normalised(self, a, b):
+        grid = np.union1d(np.asarray(a, float), np.asarray(b, float))
+        ecdf = evaluate_ecdf(np.asarray(a, float), grid)
+        assert np.all(np.diff(ecdf) >= -1e-12)
+        assert ecdf[-1] == pytest.approx(1.0)
+
+    @COMMON_SETTINGS
+    @given(
+        st.floats(min_value=0.001, max_value=0.26),
+        st.integers(min_value=2, max_value=500),
+        st.integers(min_value=2, max_value=500),
+    )
+    def test_critical_value_positive_and_monotone_in_alpha(self, alpha, n, m):
+        value = critical_value(alpha, n, m)
+        assert value > 0
+        assert value >= critical_value(min(alpha * 2, 0.9), n, m)
+
+
+# Cumulative-vector properties ------------------------------------------
+class TestCumulativeProperties:
+    @COMMON_SETTINGS
+    @given(reference_sets, test_sets, st.data())
+    def test_cumulative_vector_of_subset_dominated_by_test(self, reference, test, data):
+        problem = failed_problem_or_none(reference, test)
+        assume(problem is not None)
+        size = data.draw(st.integers(min_value=0, max_value=problem.m))
+        indices = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=problem.m - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        vector = problem.cumulative_of_indices(np.array(indices, dtype=int))
+        assert np.all(vector <= problem.cum_test)
+        assert np.all(np.diff(vector) >= 0)
+        assert vector[-1] == len(indices)
+
+    @COMMON_SETTINGS
+    @given(reference_sets, test_sets)
+    def test_cumulative_vector_matches_definition(self, reference, test):
+        reference = np.asarray(reference, float)
+        test = np.asarray(test, float)
+        base = np.union1d(reference, test)
+        vector = cumulative_vector(base, test)
+        for i, x in enumerate(base):
+            assert vector[i] == np.sum(test <= x)
+
+
+# MOCHE properties -------------------------------------------------------
+class TestMocheProperties:
+    @COMMON_SETTINGS
+    @given(reference_sets, test_sets, st.integers(min_value=0, max_value=10_000))
+    def test_moche_matches_brute_force(self, reference, test, seed):
+        """On every failing small instance MOCHE equals the brute-force oracle."""
+        problem = failed_problem_or_none(reference, test)
+        assume(problem is not None)
+        preference = PreferenceList.random(problem.m, seed=seed)
+        expected = BruteForceExplainer(alpha=problem.alpha).explain(
+            problem.reference, problem.test, preference
+        )
+        actual = explain_ks_failure(
+            problem.reference, problem.test, problem.alpha, preference
+        )
+        assert actual.size == expected.size
+        assert set(actual.indices.tolist()) == set(expected.indices.tolist())
+
+    @COMMON_SETTINGS
+    @given(reference_sets, test_sets)
+    def test_explanation_reverses_and_lower_bound_holds(self, reference, test):
+        problem = failed_problem_or_none(reference, test)
+        assume(problem is not None)
+        explanation = explain_ks_failure(problem.reference, problem.test, problem.alpha)
+        assert explanation.reverses_test
+        assert 1 <= explanation.size <= problem.m - 1
+        assert explanation.size_lower_bound <= explanation.size
+        assert lower_bound_size(problem) == explanation.size_lower_bound
+
+    @COMMON_SETTINGS
+    @given(reference_sets, test_sets)
+    def test_no_smaller_subset_reverses(self, reference, test):
+        """Theorem 1 feasibility is exact: size-1 below k is never feasible."""
+        problem = failed_problem_or_none(reference, test)
+        assume(problem is not None)
+        size = explanation_size(problem).size
+        calculator = BoundsCalculator(problem)
+        for smaller in range(1, size):
+            assert not calculator.qualified_vector_exists(smaller)
+
+    @COMMON_SETTINGS
+    @given(reference_sets, test_sets, st.integers(min_value=0, max_value=100))
+    def test_size_is_preference_invariant(self, reference, test, seed):
+        """The explanation size never depends on the preference list."""
+        problem = failed_problem_or_none(reference, test)
+        assume(problem is not None)
+        base = explain_ks_failure(problem.reference, problem.test, problem.alpha)
+        other = explain_ks_failure(
+            problem.reference,
+            problem.test,
+            problem.alpha,
+            PreferenceList.random(problem.m, seed=seed),
+        )
+        assert base.size == other.size

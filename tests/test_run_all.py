@@ -1,0 +1,57 @@
+"""Tests for the experiment orchestrator (repro.experiments.run_all)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.run_all import EXPERIMENT_IDS, render_all, run_all_experiments
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        window_sizes=(100,),
+        cases_per_dataset=1,
+        series_per_family=1,
+        length_scale=0.1,
+        synthetic_sizes=(300,),
+        seed=5,
+    )
+
+
+class TestRunAll:
+    def test_unknown_id_rejected(self, tiny_config):
+        with pytest.raises(ValidationError):
+            run_all_experiments(tiny_config, only=("figure42",))
+
+    def test_single_experiment(self, tiny_config):
+        tables = run_all_experiments(tiny_config, only=("table1",))
+        assert set(tables) == {"table1"}
+        assert "Table 1" in tables["table1"]
+
+    def test_metric_experiments_share_one_evaluation(self, tiny_config):
+        messages: list[str] = []
+        tables = run_all_experiments(
+            tiny_config, only=("figure2", "table2", "figure3"), progress=messages.append
+        )
+        assert set(tables) == {"figure2", "table2", "figure3"}
+        # The expensive method-evaluation step runs exactly once.
+        runs = [m for m in messages if m.startswith("Running")]
+        assert len(runs) == 1
+
+    def test_runtime_experiments(self, tiny_config):
+        tables = run_all_experiments(tiny_config, only=("figure5b",))
+        assert "Figure 5b" in tables["figure5b"]
+
+    def test_render_all_orders_by_paper(self, tiny_config):
+        tables = run_all_experiments(tiny_config, only=("figure5b", "table1"))
+        rendered = render_all(tables)
+        assert rendered.index("Table 1") < rendered.index("Figure 5b")
+
+    def test_experiment_ids_cover_paper_artifacts(self):
+        assert set(EXPERIMENT_IDS) == {
+            "table1", "figure1", "figure2", "table2", "figure3",
+            "figure4", "figure5a", "figure5b", "figure6",
+        }

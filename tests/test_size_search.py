@@ -1,0 +1,96 @@
+"""Tests for the phase-1 size search (repro.core.size_search)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.brute_force import BruteForceExplainer
+from repro.core.bounds import BoundsCalculator
+from repro.core.cumulative import ExplanationProblem
+from repro.core.size_search import explanation_size, lower_bound_size
+from repro.exceptions import NoExplanationError
+
+
+class TestLowerBound:
+    def test_paper_example_lower_bound_is_two(self, paper_example):
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        assert lower_bound_size(problem) == 2
+
+    def test_lower_bound_never_exceeds_true_size(self, rng):
+        for _ in range(5):
+            reference = rng.normal(size=60)
+            test = np.concatenate([rng.normal(size=45), rng.uniform(3, 5, size=15)])
+            problem = ExplanationProblem(reference, test, 0.05, require_failed=False)
+            if problem.initial_result.passed:
+                continue
+            lower = lower_bound_size(problem)
+            exact = explanation_size(problem).size
+            assert lower <= exact
+
+    def test_lower_bound_is_smallest_satisfying_size(self, small_failed_problem):
+        problem = small_failed_problem
+        calculator = BoundsCalculator(problem)
+        lower = lower_bound_size(problem, calculator)
+        assert calculator.necessary_condition_holds(lower)
+        if lower > 1:
+            assert not calculator.necessary_condition_holds(lower - 1)
+
+
+class TestExplanationSize:
+    def test_paper_example_size_is_two(self, paper_example):
+        reference, test, alpha = paper_example
+        problem = ExplanationProblem(reference, test, alpha)
+        assert explanation_size(problem).size == 2
+
+    def test_matches_brute_force_on_small_instances(self, rng):
+        checked = 0
+        for seed in range(12):
+            local = np.random.default_rng(seed)
+            reference = local.normal(size=40)
+            test = np.concatenate(
+                [local.normal(size=5), local.uniform(3.0, 5.0, size=5)]
+            )
+            problem = ExplanationProblem(reference, test, 0.05, require_failed=False)
+            if problem.initial_result.passed:
+                continue
+            checked += 1
+            expected = BruteForceExplainer(alpha=0.05).explanation_size(reference, test)
+            assert explanation_size(problem).size == expected
+        assert checked >= 3
+
+    def test_with_and_without_lower_bound_agree(self, small_failed_problem):
+        fast = explanation_size(small_failed_problem, use_lower_bound=True)
+        slow = explanation_size(small_failed_problem, use_lower_bound=False)
+        assert fast.size == slow.size
+
+    def test_lower_bound_pruning_checks_fewer_sizes(self, shifted_pair):
+        reference, test = shifted_pair
+        problem = ExplanationProblem(reference, test, 0.05)
+        fast = explanation_size(problem, use_lower_bound=True)
+        slow = explanation_size(problem, use_lower_bound=False)
+        assert fast.sizes_checked <= slow.sizes_checked
+
+    def test_estimation_error_non_negative(self, shifted_pair):
+        reference, test = shifted_pair
+        problem = ExplanationProblem(reference, test, 0.05)
+        result = explanation_size(problem)
+        assert result.estimation_error >= 0
+
+    def test_removing_size_points_is_possible_but_fewer_is_not(self, small_failed_problem):
+        problem = small_failed_problem
+        calculator = BoundsCalculator(problem)
+        size = explanation_size(problem, calculator=calculator).size
+        assert calculator.qualified_vector_exists(size)
+        if size > 1:
+            assert not calculator.qualified_vector_exists(size - 1)
+
+    def test_no_explanation_for_huge_alpha(self):
+        # With an enormous significance level even tiny remainders cannot
+        # pass, so the search must report failure rather than loop forever.
+        reference = np.zeros(50)
+        test = np.ones(10)
+        problem = ExplanationProblem(reference, test, alpha=0.9999999)
+        with pytest.raises(NoExplanationError):
+            explanation_size(problem)

@@ -1,0 +1,83 @@
+"""Tests for the shared utilities (repro.utils)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyDatasetError
+from repro.utils.ecdf import ecdf_rmse, ecdf_values, evaluate_ecdf
+from repro.utils.rng import as_generator, spawn
+from repro.utils.timing import Timer
+
+
+class TestEcdf:
+    def test_evaluate_ecdf_basic(self):
+        sample = np.array([1.0, 2.0, 2.0, 3.0])
+        points = np.array([0.5, 1.0, 2.0, 2.5, 3.0, 4.0])
+        expected = np.array([0.0, 0.25, 0.75, 0.75, 1.0, 1.0])
+        assert np.allclose(evaluate_ecdf(sample, points), expected)
+
+    def test_evaluate_ecdf_empty_sample_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            evaluate_ecdf(np.array([]), np.array([1.0]))
+
+    def test_ecdf_values_jump_points(self):
+        xs, ys = ecdf_values(np.array([3.0, 1.0, 1.0]))
+        assert np.array_equal(xs, [1.0, 3.0])
+        assert np.allclose(ys, [2 / 3, 1.0])
+
+    def test_rmse_zero_for_identical_samples(self, rng):
+        sample = rng.normal(size=50)
+        assert ecdf_rmse(sample, sample.copy()) == pytest.approx(0.0)
+
+    def test_rmse_positive_for_shifted_samples(self, rng):
+        assert ecdf_rmse(rng.normal(size=100), rng.normal(3.0, size=100)) > 0.3
+
+    def test_rmse_symmetric_in_arguments(self, rng):
+        a = rng.normal(size=60)
+        b = rng.normal(0.5, size=40)
+        assert ecdf_rmse(a, b) == pytest.approx(ecdf_rmse(b, a))
+
+    def test_rmse_requires_non_empty(self, rng):
+        with pytest.raises(EmptyDatasetError):
+            ecdf_rmse(rng.normal(size=10), np.array([]))
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        assert as_generator(42).random() == as_generator(42).random()
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_spawn_children_are_independent_and_reproducible(self):
+        children_a = spawn(np.random.default_rng(1), 3)
+        children_b = spawn(np.random.default_rng(1), 3)
+        assert len(children_a) == 3
+        for a, b in zip(children_a, children_b):
+            assert a.random() == b.random()
+        draws = {round(child.random(), 12) for child in spawn(np.random.default_rng(2), 4)}
+        assert len(draws) == 4
+
+
+class TestTimer:
+    def test_timer_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_timer_resets_on_reuse(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= first

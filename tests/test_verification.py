@@ -1,0 +1,96 @@
+"""Tests for the independent explanation verifier (repro.core.verification)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GreedyExplainer
+from repro.core.moche import explain_ks_failure
+from repro.core.preference import PreferenceList
+from repro.core.verification import verify_explanation
+from tests.conftest import make_failed_pair
+
+
+@pytest.fixture
+def failed_pair(rng):
+    return make_failed_pair(rng, 400, 300, shift_fraction=0.15)
+
+
+class TestVerifyExplanation:
+    def test_moche_explanation_passes_all_checks(self, failed_pair):
+        reference, test = failed_pair
+        preference = PreferenceList.from_scores(test, descending=True, seed=0)
+        explanation = explain_ks_failure(reference, test, 0.05, preference)
+        report = verify_explanation(reference, test, explanation, 0.05, preference)
+        assert report.valid
+        assert report.reverses_test
+        assert report.is_minimum_size
+        assert report.is_most_comprehensible is True
+        assert report.claimed_size == report.minimum_size == explanation.size
+
+    def test_moche_valid_under_any_preference(self, failed_pair):
+        reference, test = failed_pair
+        for seed in range(3):
+            preference = PreferenceList.random(test.size, seed=seed)
+            explanation = explain_ks_failure(reference, test, 0.05, preference)
+            assert verify_explanation(reference, test, explanation, 0.05, preference).valid
+
+    def test_greedy_explanation_is_not_minimum(self, failed_pair):
+        reference, test = failed_pair
+        # A deliberately misaligned preference forces a large greedy prefix.
+        preference = PreferenceList.from_scores(test, descending=False, seed=0)
+        greedy = GreedyExplainer(alpha=0.05).explain(reference, test, preference)
+        moche = explain_ks_failure(reference, test, 0.05, preference)
+        assert greedy.size > moche.size
+        report = verify_explanation(reference, test, greedy, 0.05)
+        assert report.reverses_test
+        assert not report.is_minimum_size
+        assert not report.valid
+        assert report.minimum_size == moche.size
+
+    def test_non_reversing_subset_detected(self, failed_pair):
+        reference, test = failed_pair
+        report = verify_explanation(reference, test, np.array([0]), 0.05)
+        assert not report.reverses_test
+        assert not report.valid
+
+    def test_wrong_same_size_subset_is_not_most_comprehensible(self, failed_pair):
+        reference, test = failed_pair
+        preference = PreferenceList.from_scores(test, descending=True, seed=0)
+        explanation = explain_ks_failure(reference, test, 0.05, preference)
+        # Explain under a different preference: same size, different points,
+        # so it cannot be most comprehensible for the original preference.
+        other = explain_ks_failure(
+            reference, test, 0.05, PreferenceList.from_scores(test, descending=False, seed=0)
+        )
+        assert set(other.indices.tolist()) != set(explanation.indices.tolist())
+        report = verify_explanation(reference, test, other, 0.05, preference)
+        assert report.reverses_test
+        assert report.is_minimum_size
+        assert report.is_most_comprehensible is False
+        assert not report.valid
+
+    def test_plain_index_array_accepted(self, failed_pair):
+        reference, test = failed_pair
+        explanation = explain_ks_failure(reference, test, 0.05)
+        report = verify_explanation(reference, test, explanation.indices, 0.05)
+        assert report.reverses_test and report.is_minimum_size
+
+    def test_comprehensibility_not_checked_without_preference(self, failed_pair):
+        reference, test = failed_pair
+        explanation = explain_ks_failure(reference, test, 0.05)
+        report = verify_explanation(reference, test, explanation, 0.05)
+        assert report.is_most_comprehensible is None
+        assert report.valid
+
+    def test_paper_example_verification(self, paper_example):
+        reference, test, alpha = paper_example
+        preference = PreferenceList.from_order([3, 2, 1, 0])
+        report = verify_explanation(reference, test, np.array([2, 1]), alpha, preference)
+        assert report.valid
+        # The subset {t1, t2} = {13, 13} reverses and is minimum but is less
+        # comprehensible than {t3, t2} under this preference.
+        other = verify_explanation(reference, test, np.array([0, 1]), alpha, preference)
+        assert other.reverses_test and other.is_minimum_size
+        assert other.is_most_comprehensible is False

@@ -1,0 +1,69 @@
+"""Tests for the zeroth-order optimizer (repro.baselines.zoo)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.zoo import ZerothOrderOptimizer
+from repro.exceptions import ValidationError
+
+
+class TestZerothOrderOptimizer:
+    def test_minimises_a_smooth_convex_function(self):
+        target = np.full(5, 0.3)
+
+        def objective(x: np.ndarray) -> float:
+            return float(np.sum((x - target) ** 2))
+
+        optimizer = ZerothOrderOptimizer(max_iterations=300, step_size=0.1, seed=0)
+        result = optimizer.minimize(objective, np.ones(5))
+        assert result.value < objective(np.ones(5))
+        assert result.value < 0.2
+
+    def test_respects_box_constraints(self):
+        def objective(x: np.ndarray) -> float:
+            return float(np.sum(x))  # minimised at the lower corner
+
+        result = ZerothOrderOptimizer(max_iterations=100, seed=1).minimize(
+            objective, np.full(4, 0.5)
+        )
+        assert np.all(result.point >= 0.0)
+        assert np.all(result.point <= 1.0)
+
+    def test_early_stop_on_target(self):
+        calls = {"count": 0}
+
+        def objective(x: np.ndarray) -> float:
+            calls["count"] += 1
+            return float(np.sum(x**2))
+
+        optimizer = ZerothOrderOptimizer(max_iterations=500, target=10.0, seed=2)
+        result = optimizer.minimize(objective, np.zeros(3))
+        assert result.converged
+        assert result.iterations == 0
+        assert calls["count"] == 1
+
+    def test_counts_evaluations(self):
+        def objective(x: np.ndarray) -> float:
+            return float(np.sum(x))
+
+        optimizer = ZerothOrderOptimizer(max_iterations=10, directions_per_step=4, seed=0)
+        result = optimizer.minimize(objective, np.full(3, 0.5))
+        assert result.evaluations > 10
+
+    def test_deterministic_given_seed(self):
+        def objective(x: np.ndarray) -> float:
+            return float(np.sum((x - 0.2) ** 2))
+
+        first = ZerothOrderOptimizer(max_iterations=50, seed=7).minimize(objective, np.ones(4))
+        second = ZerothOrderOptimizer(max_iterations=50, seed=7).minimize(objective, np.ones(4))
+        assert np.allclose(first.point, second.point)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_iterations": 0},
+        {"directions_per_step": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            ZerothOrderOptimizer(**kwargs)
