@@ -21,7 +21,12 @@ The package provides:
 * :mod:`repro.experiments` — runners that regenerate every table and
   figure of the paper's evaluation section;
 * :mod:`repro.multidim` — the Fasano-Franceschini two-dimensional KS test
-  and a greedy explainer for it (the paper's stated future work).
+  and a greedy explainer for it (the paper's stated future work);
+* :mod:`repro.service` — an in-process multi-stream explanation service
+  with micro-batching, shared caching and a worker pool.
+
+The main classes of every layer are re-exported here, so typical use is
+just ``from repro import MOCHE, KSDriftDetector, ExplanationService``.
 """
 
 from repro.core import (
@@ -35,16 +40,40 @@ from repro.core import (
     ks_statistic,
     ks_test,
 )
+from repro.drift import (
+    DriftAlarm,
+    ExplainedAlarm,
+    ExplainedDriftMonitor,
+    IncrementalKS,
+    IncrementalKSDetector,
+    KSDriftDetector,
+)
 from repro.exceptions import (
     KSTestPassedError,
     NoExplanationError,
     ReproError,
     ValidationError,
 )
+from repro.multidim import (
+    GreedyKS2DExplainer,
+    KS2DExplanation,
+    KS2DResult,
+    ks2d_statistic,
+    ks2d_test,
+)
+from repro.service import (
+    ExplanationService,
+    MicroBatcher,
+    ServiceAlarm,
+    ServiceReport,
+    SharedCaches,
+    StreamConfig,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # core
     "MOCHE",
     "BruteForceExplainer",
     "Explanation",
@@ -54,6 +83,27 @@ __all__ = [
     "explain_ks_failure",
     "ks_statistic",
     "ks_test",
+    # drift
+    "DriftAlarm",
+    "KSDriftDetector",
+    "IncrementalKS",
+    "IncrementalKSDetector",
+    "ExplainedAlarm",
+    "ExplainedDriftMonitor",
+    # multidim
+    "GreedyKS2DExplainer",
+    "KS2DExplanation",
+    "KS2DResult",
+    "ks2d_statistic",
+    "ks2d_test",
+    # service
+    "ExplanationService",
+    "MicroBatcher",
+    "ServiceAlarm",
+    "ServiceReport",
+    "SharedCaches",
+    "StreamConfig",
+    # exceptions
     "KSTestPassedError",
     "NoExplanationError",
     "ReproError",

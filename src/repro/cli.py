@@ -14,6 +14,11 @@ The CLI exposes the library's main workflows without writing any Python:
     Stream a series file through the sliding-window drift monitor and print
     an explained alarm for every detected drift.
 
+``repro serve``
+    Replay one or many series files through the multi-stream explanation
+    service (micro-batching, shared caches, worker pool) and print the
+    service report with every explained alarm.
+
 ``repro experiments``
     Regenerate the paper's tables and figures at a reduced scale.
 
@@ -25,45 +30,33 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.baselines import (
-    CornerSearchExplainer,
-    D3Explainer,
-    GraceExplainer,
-    GreedyExplainer,
-    Series2GraphExplainer,
-    StompExplainer,
-)
 from repro.core.ks import ks_test
-from repro.core.moche import MOCHE
 from repro.core.preference import PreferenceList
 from repro.drift.monitor import ExplainedDriftMonitor
 from repro.exceptions import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.run_all import EXPERIMENT_IDS, render_all, run_all_experiments
-from repro.io.export import explanation_report, save_explanation
+from repro.io.export import explanation_report, save_explanation, save_service_report
 from repro.io.loaders import load_sample, load_series_csv
-from repro.outliers.spectral_residual import SpectralResidual
+from repro.service import ExplanationService, StreamConfig
+from repro.service.batching import POLICIES
+from repro.service.registry import (
+    DETECTORS,
+    EXPLAINERS,
+    PREFERENCE_BUILDERS,
+    build_preference_list,
+)
 
-#: CLI name -> explainer factory (alpha, top_k, seed).
-_METHODS = {
-    "moche": lambda alpha, top_k, seed: MOCHE(alpha=alpha),
-    "moche-ns": lambda alpha, top_k, seed: MOCHE(alpha=alpha, use_lower_bound=False),
-    "greedy": lambda alpha, top_k, seed: GreedyExplainer(alpha=alpha),
-    "corner-search": lambda alpha, top_k, seed: CornerSearchExplainer(
-        alpha=alpha, top_k=top_k, seed=seed
-    ),
-    "grace": lambda alpha, top_k, seed: GraceExplainer(alpha=alpha, top_k=top_k, seed=seed),
-    "d3": lambda alpha, top_k, seed: D3Explainer(alpha=alpha),
-    "stomp": lambda alpha, top_k, seed: StompExplainer(alpha=alpha),
-    "series2graph": lambda alpha, top_k, seed: Series2GraphExplainer(alpha=alpha),
-}
+#: CLI name -> explainer factory (alpha, top_k, seed); shared with the service.
+_METHODS = EXPLAINERS
 
-#: CLI name -> preference construction strategy.
-_PREFERENCES = ("spectral-residual", "values-desc", "values-asc", "random", "identity")
+#: CLI name -> preference construction strategy; shared with the service.
+_PREFERENCES = tuple(sorted(PREFERENCE_BUILDERS))
 
 
 def _build_preference(
@@ -77,17 +70,7 @@ def _build_preference(
     if scores_path is not None:
         scores = load_sample(scores_path, column=column)
         return PreferenceList.from_scores(scores, descending=True, seed=seed)
-    if name == "spectral-residual":
-        series = np.concatenate([reference, test])
-        scores = SpectralResidual().scores(series)[-test.size:]
-        return PreferenceList.from_scores(scores, descending=True, seed=seed)
-    if name == "values-desc":
-        return PreferenceList.from_scores(test, descending=True, seed=seed)
-    if name == "values-asc":
-        return PreferenceList.from_scores(test, descending=False, seed=seed)
-    if name == "random":
-        return PreferenceList.random(test.size, seed=seed)
-    return PreferenceList.identity(test.size)
+    return build_preference_list(name, reference, test, seed)
 
 
 # ----------------------------------------------------------------------
@@ -127,6 +110,58 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         print()
     print(f"{monitor.detector.observations_seen} observations processed, "
           f"{alarm_count} drift alarm(s)")
+    return 0
+
+
+def _stream_ids(paths: Sequence[str]) -> list[str]:
+    """Derive unique stream ids from the series file names."""
+    ids: list[str] = []
+    for path in paths:
+        stem = Path(path).stem or "stream"
+        candidate, suffix = stem, 1
+        while candidate in ids:
+            suffix += 1
+            candidate = f"{stem}-{suffix}"
+        ids.append(candidate)
+    return ids
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.chunk < 1:
+        raise ReproError("--chunk must be at least 1")
+    series = [load_series_csv(path, value_column=args.column) for path in args.series]
+    stream_ids = _stream_ids(args.series)
+    config = StreamConfig(
+        window_size=args.window,
+        alpha=args.alpha,
+        detector=args.detector,
+        preference=args.preference,
+        method=args.method,
+        top_k=args.top_k,
+        seed=args.seed,
+    )
+    with ExplanationService(
+        workers=args.workers,
+        max_batch=args.max_batch,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        default_config=config,
+    ) as service:
+        for stream_id in stream_ids:
+            service.register(stream_id)
+        # Replay the files in interleaved chunks so the service sees the
+        # fleet concurrently, the way a live multiplexed feed would.
+        longest = max(values.size for values in series)
+        for start in range(0, longest, args.chunk):
+            for stream_id, values in zip(stream_ids, series):
+                chunk = values[start:start + args.chunk]
+                if chunk.size:
+                    service.submit(stream_id, chunk)
+        report = service.report()
+    print(report.render(alarms=not args.summary_only))
+    if args.output:
+        path = save_service_report(report, args.output)
+        print(f"\nservice report written to {path}")
     return 0
 
 
@@ -189,6 +224,40 @@ def build_parser() -> argparse.ArgumentParser:
     monitor_parser.add_argument("--window", type=int, default=200,
                                 help="sliding window size (default 200)")
     monitor_parser.set_defaults(handler=_cmd_monitor)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="replay series files through the multi-stream explanation service"
+    )
+    serve_parser.add_argument("series", nargs="+",
+                              help="one file per stream with its time series")
+    add_common(serve_parser)
+    serve_parser.add_argument("--window", type=int, default=200,
+                              help="sliding window size (default 200)")
+    serve_parser.add_argument("--detector", choices=DETECTORS, default="windowed",
+                              help="drift detector flavour (default windowed)")
+    serve_parser.add_argument("--method", choices=sorted(_METHODS), default="moche",
+                              help="explanation method (default moche)")
+    serve_parser.add_argument("--preference", choices=_PREFERENCES,
+                              default="spectral-residual",
+                              help="how to build the preference lists")
+    serve_parser.add_argument("--top-k", type=int, default=100,
+                              help="top-k restriction for the search baselines")
+    serve_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="explanation worker threads (default 2)")
+    serve_parser.add_argument("--max-batch", type=int, default=8,
+                              help="micro-batch size (default 8)")
+    serve_parser.add_argument("--queue-capacity", type=int, default=128,
+                              help="pending-explanation queue bound (default 128)")
+    serve_parser.add_argument("--policy", choices=POLICIES, default="block",
+                              help="backpressure policy when the queue is full")
+    serve_parser.add_argument("--chunk", type=int, default=256,
+                              help="observations per interleaved replay chunk")
+    serve_parser.add_argument("--summary-only", action="store_true",
+                              help="print only the run summary, not every alarm")
+    serve_parser.add_argument("--output", default=None,
+                              help="write the service report to this .json/.txt file")
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     experiments_parser = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

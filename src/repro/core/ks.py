@@ -26,7 +26,6 @@ from repro.exceptions import (
     InvalidSignificanceLevelError,
     NonFiniteDataError,
 )
-from repro.utils.ecdf import evaluate_ecdf
 
 #: Significance level below which Proposition 1 guarantees that a
 #: counterfactual explanation always exists (``2 / e**2``).
@@ -78,6 +77,24 @@ def critical_value(alpha: float, n: int, m: int) -> float:
     return critical_coefficient(alpha) * math.sqrt((n + m) / (n * m))
 
 
+def ks_statistic_sorted(sorted_reference: np.ndarray, sorted_test: np.ndarray) -> float:
+    """The KS statistic of two already *sorted* 1-D samples.
+
+    This is the single implementation of the statistic's arithmetic; both
+    :func:`ks_statistic` and the service's cached KS runner (which keeps
+    sorted reference windows around) delegate here so the decision-critical
+    numerics exist exactly once.  Evaluating the ECDF difference at every
+    observation of either sample (duplicates included) reaches the same
+    maximum as the unique-union grid.
+    """
+    grid = np.concatenate([sorted_reference, sorted_test])
+    diff = (
+        np.searchsorted(sorted_reference, grid, side="right") / sorted_reference.size
+        - np.searchsorted(sorted_test, grid, side="right") / sorted_test.size
+    )
+    return float(np.max(np.abs(diff)))
+
+
 def ks_statistic(reference: np.ndarray, test: np.ndarray) -> float:
     """Compute the two-sample KS statistic ``D(R, T)`` (Equation 1).
 
@@ -86,9 +103,7 @@ def ks_statistic(reference: np.ndarray, test: np.ndarray) -> float:
     """
     reference = validate_sample(reference, "reference")
     test = validate_sample(test, "test")
-    grid = np.union1d(reference, test)
-    diff = evaluate_ecdf(reference, grid) - evaluate_ecdf(test, grid)
-    return float(np.max(np.abs(diff)))
+    return ks_statistic_sorted(np.sort(reference), np.sort(test))
 
 
 def kolmogorov_survival(lam: float, terms: int = 100) -> float:

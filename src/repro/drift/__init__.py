@@ -9,11 +9,16 @@ implements that substrate end to end:
 * :class:`IncrementalKS` — incremental maintenance of the KS statistic as
   observations arrive and expire (in the spirit of dos Reis et al., KDD
   2016), so that streaming detection does not re-sort windows;
+* :class:`IncrementalKSDetector` — per-observation sliding-window detection
+  built on :class:`IncrementalKS`;
 * :class:`ExplainedDriftMonitor` — a stream monitor that attaches a MOCHE
   explanation to every drift alarm it raises.
+
+For monitoring many streams at once, see :mod:`repro.service`, which
+multiplexes these detectors behind a micro-batched explanation engine.
 """
 
-from repro.drift.detector import DriftAlarm, KSDriftDetector
+from repro.drift.detector import DriftAlarm, IncrementalKSDetector, KSDriftDetector
 from repro.drift.incremental_ks import IncrementalKS
 from repro.drift.monitor import ExplainedAlarm, ExplainedDriftMonitor
 
@@ -21,6 +26,7 @@ __all__ = [
     "DriftAlarm",
     "KSDriftDetector",
     "IncrementalKS",
+    "IncrementalKSDetector",
     "ExplainedAlarm",
     "ExplainedDriftMonitor",
 ]

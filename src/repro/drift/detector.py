@@ -12,12 +12,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 import numpy as np
 
-from repro.core.ks import KSTestResult, ks_test
-from repro.exceptions import ValidationError
+import math
+
+from repro.core.ks import KSTestResult, asymptotic_pvalue, critical_value, ks_test
+from repro.drift.incremental_ks import IncrementalKS
+from repro.exceptions import NonFiniteDataError, ValidationError
+
+#: Signature of a pluggable KS test runner: ``(reference, test, alpha)``.
+KSRunner = Callable[[np.ndarray, np.ndarray, float], KSTestResult]
 
 
 @dataclass
@@ -55,17 +61,29 @@ class KSDriftDetector:
         subsequent detection is relative to the new regime; when False the
         reference window always holds the immediately preceding window (the
         paper's tiling protocol).
+    ks_runner:
+        Optional replacement for :func:`repro.core.ks.ks_test` with the same
+        signature; the explanation service injects a cached runner here so a
+        stable reference window is sorted only once across repeated tests.
     """
 
-    def __init__(self, window_size: int, alpha: float = 0.05, slide_on_alarm: bool = True):
+    def __init__(
+        self,
+        window_size: int,
+        alpha: float = 0.05,
+        slide_on_alarm: bool = True,
+        ks_runner: Optional[KSRunner] = None,
+    ):
         if window_size < 2:
             raise ValidationError("window_size must be at least 2")
         self.window_size = int(window_size)
         self.alpha = float(alpha)
         self.slide_on_alarm = bool(slide_on_alarm)
+        self._ks_runner = ks_runner or ks_test
         self._reference: deque[float] = deque(maxlen=self.window_size)
         self._test: deque[float] = deque(maxlen=self.window_size)
         self._count = 0
+        self.tests_run = 0
 
     # ------------------------------------------------------------------
     @property
@@ -102,7 +120,8 @@ class KSDriftDetector:
 
         reference = self.reference_window()
         test = self.test_window()
-        result = ks_test(reference, test, self.alpha)
+        result = self._ks_runner(reference, test, self.alpha)
+        self.tests_run += 1
         alarm: Optional[DriftAlarm] = None
         if result.rejected:
             alarm = DriftAlarm(
@@ -133,3 +152,143 @@ class KSDriftDetector:
             self._reference = deque(test.tolist(), maxlen=self.window_size)
         # Otherwise keep the current reference window (stable baseline).
         self._test = deque(maxlen=self.window_size)
+
+
+class IncrementalKSDetector:
+    """Per-observation sliding-window drift detection via :class:`IncrementalKS`.
+
+    Where :class:`KSDriftDetector` tests once per *full* test window (and
+    then discards it), this detector keeps the test window sliding one
+    observation at a time and maintains the KS statistic incrementally in
+    the spirit of dos Reis et al. (KDD 2016): each arrival is an ``insert``,
+    each expiry a ``remove``, so no window is ever re-sorted.  The result is
+    per-observation alarm granularity — a drift is flagged as soon as the
+    sliding window crosses the threshold rather than up to a full window
+    later.
+
+    Parameters
+    ----------
+    window_size:
+        Size of both the reference and the (sliding) test window.
+    alpha:
+        Significance level of the KS tests.
+    stride:
+        Run the test every ``stride`` observations once both windows are
+        full (default 1: test on every arrival).
+    slide_on_alarm:
+        When True (default) an alarm promotes the test window to the new
+        reference; when False the reference stays fixed forever.
+    seed:
+        Seed of the treap priorities inside :class:`IncrementalKS`.
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        alpha: float = 0.05,
+        stride: int = 1,
+        slide_on_alarm: bool = True,
+        seed: int | None = 0,
+    ):
+        if window_size < 2:
+            raise ValidationError("window_size must be at least 2")
+        if stride < 1:
+            raise ValidationError("stride must be at least 1")
+        self.window_size = int(window_size)
+        self.alpha = float(alpha)
+        self.stride = int(stride)
+        self.slide_on_alarm = bool(slide_on_alarm)
+        self._seed = seed
+        self._threshold = critical_value(self.alpha, self.window_size, self.window_size)
+        self._iks = IncrementalKS(seed=seed)
+        self._reference: deque[float] = deque()
+        self._test: deque[float] = deque()
+        self._count = 0
+        self._since_test = 0
+        self.tests_run = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def observations_seen(self) -> int:
+        """Total number of observations pushed into the detector."""
+        return self._count
+
+    @property
+    def ready(self) -> bool:
+        """True when both windows are full and tests are being conducted."""
+        return (
+            len(self._reference) == self.window_size
+            and len(self._test) == self.window_size
+        )
+
+    def reference_window(self) -> np.ndarray:
+        """Snapshot of the current reference window."""
+        return np.asarray(self._reference, dtype=float)
+
+    def test_window(self) -> np.ndarray:
+        """Snapshot of the current sliding test window."""
+        return np.asarray(self._test, dtype=float)
+
+    # ------------------------------------------------------------------
+    def update(self, value: float) -> Optional[DriftAlarm]:
+        """Push one observation; return an alarm if drift is detected."""
+        value = float(value)
+        if not math.isfinite(value):
+            # NaN comparisons would silently corrupt the treap's counts, so
+            # reject non-finite input up front, like the windowed detector.
+            raise NonFiniteDataError("stream observations must be finite")
+        self._count += 1
+        if len(self._reference) < self.window_size:
+            self._reference.append(value)
+            self._iks.insert(value, "reference")
+            return None
+        if len(self._test) == self.window_size:
+            expired = self._test.popleft()
+            self._iks.remove(expired, "test")
+        self._test.append(value)
+        self._iks.insert(value, "test")
+        if len(self._test) < self.window_size:
+            return None
+
+        self._since_test += 1
+        if self._since_test < self.stride:
+            return None
+        self._since_test = 0
+
+        statistic = self._iks.statistic()
+        self.tests_run += 1
+        if statistic <= self._threshold:
+            return None
+
+        reference = self.reference_window()
+        test = self.test_window()
+        result = KSTestResult(
+            statistic=statistic,
+            threshold=self._threshold,
+            alpha=self.alpha,
+            n=self.window_size,
+            m=self.window_size,
+            pvalue=asymptotic_pvalue(statistic, self.window_size, self.window_size),
+        )
+        alarm = DriftAlarm(
+            position=self._count - 1, reference=reference, test=test, result=result
+        )
+        if self.slide_on_alarm:
+            # Regime change: the alarming window becomes the new reference
+            # and detection restarts against it.
+            self._iks = IncrementalKS.from_samples(test, [], seed=self._seed)
+            self._reference = deque(test.tolist())
+            self._test = deque()
+        else:
+            # Keep comparing the fixed reference against the sliding window,
+            # but skip a full window before testing again so one drift does
+            # not alarm on every subsequent observation.
+            self._since_test = -self.window_size
+        return alarm
+
+    def process(self, stream: Iterable[float]) -> Iterator[DriftAlarm]:
+        """Consume an iterable of observations, yielding alarms as they occur."""
+        for value in stream:
+            alarm = self.update(value)
+            if alarm is not None:
+                yield alarm

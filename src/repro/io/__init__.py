@@ -11,7 +11,10 @@ from repro.io.export import (
     explanation_to_csv,
     explanation_to_dict,
     explanation_to_json,
+    ks_result_to_dict,
     save_explanation,
+    save_service_report,
+    service_report_to_json,
 )
 from repro.io.loaders import load_sample, load_series_csv, load_window_pair
 
@@ -20,7 +23,10 @@ __all__ = [
     "explanation_to_csv",
     "explanation_to_dict",
     "explanation_to_json",
+    "ks_result_to_dict",
     "save_explanation",
+    "save_service_report",
+    "service_report_to_json",
     "load_sample",
     "load_series_csv",
     "load_window_pair",

@@ -14,7 +14,8 @@ from repro.exceptions import ValidationError
 PathLike = Union[str, Path]
 
 
-def _result_to_dict(result: KSTestResult | None) -> dict | None:
+def ks_result_to_dict(result: KSTestResult | None) -> dict | None:
+    """A JSON-serialisable dictionary describing a KS test result."""
     if result is None:
         return None
     return {
@@ -42,8 +43,8 @@ def explanation_to_dict(explanation: Explanation) -> dict:
         "size_lower_bound": explanation.size_lower_bound,
         "estimation_error": explanation.estimation_error,
         "runtime_seconds": explanation.runtime_seconds,
-        "ks_before": _result_to_dict(explanation.ks_before),
-        "ks_after": _result_to_dict(explanation.ks_after),
+        "ks_before": ks_result_to_dict(explanation.ks_before),
+        "ks_after": ks_result_to_dict(explanation.ks_after),
     }
 
 
@@ -111,4 +112,31 @@ def save_explanation(explanation: Explanation, path: PathLike) -> Path:
     else:
         raise ValidationError(f"unsupported explanation format: {suffix!r}")
     path.write_text(content)
+    return path
+
+
+def service_report_to_json(report, indent: int = 2) -> str:
+    """A :class:`repro.service.ServiceReport` as a JSON document.
+
+    Accepts any object exposing ``to_dict()`` (duck-typed so this module
+    stays independent of :mod:`repro.service`).
+    """
+    return json.dumps(report.to_dict(), indent=indent)
+
+
+def save_service_report(report, path: PathLike) -> Path:
+    """Write a service report to disk; the format follows the extension.
+
+    ``.json`` writes the full structured record (streams, alarms, cache and
+    batcher statistics), ``.txt`` (or no extension) the rendered summary.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        content = service_report_to_json(report)
+    elif suffix in (".txt", ""):
+        content = report.render()
+    else:
+        raise ValidationError(f"unsupported service report format: {suffix!r}")
+    path.write_text(content + "\n")
     return path

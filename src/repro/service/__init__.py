@@ -1,0 +1,61 @@
+"""Multi-stream explanation serving: the scaling layer over the pipeline.
+
+The paper's motivating scenario is continuous monitoring at scale — many
+concurrent data streams raising drift alarms that need comprehensible
+explanations immediately.  This package turns the one-shot pipeline of
+:mod:`repro.drift` into a high-throughput in-process service:
+
+* :class:`ExplanationService` (:mod:`~repro.service.engine`) — accepts
+  ``submit(stream_id, observations)`` calls, multiplexes per-stream sliding
+  windows over the drift detectors and dispatches alarm explanations;
+* :class:`MicroBatcher` (:mod:`~repro.service.batching`) — coalesces
+  pending explanation jobs and executes them on a configurable thread
+  worker pool with explicit backpressure (block or drop-oldest);
+* :class:`SharedCaches` (:mod:`~repro.service.cache`) — keyed LRU caches
+  for sorted reference windows, critical values, preference lists and
+  finished explanations, shared across streams and workers;
+* :class:`StreamConfig` / :class:`StreamRegistry`
+  (:mod:`~repro.service.registry`) — per-stream detection and explanation
+  configuration;
+* :class:`ServiceReport` (:mod:`~repro.service.results`) — the structured
+  alarm-log result model that plugs into :mod:`repro.io.export`.
+"""
+
+from repro.service.batching import (
+    BatcherStats,
+    ExplanationJob,
+    JobOutcome,
+    MicroBatcher,
+)
+from repro.service.cache import CacheStats, LRUCache, SharedCaches, array_digest
+from repro.service.engine import ExplanationService
+from repro.service.registry import (
+    EXPLAINERS,
+    PREFERENCE_BUILDERS,
+    StreamConfig,
+    StreamRegistry,
+    StreamState,
+    build_preference_list,
+)
+from repro.service.results import ServiceAlarm, ServiceReport, StreamReport
+
+__all__ = [
+    "BatcherStats",
+    "CacheStats",
+    "EXPLAINERS",
+    "ExplanationJob",
+    "ExplanationService",
+    "JobOutcome",
+    "LRUCache",
+    "MicroBatcher",
+    "PREFERENCE_BUILDERS",
+    "ServiceAlarm",
+    "ServiceReport",
+    "SharedCaches",
+    "StreamConfig",
+    "StreamRegistry",
+    "StreamReport",
+    "StreamState",
+    "array_digest",
+    "build_preference_list",
+]

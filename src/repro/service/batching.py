@@ -1,0 +1,290 @@
+"""Micro-batching and the thread-based explanation worker pool.
+
+Detection is cheap and stays on the caller's thread; *explaining* an alarm
+(preference construction plus a MOCHE run) is the expensive part.  The
+:class:`MicroBatcher` decouples the two: alarms are enqueued as
+:class:`ExplanationJob` items in a bounded queue, worker threads pull them
+in micro-batches, and jobs inside a batch that share a content key (same
+windows, same configuration — common with replicated feeds) are coalesced
+so the explanation is computed once and fanned out to every waiting job.
+
+Backpressure is explicit.  When the queue is full, ``policy="block"`` makes
+``submit`` wait for space (lossless, slows the producer down) while
+``policy="drop-oldest"`` evicts the oldest pending job (bounded staleness,
+never blocks detection).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+import numpy as np
+
+from repro.core.ks import KSTestResult
+from repro.exceptions import ValidationError
+
+POLICIES = ("block", "drop-oldest")
+
+
+@dataclass
+class ExplanationJob:
+    """One pending alarm explanation.
+
+    Attributes
+    ----------
+    stream_id, position:
+        Which stream alarmed and at which stream index.
+    reference, test:
+        Snapshots of the two windows at alarm time.
+    result:
+        The failed KS test that raised the alarm.
+    key:
+        Content key for coalescing and caching; jobs with equal keys are
+        interchangeable and share one computed explanation.  ``None`` marks
+        the job as unique (custom builders with no stable identity).
+    reference_digest, test_digest:
+        Content digests of the windows, computed once at dispatch time so
+        downstream caches do not re-hash the arrays.
+    """
+
+    stream_id: str
+    position: int
+    reference: np.ndarray
+    test: np.ndarray
+    result: KSTestResult
+    key: Optional[Hashable] = None
+    reference_digest: Optional[bytes] = None
+    test_digest: Optional[bytes] = None
+    context: Any = None
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job: a value, an error, or a drop."""
+
+    job: ExplanationJob
+    value: Any = None
+    error: Optional[Exception] = None
+    coalesced: bool = False
+    dropped: bool = False
+
+
+@dataclass
+class BatcherStats:
+    """Counters describing the batcher's lifetime behaviour."""
+
+    submitted: int = 0
+    dropped: int = 0
+    executed: int = 0
+    coalesced: int = 0
+    failed: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "dropped": self.dropped,
+            "executed": self.executed,
+            "coalesced": self.coalesced,
+            "failed": self.failed,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+        }
+
+
+class MicroBatcher:
+    """Bounded job queue drained in micro-batches by a thread worker pool.
+
+    Parameters
+    ----------
+    handler:
+        ``handler(job) -> value``; called once per *distinct* job key in a
+        batch, on a worker thread.  Exceptions are captured per job.
+    on_outcome:
+        ``on_outcome(outcome)``; called for every job — completed, failed
+        or dropped — exactly once.  Exceptions it raises are swallowed so
+        a faulty callback cannot kill a worker or lose outcomes.
+    workers:
+        Number of worker threads.
+    max_batch:
+        Maximum jobs a worker claims per batch (coalescing window).
+    capacity:
+        Bound of the pending-job queue.
+    policy:
+        ``"block"`` or ``"drop-oldest"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[ExplanationJob], Any],
+        on_outcome: Optional[Callable[[JobOutcome], None]] = None,
+        workers: int = 2,
+        max_batch: int = 8,
+        capacity: int = 64,
+        policy: str = "block",
+    ):
+        if workers < 1:
+            raise ValidationError("workers must be at least 1")
+        if max_batch < 1:
+            raise ValidationError("max_batch must be at least 1")
+        if capacity < 1:
+            raise ValidationError("capacity must be at least 1")
+        if policy not in POLICIES:
+            raise ValidationError(f"policy must be one of {POLICIES}")
+        self._handler = handler
+        self._on_outcome = on_outcome or (lambda outcome: None)
+        self.max_batch = int(max_batch)
+        self.capacity = int(capacity)
+        self.policy = policy
+        self.stats = BatcherStats()
+        self._queue: deque[ExplanationJob] = deque()
+        self._cv = threading.Condition()
+        self._in_flight = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"repro-worker-{i}", daemon=True)
+            for i in range(int(workers))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Jobs queued but not yet claimed by a worker."""
+        with self._cv:
+            return len(self._queue)
+
+    def submit(self, job: ExplanationJob) -> bool:
+        """Enqueue a job, applying the backpressure policy when full.
+
+        Returns True when the job was enqueued; under ``drop-oldest`` the
+        *evicted* job is reported through ``on_outcome`` with
+        ``dropped=True``, and the new job is always accepted.
+        """
+        dropped: Optional[ExplanationJob] = None
+        with self._cv:
+            if self._closed:
+                raise ValidationError("cannot submit to a closed batcher")
+            if self.policy == "block":
+                while len(self._queue) >= self.capacity and not self._closed:
+                    self._cv.wait()
+                if self._closed:
+                    raise ValidationError("cannot submit to a closed batcher")
+            elif len(self._queue) >= self.capacity:
+                dropped = self._queue.popleft()
+                self.stats.dropped += 1
+                # Keep the evicted job "in flight" until its outcome has
+                # been delivered, so drain() cannot complete before the
+                # drop is recorded.
+                self._in_flight += 1
+            self._queue.append(job)
+            self.stats.submitted += 1
+            self._cv.notify_all()
+        if dropped is not None:
+            try:
+                self._deliver(JobOutcome(job=dropped, dropped=True))
+            finally:
+                with self._cv:
+                    self._in_flight -= 1
+                    self._cv.notify_all()
+        return True
+
+    def _deliver(self, outcome: JobOutcome) -> None:
+        """Invoke the outcome callback, shielding the caller from its errors."""
+        try:
+            self._on_outcome(outcome)
+        except Exception:
+            # A faulty callback must not kill a worker thread, skip the
+            # rest of a batch's outcomes, or wedge drain()/close().
+            pass
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job has been executed or dropped."""
+        with self._cv:
+            return self._cv.wait_for(
+                lambda: not self._queue and self._in_flight == 0, timeout=timeout
+            )
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting jobs and join the workers.
+
+        With ``drain=True`` (default) all pending work is executed first;
+        with ``drain=False`` the pending queue is discarded and every
+        unclaimed job is reported through ``on_outcome`` as dropped.
+        """
+        if drain:
+            self.drain(timeout=timeout)
+        with self._cv:
+            self._closed = True
+            discarded = list(self._queue)
+            self._queue.clear()
+            self.stats.dropped += len(discarded)
+            self._cv.notify_all()
+        for job in discarded:
+            self._deliver(JobOutcome(job=job, dropped=True))
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cv:
+                self._cv.wait_for(lambda: self._queue or self._closed)
+                if not self._queue:
+                    if self._closed:
+                        return
+                    continue
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(self.max_batch, len(self._queue)))
+                ]
+                self._in_flight += len(batch)
+                self.stats.batches += 1
+                self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+                # Claiming jobs frees queue space: wake blocked producers.
+                self._cv.notify_all()
+            try:
+                self._execute_batch(batch)
+            finally:
+                with self._cv:
+                    self._in_flight -= len(batch)
+                    self._cv.notify_all()
+
+    def _execute_batch(self, batch: list[ExplanationJob]) -> None:
+        # Coalesce jobs that share a content key: the first job of each
+        # group is executed, the rest reuse its value (or its error).
+        groups: dict[Hashable, list[ExplanationJob]] = {}
+        unique: list[list[ExplanationJob]] = []
+        for job in batch:
+            if job.key is None:
+                unique.append([job])
+            else:
+                groups.setdefault(job.key, []).append(job)
+        for group in list(groups.values()) + unique:
+            value: Any = None
+            error: Optional[Exception] = None
+            try:
+                value = self._handler(group[0])
+            except Exception as exc:  # captured per job, workers never die
+                error = exc
+            with self._cv:  # stats are shared across workers
+                if error is None:
+                    self.stats.executed += 1
+                else:
+                    self.stats.failed += 1
+                self.stats.coalesced += len(group) - 1
+            for position, job in enumerate(group):
+                self._deliver(
+                    JobOutcome(job=job, value=value, error=error, coalesced=position > 0)
+                )

@@ -1,0 +1,227 @@
+"""Shared, keyed caches for the explanation service.
+
+A fleet of monitored streams repeats a lot of work: the reference window of
+a stream is stable across passing tests, replicated feeds carry identical
+windows, and every KS test at the same ``(alpha, n, m)`` recomputes the same
+critical value.  This module provides the memoisation layer the service
+shares across all streams and workers:
+
+* :class:`LRUCache` — a thread-safe least-recently-used cache with hit /
+  miss / eviction statistics;
+* :class:`SharedCaches` — the service's cache bundle, keyed by content
+  digests of the windows: sorted reference windows, critical values,
+  preference lists and finished explanations;
+* :meth:`SharedCaches.ks_test` — a drop-in replacement for
+  :func:`repro.core.ks.ks_test` that reuses the cached sorted reference
+  window instead of re-sorting it on every test.
+
+All caches key arrays by a content digest (BLAKE2b of the raw float bytes),
+so two streams replaying the same data share entries even though they hold
+distinct array objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+import numpy as np
+
+from repro.core.ks import (
+    KSTestResult,
+    asymptotic_pvalue,
+    critical_value,
+    ks_statistic_sorted,
+    validate_alpha,
+    validate_sample,
+)
+
+
+@dataclass
+class CacheStats:
+    """Hit / miss / eviction counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping with statistics.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; inserting beyond it evicts the least
+        recently used entry.  A capacity of 0 disables the cache (every
+        lookup misses, nothing is stored).
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, marking it most recently used on a hit."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the LRU entry if needed."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing and storing on miss."""
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = factory()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+def array_digest(sample: np.ndarray) -> bytes:
+    """Content digest of a 1-D float array, used as a cache key.
+
+    Two windows with equal values share a digest regardless of which stream
+    produced them, which is what lets replicated feeds share cache entries.
+    """
+    arr = np.ascontiguousarray(sample, dtype=float)
+    return hashlib.blake2b(arr.tobytes(), digest_size=16).digest()
+
+
+class SharedCaches:
+    """The service-wide cache bundle shared by all streams and workers.
+
+    Parameters
+    ----------
+    sorted_references:
+        Capacity of the sorted-reference-window cache.
+    critical_values:
+        Capacity of the ``(alpha, n, m) -> threshold`` cache.
+    preferences:
+        Capacity of the preference-list cache (keyed by builder name and the
+        window digests).
+    explanations:
+        Capacity of the finished-explanation cache (keyed by method,
+        preference, significance level and the window digests).
+    """
+
+    def __init__(
+        self,
+        sorted_references: int = 256,
+        critical_values: int = 256,
+        preferences: int = 256,
+        explanations: int = 256,
+    ):
+        self.sorted_references = LRUCache(sorted_references)
+        self.critical_values = LRUCache(critical_values)
+        self.preferences = LRUCache(preferences)
+        self.explanations = LRUCache(explanations)
+
+    # ------------------------------------------------------------------
+    def sorted_reference(self, reference: np.ndarray) -> np.ndarray:
+        """The sorted copy of ``reference``, cached by content digest."""
+        key = array_digest(reference)
+        return self.sorted_references.get_or_compute(key, lambda: np.sort(reference))
+
+    def threshold(self, alpha: float, n: int, m: int) -> float:
+        """The KS rejection threshold, cached by ``(alpha, n, m)``."""
+        return self.critical_values.get_or_compute(
+            (alpha, n, m), lambda: critical_value(alpha, n, m)
+        )
+
+    # ------------------------------------------------------------------
+    def ks_test(self, reference: np.ndarray, test: np.ndarray, alpha: float = 0.05) -> KSTestResult:
+        """Run the two-sample KS test reusing the cached sorted reference.
+
+        Numerically identical to :func:`repro.core.ks.ks_test` — both
+        delegate the statistic to :func:`repro.core.ks.ks_statistic_sorted`
+        — but the reference window is sorted at most once per distinct
+        content, which is the dominant cost of repeated tests against a
+        stable reference.
+        """
+        reference = validate_sample(reference, "reference")
+        test = validate_sample(test, "test")
+        alpha = validate_alpha(alpha)
+        n, m = reference.size, test.size
+        statistic = ks_statistic_sorted(self.sorted_reference(reference), np.sort(test))
+        threshold = self.threshold(alpha, n, m)
+        return KSTestResult(
+            statistic=statistic,
+            threshold=threshold,
+            alpha=alpha,
+            n=n,
+            m=m,
+            pvalue=asymptotic_pvalue(statistic, n, m),
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, CacheStats]:
+        """Per-cache statistics, keyed by cache name."""
+        return {
+            "sorted_references": self.sorted_references.stats,
+            "critical_values": self.critical_values.stats,
+            "preferences": self.preferences.stats,
+            "explanations": self.explanations.stats,
+        }
+
+    def stats_dict(self) -> dict[str, dict]:
+        """JSON-serialisable view of :meth:`stats`."""
+        return {name: stats.to_dict() for name, stats in self.stats().items()}
+
+    def overall_hit_rate(self) -> float:
+        """Hit rate pooled across every cache (0.0 when nothing was looked up)."""
+        hits = sum(stats.hits for stats in self.stats().values())
+        lookups = sum(stats.lookups for stats in self.stats().values())
+        return hits / lookups if lookups else 0.0

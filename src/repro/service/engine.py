@@ -1,0 +1,299 @@
+"""The multi-stream explanation service.
+
+:class:`ExplanationService` is the serving layer over the one-shot
+pipeline: it multiplexes any number of named streams over per-stream drift
+detectors, keeps detection synchronous and cheap on the submitting thread,
+and hands every alarm to a micro-batched worker pool that builds the
+preference list and runs the configured explainer.  All streams share one
+:class:`~repro.service.cache.SharedCaches` bundle, so repeated tests
+against a stable reference reuse its sorted window and replicated feeds
+reuse whole explanations.
+
+Typical use::
+
+    with ExplanationService(workers=4) as service:
+        for sensor_id in sensors:
+            service.register(sensor_id, StreamConfig(window_size=200))
+        for sensor_id, chunk in feed:
+            service.submit(sensor_id, chunk)
+        report = service.report()
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.explanation import Explanation
+from repro.core.preference import PreferenceList
+from repro.service.batching import ExplanationJob, JobOutcome, MicroBatcher
+from repro.service.cache import SharedCaches, array_digest
+from repro.service.registry import StreamConfig, StreamRegistry, StreamState
+from repro.service.results import ServiceAlarm, ServiceReport, StreamReport
+
+
+class ExplanationService:
+    """An in-process, multi-stream drift-explanation engine.
+
+    Parameters
+    ----------
+    workers:
+        Worker threads explaining alarms concurrently.
+    max_batch:
+        Micro-batch size: jobs a worker claims (and coalesces) at once.
+    queue_capacity:
+        Bound of the pending-explanation queue.
+    policy:
+        Backpressure policy, ``"block"`` or ``"drop-oldest"``.
+    default_config:
+        Config used by :meth:`register` when none is given.
+    caches:
+        Shared cache bundle; a fresh default-sized one when omitted.
+    max_alarms_per_stream:
+        Bound on each stream's retained alarm log (oldest entries are
+        discarded once exceeded) so a long-running service does not grow
+        without limit; the per-stream counters still cover the full
+        lifetime.  ``None`` disables the bound.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_batch: int = 8,
+        queue_capacity: int = 128,
+        policy: str = "block",
+        default_config: Optional[StreamConfig] = None,
+        caches: Optional[SharedCaches] = None,
+        max_alarms_per_stream: Optional[int] = 10_000,
+    ):
+        self.default_config = default_config or StreamConfig()
+        self.max_alarms_per_stream = max_alarms_per_stream
+        self.caches = caches or SharedCaches()
+        self._registry = StreamRegistry()
+        self._results_lock = threading.Lock()
+        self._started = time.perf_counter()
+        self._closed = False
+        self._batcher = MicroBatcher(
+            handler=self._explain_job,
+            on_outcome=self._record_outcome,
+            workers=workers,
+            max_batch=max_batch,
+            capacity=queue_capacity,
+            policy=policy,
+        )
+
+    # ------------------------------------------------------------------
+    # Stream management
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        stream_id: str,
+        config: Optional[StreamConfig] = None,
+        **overrides,
+    ) -> StreamState:
+        """Register a stream, optionally overriding config fields inline."""
+        config = config or self.default_config
+        if overrides:
+            config = config.with_overrides(**overrides)
+        return self._registry.register(
+            stream_id,
+            config,
+            ks_runner=self.caches.ks_test,
+            max_alarms=self.max_alarms_per_stream,
+        )
+
+    def remove(self, stream_id: str) -> StreamState:
+        """Deregister a stream, returning its final state."""
+        return self._registry.remove(stream_id)
+
+    def stream_ids(self) -> list[str]:
+        return self._registry.ids()
+
+    def __contains__(self, stream_id: str) -> bool:
+        return stream_id in self._registry
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def submit(self, stream_id: str, observations: Iterable[float]) -> int:
+        """Feed observations into a stream, dispatching alarms as they fire.
+
+        Detection runs synchronously on the calling thread (it is cheap);
+        alarm explanations are queued for the worker pool.  Returns the
+        number of alarms raised by this call.
+        """
+        state = self._registry.get(stream_id)
+        values = np.asarray(observations, dtype=float).ravel()
+        alarms = 0
+        with state.lock:
+            for value in values:
+                alarm = state.detector.update(float(value))
+                if alarm is None:
+                    continue
+                alarms += 1
+                state.alarms_raised += 1
+                self._dispatch(state, alarm)
+            state.observations += values.size
+        return alarms
+
+    def _dispatch(self, state: StreamState, alarm) -> None:
+        config = state.config
+        reference_digest = test_digest = None
+        if config.cacheable or isinstance(config.preference, str):
+            # Hash the windows once here; both the explanation key and the
+            # preference cache key downstream reuse these digests.
+            reference_digest = array_digest(alarm.reference)
+            test_digest = array_digest(alarm.test)
+        key = None
+        if config.cacheable:
+            key = (
+                config.method_name,
+                config.preference_name,
+                config.alpha,
+                config.top_k,
+                config.seed,
+                reference_digest,
+                test_digest,
+            )
+        self._batcher.submit(
+            ExplanationJob(
+                stream_id=state.stream_id,
+                position=alarm.position,
+                reference=alarm.reference,
+                test=alarm.test,
+                result=alarm.result,
+                key=key,
+                reference_digest=reference_digest,
+                test_digest=test_digest,
+                context=state,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Worker-side execution
+    # ------------------------------------------------------------------
+    def _explain_job(self, job: ExplanationJob) -> tuple[Explanation, bool]:
+        """Explain one alarm, consulting the shared explanation cache."""
+        if job.key is not None:
+            cached = self.caches.explanations.get(job.key)
+            if cached is not None:
+                return cached, True
+        state: StreamState = job.context
+        preference = self._build_preference(state.config, job)
+        explanation = state.explainer.explain(job.reference, job.test, preference)
+        if job.key is not None:
+            self.caches.explanations.put(job.key, explanation)
+        return explanation, False
+
+    def _build_preference(self, config: StreamConfig, job: ExplanationJob) -> PreferenceList:
+        if not isinstance(config.preference, str):
+            return config.preference(job.reference, job.test)
+        key = (
+            config.preference_name,
+            config.seed,
+            job.reference_digest or array_digest(job.reference),
+            job.test_digest or array_digest(job.test),
+        )
+        return self.caches.preferences.get_or_compute(
+            key, lambda: config.build_preference(job.reference, job.test)
+        )
+
+    def _record_outcome(self, outcome: JobOutcome) -> None:
+        job = outcome.job
+        state: StreamState = job.context
+        alarm = ServiceAlarm(
+            stream_id=job.stream_id,
+            position=job.position,
+            result=job.result,
+        )
+        if outcome.dropped:
+            alarm.dropped = True
+        elif outcome.error is not None:
+            alarm.error = str(outcome.error)
+        else:
+            explanation, from_cache = outcome.value
+            alarm.explanation = explanation
+            alarm.from_cache = from_cache or outcome.coalesced
+        with self._results_lock:
+            if alarm.dropped:
+                state.dropped += 1
+            elif alarm.error is not None:
+                state.errors += 1
+            else:
+                state.explained += 1
+                if alarm.from_cache:
+                    state.cache_hits += 1
+            state.alarms.append(alarm)
+
+    # ------------------------------------------------------------------
+    # Lifecycle and results
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every queued alarm has been explained or dropped."""
+        return self._batcher.drain(timeout=timeout)
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Drain (by default) and stop the worker pool."""
+        if not self._closed:
+            self._batcher.close(drain=drain, timeout=timeout)
+            self._closed = True
+
+    def __enter__(self) -> "ExplanationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def alarms(self, stream_id: Optional[str] = None) -> list[ServiceAlarm]:
+        """Alarm log of one stream (or all streams), ordered per stream.
+
+        Workers may complete alarms out of order, so each stream's log is
+        sorted by stream position when snapshotted.
+        """
+        states = (
+            [self._registry.get(stream_id)]
+            if stream_id is not None
+            else self._registry.states()
+        )
+        with self._results_lock:
+            return [
+                alarm
+                for state in states
+                for alarm in sorted(state.alarms, key=lambda a: a.position)
+            ]
+
+    def report(self) -> ServiceReport:
+        """A structured snapshot of the whole run (drains pending work first)."""
+        self.drain()
+        elapsed = time.perf_counter() - self._started
+        with self._results_lock:
+            streams = [
+                StreamReport(
+                    stream_id=state.stream_id,
+                    observations=state.observations,
+                    tests_run=state.tests_run,
+                    alarms_raised=state.alarms_raised,
+                    explained=state.explained,
+                    errors=state.errors,
+                    dropped=state.dropped,
+                    cache_hits=state.cache_hits,
+                    alarms=sorted(state.alarms, key=lambda a: a.position),
+                )
+                for state in self._registry.states()
+            ]
+        return ServiceReport(
+            streams=streams,
+            cache_stats=self.caches.stats_dict(),
+            batcher_stats=self.stats(),
+            elapsed_seconds=elapsed,
+            cache_hit_rate=self.caches.overall_hit_rate(),
+        )
+
+    def stats(self) -> dict:
+        """Batcher counters as a plain dictionary."""
+        return self._batcher.stats.to_dict()

@@ -1,0 +1,303 @@
+"""Stream registration and per-stream configuration.
+
+Every stream the service monitors is registered under a unique id with a
+:class:`StreamConfig` describing how to detect and how to explain its
+drifts: window size, significance level, detector flavour (windowed KS or
+the incremental dos Reis-style detector), preference-list construction and
+the explanation method (MOCHE or any of the paper's baselines).
+
+The named explainer and preference-builder tables live here so the CLI, the
+service and the benchmarks all agree on what ``"moche"`` or
+``"spectral-residual"`` mean.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.baselines import (
+    CornerSearchExplainer,
+    D3Explainer,
+    GraceExplainer,
+    GreedyExplainer,
+    Series2GraphExplainer,
+    StompExplainer,
+)
+from repro.core.ks import validate_alpha
+from repro.core.moche import MOCHE
+from repro.core.preference import PreferenceList
+from repro.drift.detector import IncrementalKSDetector, KSDriftDetector
+from repro.exceptions import ValidationError
+from repro.outliers.spectral_residual import SpectralResidual
+
+#: Explainer name -> factory ``(alpha, top_k, seed) -> explainer``.  Shared
+#: with the CLI's ``--method`` flag.
+EXPLAINERS: dict[str, Callable[[float, int, int], object]] = {
+    "moche": lambda alpha, top_k, seed: MOCHE(alpha=alpha),
+    "moche-ns": lambda alpha, top_k, seed: MOCHE(alpha=alpha, use_lower_bound=False),
+    "greedy": lambda alpha, top_k, seed: GreedyExplainer(alpha=alpha),
+    "corner-search": lambda alpha, top_k, seed: CornerSearchExplainer(
+        alpha=alpha, top_k=top_k, seed=seed
+    ),
+    "grace": lambda alpha, top_k, seed: GraceExplainer(alpha=alpha, top_k=top_k, seed=seed),
+    "d3": lambda alpha, top_k, seed: D3Explainer(alpha=alpha),
+    "stomp": lambda alpha, top_k, seed: StompExplainer(alpha=alpha),
+    "series2graph": lambda alpha, top_k, seed: Series2GraphExplainer(alpha=alpha),
+}
+
+
+def _spectral_residual_preference(
+    reference: np.ndarray, test: np.ndarray, seed: int
+) -> PreferenceList:
+    series = np.concatenate([np.asarray(reference, float), np.asarray(test, float)])
+    scores = SpectralResidual().scores(series)[-np.asarray(test).size:]
+    return PreferenceList.from_scores(scores, descending=True, seed=seed)
+
+
+#: Preference name -> builder ``(reference, test, seed) -> PreferenceList``.
+PREFERENCE_BUILDERS: dict[str, Callable[[np.ndarray, np.ndarray, int], PreferenceList]] = {
+    "spectral-residual": _spectral_residual_preference,
+    "values-desc": lambda reference, test, seed: PreferenceList.from_scores(
+        test, descending=True, seed=seed
+    ),
+    "values-asc": lambda reference, test, seed: PreferenceList.from_scores(
+        test, descending=False, seed=seed
+    ),
+    "random": lambda reference, test, seed: PreferenceList.random(
+        np.asarray(test).size, seed=seed
+    ),
+    "identity": lambda reference, test, seed: PreferenceList.identity(
+        np.asarray(test).size
+    ),
+}
+
+#: Custom preference builders map ``(reference, test)`` to a PreferenceList.
+CustomPreferenceBuilder = Callable[[np.ndarray, np.ndarray], PreferenceList]
+
+DETECTORS = ("windowed", "incremental")
+
+
+def build_preference_list(
+    name: str, reference: np.ndarray, test: np.ndarray, seed: int = 0
+) -> PreferenceList:
+    """Build a preference list with one of the named strategies."""
+    if name not in PREFERENCE_BUILDERS:
+        raise ValidationError(
+            f"unknown preference builder {name!r} (have {sorted(PREFERENCE_BUILDERS)})"
+        )
+    return PREFERENCE_BUILDERS[name](reference, test, seed)
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """How one stream is monitored and how its alarms are explained.
+
+    Attributes
+    ----------
+    window_size:
+        Size of the reference and test windows.
+    alpha:
+        Significance level of the KS tests.
+    detector:
+        ``"windowed"`` for the tumbling-test-window detector, or
+        ``"incremental"`` for the per-observation sliding detector backed by
+        :class:`repro.drift.IncrementalKS`.
+    stride:
+        Incremental detector only: run the test every ``stride`` observations
+        once the windows are full.
+    slide_on_alarm:
+        Passed through to the detector (see :class:`KSDriftDetector`).
+    preference:
+        Name of a builder from :data:`PREFERENCE_BUILDERS`, or a custom
+        callable ``(reference, test) -> PreferenceList``.  Only named
+        builders participate in the shared preference/explanation caches.
+    method:
+        Name of an explainer from :data:`EXPLAINERS`, or a pre-built
+        explainer object exposing ``explain(reference, test, preference)``.
+    top_k, seed:
+        Passed to the explainer factory / preference builder.
+    """
+
+    window_size: int = 200
+    alpha: float = 0.05
+    detector: str = "windowed"
+    stride: int = 1
+    slide_on_alarm: bool = True
+    preference: Union[str, CustomPreferenceBuilder] = "spectral-residual"
+    method: Union[str, object] = "moche"
+    top_k: int = 100
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        validate_alpha(self.alpha)
+        if self.window_size < 2:
+            raise ValidationError("window_size must be at least 2")
+        if self.detector not in DETECTORS:
+            raise ValidationError(f"detector must be one of {DETECTORS}")
+        if self.stride < 1:
+            raise ValidationError("stride must be at least 1")
+        if isinstance(self.preference, str) and self.preference not in PREFERENCE_BUILDERS:
+            raise ValidationError(
+                f"unknown preference builder {self.preference!r} "
+                f"(have {sorted(PREFERENCE_BUILDERS)})"
+            )
+        if isinstance(self.method, str) and self.method not in EXPLAINERS:
+            raise ValidationError(
+                f"unknown explanation method {self.method!r} (have {sorted(EXPLAINERS)})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def cacheable(self) -> bool:
+        """Whether results under this config can live in the shared caches.
+
+        Custom callables and explainer objects have no stable identity to
+        key a cache by, so only fully *named* configurations are cacheable.
+        """
+        return isinstance(self.preference, str) and isinstance(self.method, str)
+
+    @property
+    def method_name(self) -> str:
+        if isinstance(self.method, str):
+            return self.method
+        return type(self.method).__name__
+
+    @property
+    def preference_name(self) -> str:
+        if isinstance(self.preference, str):
+            return self.preference
+        return getattr(self.preference, "__name__", type(self.preference).__name__)
+
+    # ------------------------------------------------------------------
+    def build_detector(self, ks_runner=None):
+        """Instantiate this stream's drift detector."""
+        if self.detector == "incremental":
+            return IncrementalKSDetector(
+                window_size=self.window_size,
+                alpha=self.alpha,
+                stride=self.stride,
+                slide_on_alarm=self.slide_on_alarm,
+                seed=self.seed,
+            )
+        return KSDriftDetector(
+            window_size=self.window_size,
+            alpha=self.alpha,
+            slide_on_alarm=self.slide_on_alarm,
+            ks_runner=ks_runner,
+        )
+
+    def build_explainer(self):
+        """Instantiate (or pass through) this stream's explainer."""
+        if isinstance(self.method, str):
+            return EXPLAINERS[self.method](self.alpha, self.top_k, self.seed)
+        return self.method
+
+    def build_preference(self, reference: np.ndarray, test: np.ndarray) -> PreferenceList:
+        """Build the preference list for one alarming window."""
+        if isinstance(self.preference, str):
+            return build_preference_list(self.preference, reference, test, self.seed)
+        return self.preference(reference, test)
+
+    def with_overrides(self, **overrides) -> "StreamConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+@dataclass
+class StreamState:
+    """Mutable runtime state of one registered stream.
+
+    ``alarms`` is a deque so a long-running service can bound the retained
+    alarm log per stream (``maxlen`` set at registration); the counters
+    always cover the stream's full lifetime.
+    """
+
+    stream_id: str
+    config: StreamConfig
+    detector: object
+    explainer: object
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    observations: int = 0
+    alarms_raised: int = 0
+    explained: int = 0
+    errors: int = 0
+    dropped: int = 0
+    cache_hits: int = 0
+    alarms: deque = field(default_factory=deque)
+
+    @property
+    def tests_run(self) -> int:
+        """KS tests the detector has conducted so far."""
+        return getattr(self.detector, "tests_run", 0)
+
+
+class StreamRegistry:
+    """Thread-safe mapping of stream ids to their runtime state."""
+
+    def __init__(self) -> None:
+        self._streams: dict[str, StreamState] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._streams)
+
+    def __contains__(self, stream_id: str) -> bool:
+        with self._lock:
+            return stream_id in self._streams
+
+    def register(
+        self,
+        stream_id: str,
+        config: Optional[StreamConfig] = None,
+        ks_runner=None,
+        max_alarms: Optional[int] = None,
+    ) -> StreamState:
+        """Register a new stream; raises on duplicate ids.
+
+        ``max_alarms`` bounds the retained alarm log (oldest entries are
+        discarded); ``None`` keeps every alarm.
+        """
+        if not stream_id:
+            raise ValidationError("stream_id must be a non-empty string")
+        config = config or StreamConfig()
+        state = StreamState(
+            stream_id=stream_id,
+            config=config,
+            detector=config.build_detector(ks_runner=ks_runner),
+            explainer=config.build_explainer(),
+            alarms=deque(maxlen=max_alarms),
+        )
+        with self._lock:
+            if stream_id in self._streams:
+                raise ValidationError(f"stream {stream_id!r} is already registered")
+            self._streams[stream_id] = state
+        return state
+
+    def get(self, stream_id: str) -> StreamState:
+        with self._lock:
+            try:
+                return self._streams[stream_id]
+            except KeyError:
+                raise ValidationError(f"unknown stream {stream_id!r}") from None
+
+    def remove(self, stream_id: str) -> StreamState:
+        """Deregister a stream, returning its final state."""
+        with self._lock:
+            try:
+                return self._streams.pop(stream_id)
+            except KeyError:
+                raise ValidationError(f"unknown stream {stream_id!r}") from None
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._streams)
+
+    def states(self) -> list[StreamState]:
+        with self._lock:
+            return [self._streams[stream_id] for stream_id in sorted(self._streams)]

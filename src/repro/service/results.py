@@ -1,0 +1,185 @@
+"""Structured results of a service run: alarm logs and service reports.
+
+The service's unit of output is the :class:`ServiceAlarm` — one drift alarm
+together with how it was resolved (an explanation, an error, or a drop
+under backpressure).  :class:`StreamReport` aggregates one stream's alarms
+and counters; :class:`ServiceReport` aggregates the whole run, including
+cache and batcher statistics and throughput.  Everything serialises to
+plain dictionaries so the reports plug into :mod:`repro.io.export`
+(:func:`repro.io.export.save_service_report`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.explanation import Explanation
+from repro.core.ks import KSTestResult
+from repro.io.export import explanation_report, explanation_to_dict, ks_result_to_dict
+
+
+@dataclass
+class ServiceAlarm:
+    """One drift alarm and its resolution.
+
+    Attributes
+    ----------
+    stream_id, position:
+        Which stream alarmed and at which stream index.
+    result:
+        The failed KS test that raised the alarm.
+    explanation:
+        The counterfactual explanation, when one was produced.
+    error:
+        Error message when the explainer failed for this alarm.
+    dropped:
+        True when the job was evicted by the drop-oldest backpressure
+        policy before a worker could explain it.
+    from_cache:
+        True when the explanation was served from the shared cache or
+        coalesced with an identical in-batch job.
+    """
+
+    stream_id: str
+    position: int
+    result: KSTestResult
+    explanation: Optional[Explanation] = None
+    error: Optional[str] = None
+    dropped: bool = False
+    from_cache: bool = False
+
+    @property
+    def explained(self) -> bool:
+        return self.explanation is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "stream_id": self.stream_id,
+            "position": self.position,
+            "result": ks_result_to_dict(self.result),
+            "explanation": (
+                explanation_to_dict(self.explanation) if self.explanation else None
+            ),
+            "error": self.error,
+            "dropped": self.dropped,
+            "from_cache": self.from_cache,
+        }
+
+    def render(self) -> str:
+        """Human-readable block for one alarm, monitoring-alert style."""
+        header = f"[{self.stream_id}] drift alarm at observation {self.position}"
+        if self.dropped:
+            return f"{header}\n  (explanation dropped under backpressure)"
+        if self.error is not None:
+            return f"{header}\n  (explanation failed: {self.error})"
+        if self.explanation is None:
+            return f"{header}\n  (explanation pending)"
+        suffix = "  [cached]" if self.from_cache else ""
+        return f"{header}{suffix}\n{explanation_report(self.explanation)}"
+
+
+@dataclass
+class StreamReport:
+    """Final per-stream accounting of one service run."""
+
+    stream_id: str
+    observations: int
+    tests_run: int
+    alarms_raised: int
+    explained: int
+    errors: int
+    dropped: int
+    cache_hits: int
+    alarms: list[ServiceAlarm] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "stream_id": self.stream_id,
+            "observations": self.observations,
+            "tests_run": self.tests_run,
+            "alarms_raised": self.alarms_raised,
+            "explained": self.explained,
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "cache_hits": self.cache_hits,
+            "alarms": [alarm.to_dict() for alarm in self.alarms],
+        }
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate result of a service run across all registered streams."""
+
+    streams: list[StreamReport]
+    cache_stats: dict[str, dict]
+    batcher_stats: dict
+    elapsed_seconds: float
+    cache_hit_rate: float
+
+    # ------------------------------------------------------------------
+    @property
+    def observations(self) -> int:
+        return sum(stream.observations for stream in self.streams)
+
+    @property
+    def alarms_raised(self) -> int:
+        return sum(stream.alarms_raised for stream in self.streams)
+
+    @property
+    def explained(self) -> int:
+        return sum(stream.explained for stream in self.streams)
+
+    @property
+    def throughput(self) -> float:
+        """Observations ingested per second over the service's lifetime."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.observations / self.elapsed_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "streams": [stream.to_dict() for stream in self.streams],
+            "totals": {
+                "streams": len(self.streams),
+                "observations": self.observations,
+                "alarms_raised": self.alarms_raised,
+                "explained": self.explained,
+                "throughput_obs_per_second": self.throughput,
+                "elapsed_seconds": self.elapsed_seconds,
+                "cache_hit_rate": self.cache_hit_rate,
+            },
+            "caches": self.cache_stats,
+            "batcher": self.batcher_stats,
+        }
+
+    def render(self, alarms: bool = True) -> str:
+        """Human-readable run summary (optionally with every alarm block)."""
+        lines = [
+            "Explanation service report",
+            "=" * 48,
+            f"streams            : {len(self.streams)}",
+            f"observations       : {self.observations}",
+            f"alarms raised      : {self.alarms_raised}",
+            f"alarms explained   : {self.explained}",
+            f"elapsed            : {self.elapsed_seconds:.3f} s "
+            f"({self.throughput:,.0f} obs/s)",
+            f"cache hit rate     : {100 * self.cache_hit_rate:.1f}%",
+            f"batches executed   : {self.batcher_stats.get('batches', 0)} "
+            f"(largest {self.batcher_stats.get('largest_batch', 0)}, "
+            f"coalesced {self.batcher_stats.get('coalesced', 0)}, "
+            f"dropped {self.batcher_stats.get('dropped', 0)})",
+        ]
+        for stream in self.streams:
+            lines.append(
+                f"  {stream.stream_id}: {stream.observations} obs, "
+                f"{stream.tests_run} tests, {stream.alarms_raised} alarms, "
+                f"{stream.explained} explained"
+                + (f", {stream.dropped} dropped" if stream.dropped else "")
+            )
+        if alarms:
+            for stream in self.streams:
+                for alarm in stream.alarms:
+                    lines.append("")
+                    lines.append(alarm.render())
+        return "\n".join(lines)

@@ -111,6 +111,67 @@ class TestMonitorCommand:
         assert "observations processed" in out
 
 
+class TestServeCommand:
+    @pytest.fixture
+    def fleet_files(self, tmp_path):
+        paths = []
+        for index, seed in enumerate([5, 5, 9]):
+            values, _ = drifting_series(
+                length=1200, drift_start=600, drift_magnitude=3.0, seed=seed
+            )
+            path = tmp_path / f"sensor{index}.csv"
+            path.write_text("\n".join(str(v) for v in values) + "\n")
+            paths.append(str(path))
+        return paths
+
+    def test_serve_replays_fleet_and_reports(self, fleet_files, capsys):
+        code = main(["serve", *fleet_files, "--window", "150", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Explanation service report" in out
+        assert "drift alarm at observation" in out
+        assert "sensor0" in out and "sensor1" in out and "sensor2" in out
+
+    def test_serve_writes_json_report(self, fleet_files, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "serve", *fleet_files,
+            "--window", "150",
+            "--summary-only",
+            "--output", str(report_path),
+        ])
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["totals"]["streams"] == 3
+        assert payload["totals"]["alarms_raised"] >= 3
+        assert payload["totals"]["cache_hit_rate"] > 0
+
+    def test_serve_with_incremental_detector(self, fleet_files, capsys):
+        code = main([
+            "serve", fleet_files[0],
+            "--window", "150",
+            "--detector", "incremental",
+        ])
+        assert code == 0
+        assert "alarms raised" in capsys.readouterr().out
+
+    def test_serve_duplicate_file_names_get_unique_streams(self, fleet_files, capsys):
+        code = main(["serve", fleet_files[0], fleet_files[0],
+                     "--window", "150", "--summary-only"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sensor0" in out and "sensor0-2" in out
+
+    def test_serve_missing_file_reports_error(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "missing.csv")])
+        assert code == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_policy(self, fleet_files):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", fleet_files[0], "--policy", "nope"])
+
+
 class TestExperimentsCommand:
     def test_single_experiment_runs(self, capsys):
         code = main(["experiments", "--only", "table1"])

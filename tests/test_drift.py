@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.ks import ks_statistic, ks_test
 from repro.datasets.synthetic import drifting_series
-from repro.drift.detector import KSDriftDetector
+from repro.drift.detector import IncrementalKSDetector, KSDriftDetector
 from repro.drift.incremental_ks import IncrementalKS
 from repro.drift.monitor import ExplainedDriftMonitor, spectral_residual_preference
 from repro.exceptions import ValidationError
@@ -56,6 +56,89 @@ class TestKSDriftDetector:
         # With the tiling protocol the drift boundary triggers exactly around
         # the window containing the change.
         assert len(alarms) >= 1
+
+    def test_tests_run_counter(self, rng):
+        detector = KSDriftDetector(window_size=100)
+        list(detector.process(rng.normal(size=1000)))
+        # One test per completed test window after the reference warm-up.
+        assert detector.tests_run == (1000 - 100) // 100
+
+    def test_custom_ks_runner_injected(self, rng):
+        calls = {"count": 0}
+
+        def runner(reference, test, alpha):
+            calls["count"] += 1
+            return ks_test(reference, test, alpha)
+
+        detector = KSDriftDetector(window_size=100, ks_runner=runner)
+        list(detector.process(rng.normal(size=1000)))
+        assert calls["count"] == detector.tests_run > 0
+
+
+class TestIncrementalKSDetector:
+    def test_alarm_raised_on_abrupt_drift(self):
+        values, _ = drifting_series(length=1500, drift_start=700, drift_magnitude=3.0, seed=3)
+        detector = IncrementalKSDetector(window_size=150, alpha=0.05, stride=5)
+        alarms = list(detector.process(values))
+        assert alarms
+        assert all(alarm.result.rejected for alarm in alarms)
+
+    def test_alarm_statistic_matches_batch_ks_test(self):
+        values, _ = drifting_series(length=1500, drift_start=700, drift_magnitude=3.0, seed=3)
+        detector = IncrementalKSDetector(window_size=150, alpha=0.05, stride=5)
+        for alarm in detector.process(values):
+            batch = ks_test(alarm.reference, alarm.test, 0.05)
+            assert alarm.result.statistic == pytest.approx(batch.statistic, abs=1e-12)
+            assert alarm.result.threshold == pytest.approx(batch.threshold)
+
+    def test_detects_no_later_than_windowed_detector(self):
+        values, _ = drifting_series(length=1500, drift_start=700, drift_magnitude=3.0, seed=6)
+        windowed = KSDriftDetector(window_size=150, alpha=0.05)
+        incremental = IncrementalKSDetector(window_size=150, alpha=0.05)
+        windowed_alarms = list(windowed.process(values))
+        incremental_alarms = list(incremental.process(values))
+        assert windowed_alarms and incremental_alarms
+        # Testing on every arrival flags the drift at least as early as
+        # testing once per full window.
+        assert incremental_alarms[0].position <= windowed_alarms[0].position
+
+    def test_no_alarm_on_stationary_stream(self, rng):
+        detector = IncrementalKSDetector(window_size=100, alpha=0.01, stride=10)
+        alarms = list(detector.process(rng.normal(size=1500)))
+        assert len(alarms) <= 2  # per-observation testing allows rare false alarms
+
+    def test_stride_limits_test_frequency(self, rng):
+        detector = IncrementalKSDetector(window_size=100, alpha=0.01, stride=25)
+        list(detector.process(rng.normal(size=1100)))
+        # 200 warm-up observations, then one test every 25 arrivals.
+        assert detector.tests_run <= (1100 - 200) // 25 + 1
+
+    def test_windows_slide_one_observation_at_a_time(self, rng):
+        detector = IncrementalKSDetector(window_size=50, alpha=0.0001)
+        values = rng.normal(size=220)
+        for value in values:
+            detector.update(value)
+        assert detector.ready
+        np.testing.assert_allclose(detector.test_window(), values[-50:])
+        np.testing.assert_allclose(detector.reference_window(), values[:50])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            IncrementalKSDetector(window_size=1)
+        with pytest.raises(ValidationError):
+            IncrementalKSDetector(window_size=10, stride=0)
+
+    def test_non_finite_observations_rejected(self, rng):
+        from repro.exceptions import NonFiniteDataError
+
+        detector = IncrementalKSDetector(window_size=10)
+        for value in rng.normal(size=15):
+            detector.update(value)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(NonFiniteDataError):
+                detector.update(bad)
+        # The rejected values must not have advanced the stream.
+        assert detector.observations_seen == 15
 
 
 class TestIncrementalKS:

@@ -1,0 +1,96 @@
+"""Property-based tests: IncrementalKS matches the batch statistic.
+
+The incremental structure must agree with :func:`repro.core.ks.ks_statistic`
+after *any* interleaved sequence of inserts and deletes on either sample —
+that is the invariant the drift detectors rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ks import critical_value, ks_statistic
+from repro.drift.incremental_ks import IncrementalKS
+
+# A bounded value universe makes duplicate inserts (and hence exercised
+# multiplicity counters) likely.
+values = st.integers(min_value=0, max_value=8).map(lambda v: v / 2.0)
+samples = st.sampled_from(["reference", "test"])
+
+#: One step of an interleaved workload: insert a value, or delete the
+#: element at a (wrapped) index of the named sample's current contents.
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), samples, values),
+        st.tuples(st.just("delete"), samples, st.integers(min_value=0, max_value=200)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+COMMON_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def apply_operations(operations_list) -> tuple[IncrementalKS, list[float], list[float]]:
+    """Replay a workload on an IncrementalKS and on plain shadow lists."""
+    incremental = IncrementalKS(seed=7)
+    shadow = {"reference": [], "test": []}
+    for operation in operations_list:
+        if operation[0] == "insert":
+            _, sample, value = operation
+            incremental.insert(value, sample)
+            shadow[sample].append(value)
+        else:
+            _, sample, index = operation
+            if not shadow[sample]:
+                continue  # deleting from an empty sample is a no-op workload step
+            value = shadow[sample].pop(index % len(shadow[sample]))
+            incremental.remove(value, sample)
+    return incremental, shadow["reference"], shadow["test"]
+
+
+@COMMON_SETTINGS
+@given(operations)
+def test_statistic_matches_batch_after_interleaved_updates(operations_list):
+    incremental, reference, test = apply_operations(operations_list)
+    assert incremental.reference_size == len(reference)
+    assert incremental.test_size == len(test)
+    if reference and test:
+        expected = ks_statistic(np.array(reference), np.array(test))
+        assert incremental.statistic() == pytest.approx(expected, abs=1e-12)
+
+
+@COMMON_SETTINGS
+@given(operations, st.sampled_from([0.01, 0.05, 0.2]))
+def test_rejection_matches_batch_decision(operations_list, alpha):
+    incremental, reference, test = apply_operations(operations_list)
+    if not reference or not test:
+        return
+    expected = ks_statistic(np.array(reference), np.array(test)) > critical_value(
+        alpha, len(reference), len(test)
+    )
+    assert incremental.rejected(alpha) == expected
+
+
+@COMMON_SETTINGS
+@given(st.lists(values, min_size=1, max_size=40), st.lists(values, min_size=1, max_size=40))
+def test_insert_then_remove_everything_is_clean(reference_values, test_values):
+    """Filling and fully draining both samples leaves an empty structure."""
+    incremental = IncrementalKS(seed=3)
+    for value in reference_values:
+        incremental.insert(value, "reference")
+    for value in test_values:
+        incremental.insert(value, "test")
+    for value in test_values:
+        incremental.remove(value, "test")
+    for value in reference_values:
+        incremental.remove(value, "reference")
+    assert incremental.reference_size == 0
+    assert incremental.test_size == 0

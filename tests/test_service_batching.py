@@ -1,0 +1,254 @@
+"""Tests for the micro-batcher and its backpressure policies."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.ks import ks_test
+from repro.exceptions import ValidationError
+from repro.service.batching import ExplanationJob, JobOutcome, MicroBatcher
+
+
+def make_job(stream_id: str = "s", position: int = 0, key=None) -> ExplanationJob:
+    reference = np.array([0.0, 1.0, 2.0, 3.0])
+    test = np.array([5.0, 6.0, 7.0, 8.0])
+    return ExplanationJob(
+        stream_id=stream_id,
+        position=position,
+        reference=reference,
+        test=test,
+        result=ks_test(reference, test, 0.05),
+        key=key,
+    )
+
+
+class Collector:
+    """Thread-safe sink for job outcomes."""
+
+    def __init__(self) -> None:
+        self.outcomes: list[JobOutcome] = []
+        self._lock = threading.Lock()
+
+    def __call__(self, outcome: JobOutcome) -> None:
+        with self._lock:
+            self.outcomes.append(outcome)
+
+
+class TestExecution:
+    def test_all_jobs_executed_and_delivered(self):
+        collector = Collector()
+        with MicroBatcher(lambda job: job.position, collector, workers=2) as batcher:
+            for position in range(10):
+                batcher.submit(make_job(position=position))
+            batcher.drain()
+        assert sorted(outcome.value for outcome in collector.outcomes) == list(range(10))
+        assert batcher.stats.submitted == 10
+        assert batcher.stats.executed == 10
+
+    def test_handler_error_captured_per_job(self):
+        collector = Collector()
+
+        def handler(job):
+            if job.position == 1:
+                raise RuntimeError("boom")
+            return "ok"
+
+        with MicroBatcher(handler, collector, workers=1) as batcher:
+            batcher.submit(make_job(position=0))
+            batcher.submit(make_job(position=1))
+            batcher.drain()
+        by_position = {outcome.job.position: outcome for outcome in collector.outcomes}
+        assert by_position[0].error is None and by_position[0].value == "ok"
+        assert isinstance(by_position[1].error, RuntimeError)
+        assert batcher.stats.failed == 1
+
+    def test_coalesces_identical_keys_within_a_batch(self):
+        collector = Collector()
+        release = threading.Event()
+        calls = []
+
+        def handler(job):
+            calls.append(job.position)
+            release.wait(timeout=10)
+            return "shared"
+
+        batcher = MicroBatcher(handler, collector, workers=1, max_batch=8, capacity=16)
+        # The first job occupies the single worker; the rest pile up in the
+        # queue and are claimed as one batch when the worker frees up.
+        batcher.submit(make_job(position=0, key="k"))
+        time.sleep(0.1)
+        for position in range(1, 6):
+            batcher.submit(make_job(position=position, key="k"))
+        release.set()
+        batcher.close()
+        assert len(collector.outcomes) == 6
+        assert all(outcome.value == "shared" for outcome in collector.outcomes)
+        # The queued duplicates ran as one coalesced batch.
+        assert len(calls) <= 2
+        assert batcher.stats.coalesced >= 4
+        assert sum(outcome.coalesced for outcome in collector.outcomes) >= 4
+
+    def test_jobs_without_key_never_coalesce(self):
+        collector = Collector()
+        release = threading.Event()
+        calls = []
+
+        def handler(job):
+            calls.append(job.position)
+            release.wait(timeout=10)
+            return job.position
+
+        batcher = MicroBatcher(handler, collector, workers=1, max_batch=8, capacity=16)
+        batcher.submit(make_job(position=0))
+        time.sleep(0.05)
+        for position in range(1, 4):
+            batcher.submit(make_job(position=position))
+        release.set()
+        batcher.close()
+        assert len(calls) == 4
+        assert batcher.stats.coalesced == 0
+
+
+class TestBackpressure:
+    def test_block_policy_blocks_producer_until_space(self):
+        collector = Collector()
+        release = threading.Event()
+
+        def handler(job):
+            release.wait(timeout=10)
+            return None
+
+        batcher = MicroBatcher(
+            handler, collector, workers=1, max_batch=1, capacity=2, policy="block"
+        )
+        submitted = threading.Event()
+
+        def producer():
+            for position in range(5):
+                batcher.submit(make_job(position=position))
+            submitted.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        # The worker is parked on the first job and the queue holds two more:
+        # the producer must be blocked before submitting all five.
+        time.sleep(0.2)
+        assert not submitted.is_set()
+        release.set()
+        thread.join(timeout=10)
+        assert submitted.is_set()
+        batcher.close()
+        assert len(collector.outcomes) == 5
+        assert batcher.stats.dropped == 0
+
+    def test_drop_oldest_policy_evicts_and_reports(self):
+        collector = Collector()
+        release = threading.Event()
+
+        def handler(job):
+            release.wait(timeout=10)
+            return "done"
+
+        batcher = MicroBatcher(
+            handler, collector, workers=1, max_batch=1, capacity=2, policy="drop-oldest"
+        )
+        batcher.submit(make_job(position=0))  # claimed by the worker
+        time.sleep(0.1)
+        for position in range(1, 6):  # queue capacity 2: positions drop
+            batcher.submit(make_job(position=position))
+        release.set()
+        batcher.close()
+        assert batcher.stats.dropped == 3
+        dropped = sorted(o.job.position for o in collector.outcomes if o.dropped)
+        completed = sorted(o.job.position for o in collector.outcomes if not o.dropped)
+        assert dropped == [1, 2, 3]  # oldest pending jobs evicted first
+        assert completed == [0, 4, 5]
+
+    def test_submit_never_blocks_under_drop_oldest(self):
+        collector = Collector()
+        release = threading.Event()
+        batcher = MicroBatcher(
+            lambda job: release.wait(timeout=10),
+            collector,
+            workers=1,
+            capacity=1,
+            policy="drop-oldest",
+        )
+        start = time.perf_counter()
+        for position in range(50):
+            batcher.submit(make_job(position=position))
+        assert time.perf_counter() - start < 5.0
+        release.set()
+        batcher.close()
+
+
+class TestLifecycle:
+    def test_drain_waits_for_in_flight_work(self):
+        collector = Collector()
+
+        def handler(job):
+            time.sleep(0.05)
+            return "slow"
+
+        with MicroBatcher(handler, collector, workers=2) as batcher:
+            for position in range(4):
+                batcher.submit(make_job(position=position))
+            assert batcher.drain(timeout=30)
+            assert len(collector.outcomes) == 4
+
+    def test_close_without_drain_drops_pending_jobs(self):
+        collector = Collector()
+        release = threading.Event()
+
+        def handler(job):
+            release.wait(timeout=10)
+            return "done"
+
+        batcher = MicroBatcher(handler, collector, workers=1, max_batch=1, capacity=16)
+        batcher.submit(make_job(position=0))  # claimed by the worker
+        time.sleep(0.1)
+        for position in range(1, 5):
+            batcher.submit(make_job(position=position))
+        release.set()
+        batcher.close(drain=False)
+        # The in-flight job completes; the queued ones are reported dropped.
+        dropped = sorted(o.job.position for o in collector.outcomes if o.dropped)
+        assert dropped == [1, 2, 3, 4]
+        assert batcher.stats.dropped == 4
+        assert len(collector.outcomes) == 5
+
+    def test_submit_after_close_rejected(self):
+        batcher = MicroBatcher(lambda job: None, workers=1)
+        batcher.close()
+        with pytest.raises(ValidationError):
+            batcher.submit(make_job())
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(lambda job: None, workers=1)
+        batcher.close()
+        batcher.close()
+
+    def test_faulty_outcome_callback_does_not_wedge_the_batcher(self):
+        def bad_outcome(outcome):
+            raise RuntimeError("callback bug")
+
+        with MicroBatcher(lambda job: "ok", bad_outcome, workers=1) as batcher:
+            for position in range(4):
+                batcher.submit(make_job(position=position))
+            # Workers survive the raising callback and drain completes.
+            assert batcher.drain(timeout=30)
+            assert batcher.stats.executed == 4
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            MicroBatcher(lambda job: None, workers=0)
+        with pytest.raises(ValidationError):
+            MicroBatcher(lambda job: None, max_batch=0)
+        with pytest.raises(ValidationError):
+            MicroBatcher(lambda job: None, capacity=0)
+        with pytest.raises(ValidationError):
+            MicroBatcher(lambda job: None, policy="nope")

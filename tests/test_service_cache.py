@@ -1,0 +1,148 @@
+"""Tests for the service's shared caches (repro.service.cache)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ks import ks_test
+from repro.service.cache import LRUCache, SharedCaches, array_digest
+from tests.conftest import make_failed_pair
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", -1) == -1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" becomes LRU
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh by overwrite
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_hit_miss_stats(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("nope")
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_zero_when_unused(self):
+        assert LRUCache(4).stats.hit_rate == 0.0
+
+    def test_zero_capacity_disables_storage(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_capacity_bound_respected(self):
+        cache = LRUCache(capacity=3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 7
+
+    def test_get_or_compute_computes_once(self):
+        cache = LRUCache(capacity=4)
+        calls = {"count": 0}
+
+        def factory():
+            calls["count"] += 1
+            return "value"
+
+        assert cache.get_or_compute("k", factory) == "value"
+        assert cache.get_or_compute("k", factory) == "value"
+        assert calls["count"] == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=-1)
+
+
+class TestArrayDigest:
+    def test_equal_content_shares_digest(self):
+        first = np.array([1.0, 2.0, 3.0])
+        second = np.array([1.0, 2.0, 3.0])
+        assert first is not second
+        assert array_digest(first) == array_digest(second)
+
+    def test_different_content_differs(self):
+        assert array_digest(np.array([1.0, 2.0])) != array_digest(np.array([2.0, 1.0]))
+
+
+class TestSharedCachesKSTest:
+    def test_matches_plain_ks_test_exactly(self, rng):
+        caches = SharedCaches()
+        for _ in range(5):
+            reference, test = make_failed_pair(rng, 180, 150, shift_fraction=0.1)
+            cached = caches.ks_test(reference, test, 0.05)
+            plain = ks_test(reference, test, 0.05)
+            assert cached.statistic == plain.statistic
+            assert cached.threshold == plain.threshold
+            assert cached.pvalue == plain.pvalue
+            assert cached.rejected == plain.rejected
+
+    def test_matches_on_passing_pairs(self, rng):
+        caches = SharedCaches()
+        sample = rng.normal(size=200)
+        cached = caches.ks_test(sample, sample.copy(), 0.05)
+        assert cached.passed
+        assert cached.statistic == ks_test(sample, sample).statistic
+
+    def test_reference_sorted_once_across_repeated_tests(self, rng):
+        caches = SharedCaches()
+        reference = rng.normal(size=200)
+        for _ in range(4):
+            caches.ks_test(reference, rng.normal(size=200), 0.05)
+        stats = caches.sorted_references.stats
+        assert stats.misses == 1
+        assert stats.hits == 3
+
+    def test_critical_value_cached_per_alpha_and_sizes(self, rng):
+        caches = SharedCaches()
+        reference = rng.normal(size=100)
+        caches.ks_test(reference, rng.normal(size=100), 0.05)
+        caches.ks_test(reference, rng.normal(size=100), 0.05)
+        caches.ks_test(reference, rng.normal(size=100), 0.01)
+        stats = caches.critical_values.stats
+        assert stats.misses == 2  # one per alpha
+        assert stats.hits == 1
+
+    def test_overall_hit_rate_pools_all_caches(self, rng):
+        caches = SharedCaches()
+        assert caches.overall_hit_rate() == 0.0
+        reference = rng.normal(size=100)
+        caches.ks_test(reference, rng.normal(size=100), 0.05)
+        caches.ks_test(reference, rng.normal(size=100), 0.05)
+        assert 0.0 < caches.overall_hit_rate() < 1.0
+
+    def test_stats_dict_is_json_friendly(self, rng):
+        import json
+
+        caches = SharedCaches()
+        caches.ks_test(rng.normal(size=50), rng.normal(size=50), 0.05)
+        payload = json.dumps(caches.stats_dict())
+        assert "sorted_references" in payload
