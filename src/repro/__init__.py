@@ -20,15 +20,29 @@ The package provides:
   ECDF RMSE, estimation error);
 * :mod:`repro.experiments` — runners that regenerate every table and
   figure of the paper's evaluation section;
-* :mod:`repro.multidim` — the Fasano-Franceschini two-dimensional KS test
-  and a greedy explainer for it (the paper's stated future work);
+* :mod:`repro.multidim` — the Fasano-Franceschini two-dimensional KS test,
+  a greedy explainer for it and a 2-D drift detector (served through the
+  service with ``StreamConfig(backend="ks2d")``);
 * :mod:`repro.service` — an in-process multi-stream explanation service
-  with micro-batching, shared caching and a worker pool.
+  with micro-batching, shared caching and pluggable execution;
+* :mod:`repro.cluster` — the execution runtime behind the service: the
+  :class:`Executor` seam with inline / thread-pool / process-shard
+  backends, consistent-hash partitioning of streams onto worker processes,
+  the picklable wire protocol and shard-level fault handling.
 
 The main classes of every layer are re-exported here, so typical use is
 just ``from repro import MOCHE, KSDriftDetector, ExplanationService``.
 """
 
+from repro.cluster import (
+    Executor,
+    HashRing,
+    InlineExecutor,
+    ProcessShardExecutor,
+    ShardRuntime,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.core import (
     MOCHE,
     BruteForceExplainer,
@@ -103,6 +117,14 @@ __all__ = [
     "ServiceReport",
     "SharedCaches",
     "StreamConfig",
+    # cluster
+    "Executor",
+    "HashRing",
+    "InlineExecutor",
+    "ProcessShardExecutor",
+    "ShardRuntime",
+    "ThreadExecutor",
+    "make_executor",
     # exceptions
     "KSTestPassedError",
     "NoExplanationError",

@@ -16,8 +16,9 @@ The CLI exposes the library's main workflows without writing any Python:
 
 ``repro serve``
     Replay one or many series files through the multi-stream explanation
-    service (micro-batching, shared caches, worker pool) and print the
-    service report with every explained alarm.
+    service (micro-batching, shared caches, pluggable executor: inline,
+    thread pool or ``--shards N`` worker processes) and print the service
+    report with every explained alarm.
 
 ``repro experiments``
     Regenerate the paper's tables and figures at a reduced scale.
@@ -35,6 +36,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.base import EXECUTOR_NAMES
 from repro.core.ks import ks_test
 from repro.core.preference import PreferenceList
 from repro.drift.monitor import ExplainedDriftMonitor
@@ -129,6 +131,24 @@ def _stream_ids(paths: Sequence[str]) -> list[str]:
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.chunk < 1:
         raise ReproError("--chunk must be at least 1")
+    # Flags that only configure one backend are rejected with the others
+    # instead of being silently dropped.
+    thread_flags = {
+        "--workers": args.workers,
+        "--max-batch": args.max_batch,
+        "--policy": args.policy,
+    }
+    if args.executor != "thread":
+        given = [flag for flag, value in thread_flags.items() if value is not None]
+        if given:
+            raise ReproError(
+                f"{', '.join(given)} only apply to --executor thread "
+                f"(got --executor {args.executor})"
+            )
+    if args.executor == "inline" and args.queue_capacity is not None:
+        raise ReproError("--queue-capacity does not apply to --executor inline")
+    if args.executor != "process" and args.shards is not None:
+        raise ReproError("--shards requires --executor process")
     series = [load_series_csv(path, value_column=args.column) for path in args.series]
     stream_ids = _stream_ids(args.series)
     config = StreamConfig(
@@ -140,12 +160,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         top_k=args.top_k,
         seed=args.seed,
     )
+    # Only flags the user actually set are forwarded, so the service's own
+    # signature defaults stay the single source of truth.
+    overrides = {
+        name: value
+        for name, value in (
+            ("workers", args.workers),
+            ("max_batch", args.max_batch),
+            ("queue_capacity", args.queue_capacity),
+            ("policy", args.policy),
+            ("shards", args.shards),
+        )
+        if value is not None
+    }
     with ExplanationService(
-        workers=args.workers,
-        max_batch=args.max_batch,
-        queue_capacity=args.queue_capacity,
-        policy=args.policy,
         default_config=config,
+        executor=args.executor,
+        **overrides,
     ) as service:
         for stream_id in stream_ids:
             service.register(stream_id)
@@ -243,14 +274,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--top-k", type=int, default=100,
                               help="top-k restriction for the search baselines")
     serve_parser.add_argument("--seed", type=int, default=0, help="random seed")
-    serve_parser.add_argument("--workers", type=int, default=2,
-                              help="explanation worker threads (default 2)")
-    serve_parser.add_argument("--max-batch", type=int, default=8,
-                              help="micro-batch size (default 8)")
-    serve_parser.add_argument("--queue-capacity", type=int, default=128,
-                              help="pending-explanation queue bound (default 128)")
-    serve_parser.add_argument("--policy", choices=POLICIES, default="block",
-                              help="backpressure policy when the queue is full")
+    serve_parser.add_argument("--executor", choices=EXECUTOR_NAMES, default="thread",
+                              help="execution backend: inline (synchronous), "
+                                   "thread (worker pool), or process "
+                                   "(sharded worker processes; default thread)")
+    serve_parser.add_argument("--shards", type=int, default=None,
+                              help="worker processes for --executor process "
+                                   "(default 2)")
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="explanation worker threads for --executor "
+                                   "thread (default 2)")
+    serve_parser.add_argument("--max-batch", type=int, default=None,
+                              help="micro-batch size for --executor thread "
+                                   "(default 8)")
+    serve_parser.add_argument("--queue-capacity", type=int, default=None,
+                              help="backpressure bound: pending-explanation "
+                                   "queue (thread) or in-flight chunks "
+                                   "(process); default 128")
+    serve_parser.add_argument("--policy", choices=POLICIES, default=None,
+                              help="backpressure policy when the queue is full "
+                                   "(--executor thread; default block)")
     serve_parser.add_argument("--chunk", type=int, default=256,
                               help="observations per interleaved replay chunk")
     serve_parser.add_argument("--summary-only", action="store_true",

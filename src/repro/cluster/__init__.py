@@ -1,0 +1,75 @@
+"""Process-sharded execution runtime for the explanation service.
+
+``repro.cluster`` is the seam between *what* the service computes and
+*where* it runs.  The service engine talks to an
+:class:`~repro.cluster.base.Executor`; three interchangeable backends
+implement it:
+
+* :class:`~repro.cluster.executors.InlineExecutor` — synchronous, on the
+  submitting thread (determinism / debugging baseline);
+* :class:`~repro.cluster.executors.ThreadExecutor` — the micro-batched
+  thread worker pool of PR 1;
+* :class:`~repro.cluster.sharding.ProcessShardExecutor` — streams
+  consistent-hashed onto N worker processes
+  (:class:`~repro.cluster.partition.HashRing`), each owning detector
+  state, explainers and a private cache bundle
+  (:class:`~repro.cluster.runtime.ShardRuntime`), with shard-level fault
+  handling (crashed shards are respawned and re-registered from the
+  registry snapshot).
+
+Supporting modules: :mod:`~repro.cluster.wire` (picklable protocol
+messages), :mod:`~repro.cluster.runtime` (the shared detection/explanation
+path, also used in-process by the engine), :mod:`~repro.cluster.worker`
+(the shard process main loop).
+"""
+
+from repro.cluster.base import EXECUTOR_NAMES, Executor, ExecutorHooks, make_executor
+from repro.cluster.executors import InlineExecutor, ThreadExecutor
+from repro.cluster.partition import HashRing, stable_hash
+from repro.cluster.runtime import (
+    ShardRuntime,
+    build_preference_cached,
+    coerce_observations,
+    explain_alarm,
+    explanation_cache_key,
+    observation_count,
+    run_detection,
+)
+from repro.cluster.sharding import ProcessShardExecutor
+from repro.cluster.wire import (
+    AlarmRecord,
+    CrashShard,
+    IngestChunk,
+    IngestReply,
+    RegisterStream,
+    RemoveStream,
+    Shutdown,
+    WorkerFailure,
+)
+
+__all__ = [
+    "AlarmRecord",
+    "CrashShard",
+    "EXECUTOR_NAMES",
+    "Executor",
+    "ExecutorHooks",
+    "HashRing",
+    "IngestChunk",
+    "IngestReply",
+    "InlineExecutor",
+    "ProcessShardExecutor",
+    "RegisterStream",
+    "RemoveStream",
+    "ShardRuntime",
+    "Shutdown",
+    "ThreadExecutor",
+    "WorkerFailure",
+    "build_preference_cached",
+    "coerce_observations",
+    "explain_alarm",
+    "explanation_cache_key",
+    "make_executor",
+    "observation_count",
+    "run_detection",
+    "stable_hash",
+]

@@ -1,0 +1,152 @@
+"""The executor seam: *where* the service's work runs is pluggable.
+
+PR 1 hard-coded a thread pool into the service.  This module turns that
+choice into an interface with three interchangeable backends:
+
+* ``"inline"`` (:class:`~repro.cluster.executors.InlineExecutor`) — every
+  explanation runs synchronously on the submitting thread.  Zero
+  concurrency, zero nondeterminism; the debugging and parity baseline.
+* ``"thread"`` (:class:`~repro.cluster.executors.ThreadExecutor`) — the
+  PR 1 behaviour: detection on the submitting thread, explanations on a
+  micro-batched thread worker pool with backpressure.  Best when the
+  workload is cache-friendly (shared caches see every stream).
+* ``"process"`` (:class:`~repro.cluster.sharding.ProcessShardExecutor`) —
+  streams are consistent-hashed onto N worker processes that own detection,
+  explanation, caches and detector state; the pure-Python MOCHE hot path
+  runs on N cores instead of behind one GIL.
+
+Executors are constructed with their options, then bound to a service via
+:meth:`Executor.bind`, which hands them the service-side hooks (explain,
+record, record_reply).  Resources (threads, processes) are allocated at
+bind time, so an unbound executor is cheap and picklable-free.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+#: Names accepted by :func:`make_executor` and ``repro serve --executor``.
+EXECUTOR_NAMES = ("inline", "thread", "process")
+
+
+@dataclass
+class ExecutorHooks:
+    """Service-side callbacks an executor needs.
+
+    Attributes
+    ----------
+    explain:
+        ``explain(job) -> (explanation, from_cache)``; the engine's
+        cache-aware explanation path (used by detection-local executors).
+    record:
+        ``record(JobOutcome)``; folds one finished/failed/dropped
+        explanation job into the service report.
+    record_reply:
+        ``record_reply(IngestReply)``; folds one shard reply (alarms plus
+        counter deltas) into the service report.
+    snapshot:
+        ``snapshot() -> {stream_id: config_dict}``; the registry snapshot a
+        respawned shard re-registers its streams from.
+    """
+
+    explain: Callable
+    record: Callable
+    record_reply: Callable
+    snapshot: Callable[[], dict]
+
+
+class Executor(abc.ABC):
+    """Where the service's detection and explanation work runs.
+
+    Two shapes of executor exist, distinguished by ``owns_detection``:
+
+    * detection-local (``owns_detection = False``): the engine runs the
+      detector on the submitting thread and hands finished
+      :class:`~repro.service.batching.ExplanationJob` items to
+      :meth:`dispatch`;
+    * stream-owning (``owns_detection = True``): the engine routes raw
+      chunks to :meth:`ingest` and the executor runs detection *and*
+      explanation wherever it likes, reporting back through
+      ``hooks.record_reply``.
+    """
+
+    name: str = "?"
+    owns_detection: bool = False
+
+    def __init__(self) -> None:
+        self.hooks: Optional[ExecutorHooks] = None
+
+    # ------------------------------------------------------------------
+    def bind(self, hooks: ExecutorHooks) -> "Executor":
+        """Attach the service hooks and allocate runtime resources."""
+        if self.hooks is not None:
+            raise ValidationError(f"executor {self.name!r} is already bound")
+        self.hooks = hooks
+        self._start()
+        return self
+
+    def _start(self) -> None:
+        """Allocate threads/processes; called once from :meth:`bind`."""
+
+    # ------------------------------------------------------------------
+    # Stream lifecycle (stream-owning executors override these)
+    # ------------------------------------------------------------------
+    def register(self, state) -> None:
+        """A stream was registered (``state`` is the service's StreamState)."""
+
+    def remove(self, stream_id: str) -> None:
+        """A stream was deregistered."""
+
+    # ------------------------------------------------------------------
+    # Work
+    # ------------------------------------------------------------------
+    def dispatch(self, job) -> None:
+        """Run one explanation job (detection-local executors)."""
+        raise NotImplementedError(f"executor {self.name!r} does not dispatch jobs")
+
+    def ingest(self, state, values: np.ndarray) -> None:
+        """Route one coerced chunk (stream-owning executors)."""
+        raise NotImplementedError(f"executor {self.name!r} does not ingest chunks")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for all in-flight work; re-raise deferred backend errors."""
+
+    @abc.abstractmethod
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Release threads/processes; re-raise deferred backend errors."""
+
+    def stats(self) -> dict:
+        """Executor counters for the service report."""
+        return {"executor": self.name}
+
+
+def make_executor(name: str, **options) -> Executor:
+    """Build an (unbound) executor by name.
+
+    ``options`` are forwarded to the executor's constructor; each backend
+    accepts its own subset (``workers``/``max_batch``/``capacity``/``policy``
+    for ``"thread"``, ``shards``/``mp_context``/... for ``"process"``).
+    """
+    from repro.cluster.executors import InlineExecutor, ThreadExecutor
+    from repro.cluster.sharding import ProcessShardExecutor
+
+    factories = {
+        "inline": InlineExecutor,
+        "thread": ThreadExecutor,
+        "process": ProcessShardExecutor,
+    }
+    if name not in factories:
+        raise ValidationError(
+            f"unknown executor {name!r} (have {sorted(factories)})"
+        )
+    return factories[name](**options)

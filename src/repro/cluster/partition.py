@@ -1,0 +1,104 @@
+"""Consistent-hash partitioning of stream ids onto shards.
+
+The process-shard executor must send every observation of a stream to the
+*same* worker process, because that process owns the stream's detector
+state.  A consistent-hash ring gives that assignment three properties a
+plain ``hash(stream_id) % shards`` would not:
+
+* it is stable across Python processes and runs (BLAKE2b, not the
+  randomised builtin ``hash``), so replays are reproducible;
+* every shard appears at many points of the ring, so stream ids spread
+  evenly even when they share prefixes (``sensor-1`` ... ``sensor-40``);
+* adding or removing one shard moves only ``~1/N`` of the streams, which
+  keeps future elastic resizing cheap.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Iterable, Sequence
+
+from repro.exceptions import ValidationError
+
+
+def stable_hash(key: str) -> int:
+    """A process-stable 64-bit hash of a string key."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring mapping keys to shard ids.
+
+    Parameters
+    ----------
+    shards:
+        The shard identifiers (any strings); must be non-empty and unique.
+    replicas:
+        Virtual nodes per shard.  More replicas spread keys more evenly at
+        the cost of a larger (still tiny) ring.
+    """
+
+    def __init__(self, shards: Sequence[str], replicas: int = 64):
+        if replicas < 1:
+            raise ValidationError("replicas must be at least 1")
+        self.replicas = int(replicas)
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        self._shards: set[str] = set()
+        for shard in shards:
+            self.add(shard)
+        if not self._shards:
+            raise ValidationError("a hash ring needs at least one shard")
+
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> list[str]:
+        """The current shard ids, sorted."""
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._shards
+
+    # ------------------------------------------------------------------
+    def add(self, shard: str) -> None:
+        """Add a shard (its virtual nodes) to the ring."""
+        if shard in self._shards:
+            raise ValidationError(f"shard {shard!r} is already on the ring")
+        self._shards.add(shard)
+        for replica in range(self.replicas):
+            point = stable_hash(f"{shard}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard)
+
+    def remove(self, shard: str) -> None:
+        """Remove a shard; its keys redistribute to the ring's survivors."""
+        if shard not in self._shards:
+            raise ValidationError(f"shard {shard!r} is not on the ring")
+        if len(self._shards) == 1:
+            raise ValidationError("cannot remove the last shard from the ring")
+        self._shards.discard(shard)
+        keep = [i for i, owner in enumerate(self._owners) if owner != shard]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    # ------------------------------------------------------------------
+    def shard_for(self, key: Hashable) -> str:
+        """The shard owning ``key``: the first ring point at or after its hash."""
+        point = stable_hash(str(key))
+        index = bisect.bisect_left(self._points, point)
+        if index == len(self._points):  # wrap around the ring
+            index = 0
+        return self._owners[index]
+
+    def partition(self, keys: Iterable[Hashable]) -> dict[str, list]:
+        """Group ``keys`` by owning shard (shards with no keys are included)."""
+        groups: dict[str, list] = {shard: [] for shard in self.shards}
+        for key in keys:
+            groups[self.shard_for(key)].append(key)
+        return groups

@@ -1,0 +1,269 @@
+"""The serving runtime shared by the in-process engine and shard workers.
+
+One question the whole service keeps answering is "given this stream's
+config and these two windows, produce the explanation (consulting the
+caches)".  PR 1 answered it inside ``ExplanationService``; with process
+sharding the same logic must also run inside worker processes, so it lives
+here, once:
+
+* :func:`coerce_observations` / :func:`run_detection` — normalise a
+  submitted chunk for the stream's backend (scalars or 2-D points) and feed
+  it through a detector;
+* :func:`build_preference_cached` / :func:`explain_alarm` — the
+  cache-aware preference construction and explanation path;
+* :class:`ShardRuntime` — the per-process bundle: a stream table of
+  detectors and explainers plus a private
+  :class:`~repro.service.cache.SharedCaches`, driven by the wire protocol.
+
+A :class:`ShardRuntime` has no threads and no queues; the worker main loop
+(:mod:`repro.cluster.worker`) and the tests drive it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.service.cache import SharedCaches, array_digest
+from repro.service.registry import StreamConfig
+from repro.cluster.wire import AlarmRecord, IngestReply
+
+
+# ----------------------------------------------------------------------
+# Backend-aware ingestion helpers
+# ----------------------------------------------------------------------
+def coerce_observations(observations, config: StreamConfig) -> np.ndarray:
+    """Normalise a submitted chunk for the stream's backend.
+
+    ``ks1d`` streams take anything `ravel`-able to floats; ``ks2d`` streams
+    take ``(k, 2)`` point arrays (a flat array of ``2k`` floats is accepted
+    and paired up).
+    """
+    if config.backend == "ks2d":
+        arr = np.asarray(observations, dtype=float)
+        if arr.ndim == 1:
+            if arr.size % 2:
+                raise ValidationError(
+                    "a flat ks2d chunk must hold an even number of floats"
+                )
+            arr = arr.reshape(-1, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValidationError("ks2d streams take (k, 2) arrays of points")
+        return arr
+    return np.asarray(observations, dtype=float).ravel()
+
+
+def observation_count(values: np.ndarray, config: StreamConfig) -> int:
+    """Number of observations in a coerced chunk (points, not floats)."""
+    return int(values.shape[0]) if config.backend == "ks2d" else int(values.size)
+
+
+def run_detection(detector, config: StreamConfig, values: np.ndarray) -> list:
+    """Feed a coerced chunk into a detector, returning the alarms it raised."""
+    alarms = []
+    if config.backend == "ks2d":
+        for row in values:
+            alarm = detector.update(row)
+            if alarm is not None:
+                alarms.append(alarm)
+    else:
+        for value in values:
+            alarm = detector.update(float(value))
+            if alarm is not None:
+                alarms.append(alarm)
+    return alarms
+
+
+# ----------------------------------------------------------------------
+# Cache-aware explanation (shared with the in-process engine)
+# ----------------------------------------------------------------------
+def explanation_cache_key(
+    config: StreamConfig, reference_digest: bytes, test_digest: bytes
+) -> Hashable:
+    """Content key under which this alarm's explanation may be shared.
+
+    The backend is part of the key because a ``(w, 2)`` point window and a
+    flat ``2w`` scalar window serialise to identical bytes.
+    """
+    return (
+        config.backend,
+        config.method_name,
+        config.preference_name,
+        config.alpha,
+        config.top_k,
+        config.seed,
+        reference_digest,
+        test_digest,
+    )
+
+
+def build_preference_cached(
+    config: StreamConfig,
+    caches: SharedCaches,
+    reference: np.ndarray,
+    test: np.ndarray,
+    reference_digest: Optional[bytes] = None,
+    test_digest: Optional[bytes] = None,
+):
+    """Build the alarm's preference list, consulting the shared cache.
+
+    Only *named* builders participate in the cache; custom callables are
+    invoked directly (they have no stable identity to key by).
+    """
+    if not isinstance(config.preference, str):
+        return config.preference(reference, test)
+    key = (
+        config.backend,
+        config.preference_name,
+        config.seed,
+        reference_digest or array_digest(reference),
+        test_digest or array_digest(test),
+    )
+    return caches.preferences.get_or_compute(
+        key, lambda: config.build_preference(reference, test)
+    )
+
+
+def explain_alarm(
+    config: StreamConfig,
+    explainer,
+    caches: SharedCaches,
+    reference: np.ndarray,
+    test: np.ndarray,
+    reference_digest: Optional[bytes] = None,
+    test_digest: Optional[bytes] = None,
+):
+    """Explain one alarm, consulting the explanation cache.
+
+    Returns ``(explanation, from_cache)``.  This is the single explanation
+    path of the whole system: the in-process executors and every shard
+    worker call it.
+    """
+    key = None
+    if config.cacheable:
+        reference_digest = reference_digest or array_digest(reference)
+        test_digest = test_digest or array_digest(test)
+        key = explanation_cache_key(config, reference_digest, test_digest)
+        cached = caches.explanations.get(key)
+        if cached is not None:
+            return cached, True
+    preference = build_preference_cached(
+        config, caches, reference, test, reference_digest, test_digest
+    )
+    explanation = explainer.explain(reference, test, preference)
+    if key is not None:
+        caches.explanations.put(key, explanation)
+    return explanation, False
+
+
+# ----------------------------------------------------------------------
+# The per-process stream table
+# ----------------------------------------------------------------------
+@dataclass
+class _ShardStream:
+    """Runtime state of one stream owned by this shard."""
+
+    config: StreamConfig
+    detector: object
+    explainer: object
+
+
+class ShardRuntime:
+    """Detectors, explainers and caches for the streams one shard owns.
+
+    This is the part of the service that moves *into* the worker process:
+    detection and explanation both run here, so a fleet sharded over N
+    processes uses N cores end to end instead of serialising the pure-Python
+    MOCHE hot path behind one GIL.
+    """
+
+    def __init__(self, caches: Optional[SharedCaches] = None):
+        self.caches = caches or SharedCaches()
+        self._streams: dict[str, _ShardStream] = {}
+
+    # ------------------------------------------------------------------
+    def __contains__(self, stream_id: str) -> bool:
+        return stream_id in self._streams
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def stream_ids(self) -> list[str]:
+        return sorted(self._streams)
+
+    # ------------------------------------------------------------------
+    def register(self, stream_id: str, config) -> None:
+        """Add a stream; ``config`` is a StreamConfig or a ``to_dict`` snapshot.
+
+        Registration is idempotent for an identical config (a shard respawn
+        replays the registry snapshot, which may race with an explicit
+        registration of a brand-new stream); re-registering with a
+        *different* config is an error.
+        """
+        if isinstance(config, dict):
+            config = StreamConfig.from_dict(config)
+        existing = self._streams.get(stream_id)
+        if existing is not None:
+            if existing.config == config:
+                return
+            raise ValidationError(
+                f"stream {stream_id!r} is already registered with a different config"
+            )
+        self._streams[stream_id] = _ShardStream(
+            config=config,
+            detector=config.build_detector(ks_runner=self.caches.ks_test),
+            explainer=config.build_explainer(),
+        )
+
+    def remove(self, stream_id: str) -> None:
+        if stream_id not in self._streams:
+            raise ValidationError(f"unknown stream {stream_id!r}")
+        del self._streams[stream_id]
+
+    # ------------------------------------------------------------------
+    def ingest(self, stream_id: str, values, seq: int = 0) -> IngestReply:
+        """Run one chunk through detection + explanation, returning the reply."""
+        try:
+            stream = self._streams[stream_id]
+        except KeyError:
+            raise ValidationError(f"unknown stream {stream_id!r}") from None
+        chunk = coerce_observations(values, stream.config)
+        tests_before = getattr(stream.detector, "tests_run", 0)
+        alarms = run_detection(stream.detector, stream.config, chunk)
+        records = [self._explain(stream, stream_id, alarm) for alarm in alarms]
+        return IngestReply(
+            seq=seq,
+            stream_id=stream_id,
+            alarms=records,
+            observations=observation_count(chunk, stream.config),
+            tests_run_delta=getattr(stream.detector, "tests_run", 0) - tests_before,
+            alarms_raised_delta=len(records),
+        )
+
+    def _explain(self, stream: _ShardStream, stream_id: str, alarm) -> AlarmRecord:
+        """Resolve one alarm into a record, capturing explainer errors per alarm."""
+        try:
+            explanation, from_cache = explain_alarm(
+                stream.config,
+                stream.explainer,
+                self.caches,
+                alarm.reference,
+                alarm.test,
+            )
+        except Exception as exc:
+            return AlarmRecord(
+                stream_id=stream_id,
+                position=alarm.position,
+                result=alarm.result,
+                error=str(exc),
+            )
+        return AlarmRecord(
+            stream_id=stream_id,
+            position=alarm.position,
+            result=alarm.result,
+            explanation=explanation,
+            from_cache=from_cache,
+        )

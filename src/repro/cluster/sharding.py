@@ -1,0 +1,425 @@
+"""Process-sharded execution: streams consistent-hashed onto worker processes.
+
+The GIL serialises the pure-Python parts of MOCHE, so a thread pool cannot
+use more than one core for them.  :class:`ProcessShardExecutor` removes
+that ceiling: stream ids are consistent-hashed onto N shard processes
+(:class:`~repro.cluster.partition.HashRing`), and each shard owns the full
+serving runtime for its streams — detector state, explainers and a private
+cache bundle (:class:`~repro.cluster.runtime.ShardRuntime`).  Chunks flow
+to shards over per-shard command queues; alarms (already explained) and
+counter deltas flow back over one shared reply queue, where a collector
+thread folds them into the service report.
+
+Fault handling is shard-level: a worker process that dies — crash, OOM
+kill, the :class:`~repro.cluster.wire.CrashShard` test hook — is detected
+on the next ingest or drain, respawned with a fresh command queue, and its
+streams are re-registered from the service registry's snapshot (detector
+state restarts empty; chunks that were in flight are counted as lost, not
+silently re-run, so no alarm is ever double-reported).  A shard that keeps
+dying past ``max_restarts`` is marked failed and surfaces as a
+:class:`~repro.exceptions.ServiceBackendError` instead of looping forever.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
+from queue import Empty
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.base import Executor
+from repro.cluster.partition import HashRing
+from repro.cluster.wire import (
+    CrashShard,
+    IngestChunk,
+    IngestReply,
+    RegisterStream,
+    RemoveStream,
+    Shutdown,
+    WorkerFailure,
+)
+from repro.cluster.worker import shard_worker_main
+from repro.exceptions import ServiceBackendError, ValidationError
+from repro.utils.deferred import DeferredErrors
+
+
+@dataclass
+class _Shard:
+    """Parent-side handle of one worker process."""
+
+    shard_id: str
+    process: Optional[multiprocessing.process.BaseProcess] = None
+    commands: Optional[object] = None
+    restarts: int = 0
+    failed: bool = False
+
+
+class ProcessShardExecutor(Executor):
+    """Shard streams across worker processes for multi-core serving.
+
+    Parameters
+    ----------
+    shards:
+        Number of worker processes.
+    mp_context:
+        Multiprocessing start method (``"spawn"`` by default: slower to
+        start but immune to fork-while-threaded hazards; pass ``"fork"`` on
+        POSIX for faster startup when you know it is safe).
+    cache_config:
+        Keyword arguments for each shard's private
+        :class:`~repro.service.cache.SharedCaches`.
+    max_restarts:
+        Restart budget per shard before it is marked failed.
+    ring_replicas:
+        Virtual nodes per shard on the consistent-hash ring.
+    capacity:
+        Backpressure bound on in-flight (un-acknowledged) chunks across all
+        shards; ``ingest`` blocks once it is reached, so a producer that
+        outruns the shards slows down instead of growing the command queues
+        without limit (the process-side equivalent of the thread backend's
+        bounded queue).
+    """
+
+    name = "process"
+    owns_detection = True
+
+    def __init__(
+        self,
+        shards: int = 2,
+        mp_context: Optional[str] = None,
+        cache_config: Optional[dict] = None,
+        max_restarts: int = 3,
+        ring_replicas: int = 64,
+        capacity: int = 128,
+    ) -> None:
+        super().__init__()
+        if shards < 1:
+            raise ValidationError("shards must be at least 1")
+        if capacity < 1:
+            raise ValidationError("capacity must be at least 1")
+        self.shard_count = int(shards)
+        self.capacity = int(capacity)
+        self.max_restarts = int(max_restarts)
+        self._cache_config = dict(cache_config or {})
+        self._ctx = multiprocessing.get_context(mp_context or "spawn")
+        shard_ids = [f"shard-{index}" for index in range(self.shard_count)]
+        self._ring = HashRing(shard_ids, replicas=ring_replicas)
+        self._shards = {shard_id: _Shard(shard_id) for shard_id in shard_ids}
+        self._cv = threading.Condition()
+        self._outstanding: dict[int, str] = {}  # seq -> shard id
+        self._deferred = DeferredErrors()
+        self._seq = 0
+        self._ingests = 0
+        self._restarts = 0
+        self._lost_chunks = 0
+        self._closed = False
+        self._lifecycle = threading.RLock()
+        self._replies = None
+        self._collector: Optional[threading.Thread] = None
+        self._collector_stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Startup / shutdown
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        self._replies = self._ctx.Queue()
+        for shard in self._shards.values():
+            self._spawn(shard)
+        self._collector = threading.Thread(
+            target=self._collector_loop, name="repro-shard-collector", daemon=True
+        )
+        self._collector.start()
+
+    def _spawn(self, shard: _Shard) -> None:
+        """(Re)start one shard process and re-register its streams."""
+        shard.commands = self._ctx.Queue()
+        shard.process = self._ctx.Process(
+            target=shard_worker_main,
+            args=(shard.shard_id, shard.commands, self._replies, self._cache_config),
+            daemon=True,
+        )
+        shard.process.start()
+        # Re-register this shard's streams from the registry snapshot
+        # (empty on first spawn).  Worker-side registration is idempotent
+        # for identical configs, so racing with an in-progress explicit
+        # registration is harmless.
+        snapshot = self.hooks.snapshot() if self.hooks is not None else {}
+        for stream_id, config in snapshot.items():
+            if self._ring.shard_for(stream_id) == shard.shard_id:
+                shard.commands.put(RegisterStream(stream_id, config))
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        if self._replies is None or self._closed:
+            return
+        pending_error: Optional[Exception] = None
+        if drain:
+            try:
+                self.drain(timeout=timeout)
+            except ServiceBackendError as exc:
+                pending_error = exc
+        with self._lifecycle:
+            self._closed = True
+            if drain:
+                # Graceful: queues were drained above, so Shutdown is the
+                # next command every worker sees.
+                for shard in self._shards.values():
+                    if shard.process is not None and shard.process.is_alive():
+                        shard.commands.put(Shutdown())
+                for shard in self._shards.values():
+                    if shard.process is None:
+                        continue
+                    shard.process.join(timeout if timeout is not None else 10)
+                    if shard.process.is_alive():
+                        shard.process.terminate()
+                        shard.process.join(1)
+            else:
+                # drain=False means "discard pending work": a Shutdown
+                # command would queue FIFO behind the backlog and the
+                # workers would serve it all first, so kill them instead.
+                for shard in self._shards.values():
+                    if shard.process is not None and shard.process.is_alive():
+                        shard.process.terminate()
+                for shard in self._shards.values():
+                    if shard.process is not None:
+                        shard.process.join(1)
+            self._collector_stop.set()
+        if self._collector is not None:
+            self._collector.join(timeout=10)
+        with self._cv:
+            self._lost_chunks += len(self._outstanding)
+            self._outstanding.clear()
+        if pending_error is not None:
+            raise pending_error
+        self._raise_deferred()
+
+    # ------------------------------------------------------------------
+    # Stream lifecycle
+    # ------------------------------------------------------------------
+    def register(self, state) -> None:
+        # to_dict() validates that the config is fully named (picklable).
+        config = state.config.to_dict()
+        stream_id = state.stream_id
+        # The lifecycle lock orders this against crash-triggered respawns;
+        # should a respawn's snapshot replay still race ahead of us, the
+        # worker-side registration is idempotent for identical configs.
+        with self._lifecycle:
+            shard = self._shard_for_stream(stream_id)
+            if state.remote_tests_run is None:
+                state.remote_tests_run = 0
+            shard.commands.put(RegisterStream(stream_id, config))
+
+    def remove(self, stream_id: str) -> None:
+        with self._lifecycle:
+            shard = self._shards[self._ring.shard_for(stream_id)]
+            if shard.process is not None and shard.process.is_alive():
+                shard.commands.put(RemoveStream(stream_id))
+
+    def shard_of(self, stream_id: str) -> str:
+        """Which shard id owns a stream (exposed for tests and diagnostics)."""
+        return self._ring.shard_for(stream_id)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, state, values: np.ndarray) -> None:
+        # The lifecycle lock keeps the whole enqueue atomic with respect to
+        # crash handling: without it, a concurrent respawn could abandon
+        # this seq as lost (and swap the command queue) between the
+        # bookkeeping and the put, leaving the chunk both processed and
+        # counted as lost.  When the in-flight bound is hit we wait
+        # *outside* the lifecycle lock, so crash handling (which frees
+        # capacity by abandoning a dead shard's chunks) can still run.
+        while True:
+            with self._lifecycle:
+                shard = self._shard_for_stream(state.stream_id)
+                with self._cv:
+                    if len(self._outstanding) < self.capacity:
+                        self._seq += 1
+                        seq = self._seq
+                        self._outstanding[seq] = shard.shard_id
+                        self._ingests += 1
+                        shard.commands.put(
+                            IngestChunk(
+                                seq=seq, stream_id=state.stream_id, values=values
+                            )
+                        )
+                        return
+            # A dead shard (not necessarily this stream's) may be pinning
+            # the capacity with chunks it will never acknowledge; reap all
+            # shards so abandonment can free the slots, and fail fast on a
+            # recorded backend failure, before re-waiting.
+            self._reap_dead_shards()
+            self._raise_deferred()
+            with self._cv:
+                if len(self._outstanding) >= self.capacity:
+                    self._cv.wait(0.05)
+
+    def _shard_for_stream(self, stream_id: str) -> _Shard:
+        """The live shard owning a stream, respawning it first if it died."""
+        if self._closed:
+            # Mirror the thread backend: work handed to a closed executor
+            # must fail loudly, not sit on a queue no worker will read.
+            raise ValidationError("cannot submit to a closed executor")
+        shard = self._shards[self._ring.shard_for(stream_id)]
+        self._ensure_alive(shard)
+        if shard.failed:
+            # Surface the deferred budget-exhaustion error here (once)
+            # rather than raising a fresh copy now and the deferred one
+            # again at the next drain()/close().
+            self._raise_deferred()
+            raise ServiceBackendError(
+                f"shard {shard.shard_id!r} exceeded its restart budget "
+                f"({self.max_restarts}); stream {stream_id!r} is unserved"
+            )
+        return shard
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _ensure_alive(self, shard: _Shard) -> None:
+        with self._lifecycle:
+            if self._closed or shard.failed:
+                return
+            if shard.process is not None and shard.process.is_alive():
+                return
+            if shard.process is not None:
+                # The shard died: reap it, abandon its in-flight chunks and
+                # charge its restart budget before respawning.
+                shard.process.join(timeout=1)
+                self._abandon_outstanding(shard.shard_id)
+                shard.restarts += 1
+                with self._cv:
+                    self._restarts += 1
+                if shard.restarts > self.max_restarts:
+                    shard.failed = True
+                    self._defer(
+                        ServiceBackendError(
+                            f"shard {shard.shard_id!r} crashed "
+                            f"{shard.restarts} times; giving up on it"
+                        )
+                    )
+                    return
+            self._spawn(shard)
+
+    def _reap_dead_shards(self) -> None:
+        for shard in self._shards.values():
+            self._ensure_alive(shard)
+
+    def _abandon_outstanding(self, shard_id: str) -> None:
+        """Drop the in-flight chunks of a dead shard so drain() can finish."""
+        with self._cv:
+            lost = [seq for seq, owner in self._outstanding.items() if owner == shard_id]
+            for seq in lost:
+                del self._outstanding[seq]
+            self._lost_chunks += len(lost)
+            if lost:
+                self._cv.notify_all()
+
+    def crash_shard(self, shard_id: str, wait_seconds: float = 30.0) -> None:
+        """Test hook: hard-kill one shard process and wait for it to die."""
+        shard = self._shards[shard_id]
+        process = shard.process
+        if process is None or not process.is_alive():
+            return
+        shard.commands.put(CrashShard())
+        process.join(wait_seconds)
+
+    # ------------------------------------------------------------------
+    # Reply collection
+    # ------------------------------------------------------------------
+    def _collector_loop(self) -> None:
+        # The stop signal is a thread Event checked between timed gets, NOT
+        # a sentinel message: the parent must never put() into the shared
+        # reply queue, because a worker terminated mid-put (close with
+        # drain=False) can die holding the queue's write lock, and a
+        # parent-side feeder thread blocked on that lock would deadlock
+        # interpreter shutdown.
+        while True:
+            try:
+                reply = self._replies.get(timeout=0.25)
+            except Empty:
+                if self._collector_stop.is_set():
+                    return
+                continue
+            except Exception as exc:
+                # A worker killed mid-put can leave a truncated pickle in
+                # the reply pipe; the collector must survive it (a dead
+                # collector means nothing is ever acknowledged again) and
+                # surface it on the next drain()/close() instead.
+                if self._collector_stop.is_set():
+                    return
+                self._defer(
+                    ServiceBackendError(f"reply collection failed: {exc!r}")
+                )
+                time.sleep(0.05)  # do not hot-spin on a broken queue
+                continue
+            if isinstance(reply, IngestReply):
+                try:
+                    self.hooks.record_reply(reply)
+                except Exception as exc:
+                    self._defer(exc)
+                finally:
+                    self._ack(reply.seq, served=True)
+            elif isinstance(reply, WorkerFailure):
+                self._defer(
+                    ServiceBackendError(
+                        f"shard {reply.shard_id!r} reported: {reply.message}"
+                    )
+                )
+                if reply.seq is not None:
+                    self._ack(reply.seq)
+
+    def _ack(self, seq: int, served: bool = False) -> None:
+        with self._cv:
+            known = self._outstanding.pop(seq, None) is not None
+            if not known and served and self._lost_chunks > 0:
+                # The chunk was abandoned as lost when its shard died, but
+                # its reply had already made it out: it was fully served.
+                self._lost_chunks -= 1
+            self._cv.notify_all()
+
+    def _defer(self, error: Exception) -> None:
+        self._deferred.add(error)
+
+    def _raise_deferred(self) -> None:
+        self._deferred.raise_first("shard backend failure")
+
+    # ------------------------------------------------------------------
+    # Drain / stats
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._cv:
+                if not self._outstanding:
+                    break
+            self._reap_dead_shards()
+            # Fail fast on a recorded backend failure rather than waiting
+            # (possibly forever) for acknowledgements that may never come.
+            self._raise_deferred()
+            with self._cv:
+                if not self._outstanding:
+                    break
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self._raise_deferred()
+                    return False
+                self._cv.wait(0.05 if remaining is None else min(0.05, remaining))
+        self._raise_deferred()
+        return True
+
+    def stats(self) -> dict:
+        with self._cv:
+            return {
+                "executor": self.name,
+                "shards": self.shard_count,
+                "capacity": self.capacity,
+                "ingests": self._ingests,
+                "outstanding": len(self._outstanding),
+                "restarts": self._restarts,
+                "lost_chunks": self._lost_chunks,
+            }

@@ -1,0 +1,110 @@
+"""Picklable wire types spoken between the parent and its shard workers.
+
+Everything that crosses the process boundary is defined here, as plain
+dataclasses of primitives, NumPy arrays and the library's own picklable
+result types (:class:`~repro.core.ks.KSTestResult`,
+:class:`~repro.core.explanation.Explanation`, ...).  Commands flow parent →
+worker over a per-shard command queue; replies flow worker → parent over
+one shared reply queue.
+
+The protocol is deliberately small:
+
+* ``RegisterStream`` / ``RemoveStream`` — manage the shard's stream table
+  (configs travel as :meth:`repro.service.registry.StreamConfig.to_dict`
+  snapshots, never as live objects);
+* ``IngestChunk`` → ``IngestReply`` — one chunk of observations in, the
+  alarms it raised (with explanations attached) plus counter deltas out;
+  every chunk is acknowledged exactly once, which is what ``drain()``
+  counts;
+* ``WorkerFailure`` — a worker-side error that is *not* tied to a single
+  alarm (those ride inside ``AlarmRecord.error``);
+* ``CrashShard`` — test hook: hard-kills the worker so fault handling can
+  be exercised deterministically;
+* ``Shutdown`` — clean exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# Commands: parent -> worker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegisterStream:
+    """Add a stream to the shard's table (config as a ``to_dict`` snapshot)."""
+
+    stream_id: str
+    config: dict
+
+
+@dataclass(frozen=True)
+class RemoveStream:
+    """Drop a stream (and its detector state) from the shard's table."""
+
+    stream_id: str
+
+
+@dataclass(frozen=True)
+class IngestChunk:
+    """One chunk of observations for one stream, tagged for acknowledgement."""
+
+    seq: int
+    stream_id: str
+    values: np.ndarray
+
+
+@dataclass(frozen=True)
+class CrashShard:
+    """Test hook: make the worker die immediately via ``os._exit``."""
+
+    exit_code: int = 17
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Clean worker exit."""
+
+
+# ----------------------------------------------------------------------
+# Replies: worker -> parent
+# ----------------------------------------------------------------------
+@dataclass
+class AlarmRecord:
+    """One alarm a shard raised and resolved, ready for the service report."""
+
+    stream_id: str
+    position: int
+    result: object
+    explanation: Optional[object] = None
+    error: Optional[str] = None
+    from_cache: bool = False
+
+
+@dataclass
+class IngestReply:
+    """Acknowledgement of one :class:`IngestChunk` with everything it produced."""
+
+    seq: int
+    stream_id: str
+    alarms: list[AlarmRecord] = field(default_factory=list)
+    observations: int = 0
+    tests_run_delta: int = 0
+    alarms_raised_delta: int = 0
+
+
+@dataclass
+class WorkerFailure:
+    """A worker-side failure not attributable to a single alarm.
+
+    When ``seq`` is set, the failure consumed that chunk (the parent must
+    still mark it acknowledged so ``drain()`` does not hang).
+    """
+
+    shard_id: str
+    message: str
+    seq: Optional[int] = None

@@ -1,0 +1,82 @@
+"""The shard worker process: one command loop around a :class:`ShardRuntime`.
+
+``shard_worker_main`` is the target of every shard process.  It is a plain
+module-level function (required by the ``spawn`` start method) that owns a
+private :class:`~repro.cluster.runtime.ShardRuntime` — its own detectors,
+explainers and caches — and speaks the :mod:`repro.cluster.wire` protocol:
+commands in, one reply per ingest out.
+
+Error discipline mirrors the thread pool's: an explainer failing on one
+alarm is captured *per alarm* inside the reply; anything else that goes
+wrong processing a command becomes a :class:`~repro.cluster.wire.WorkerFailure`
+reply and the worker keeps serving.  Only ``Shutdown`` (clean) and
+``CrashShard`` (test hook) end the process.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cluster.runtime import ShardRuntime
+from repro.cluster.wire import (
+    CrashShard,
+    IngestChunk,
+    IngestReply,
+    RegisterStream,
+    RemoveStream,
+    Shutdown,
+    WorkerFailure,
+)
+from repro.service.cache import SharedCaches
+
+
+def shard_worker_main(shard_id: str, commands, replies, cache_config=None) -> None:
+    """Serve one shard until told to shut down.
+
+    Parameters
+    ----------
+    shard_id:
+        This shard's identifier (used to attribute failures).
+    commands:
+        Multiprocessing queue of wire commands, parent -> this worker.
+    replies:
+        Shared multiprocessing queue of wire replies, workers -> parent.
+    cache_config:
+        Optional keyword arguments for this shard's private
+        :class:`~repro.service.cache.SharedCaches`.
+    """
+    runtime = ShardRuntime(caches=SharedCaches(**(cache_config or {})))
+    while True:
+        command = commands.get()
+        try:
+            if isinstance(command, Shutdown):
+                return
+            if isinstance(command, CrashShard):
+                # Simulated hard crash: no cleanup, no goodbye message.
+                os._exit(command.exit_code)
+            if isinstance(command, RegisterStream):
+                runtime.register(command.stream_id, command.config)
+            elif isinstance(command, RemoveStream):
+                runtime.remove(command.stream_id)
+            elif isinstance(command, IngestChunk):
+                if command.stream_id not in runtime:
+                    # The stream was removed while this chunk was in
+                    # flight; acknowledge it empty (the parent tolerates
+                    # the same race on its side) rather than failing.
+                    replies.put(IngestReply(seq=command.seq, stream_id=command.stream_id))
+                else:
+                    replies.put(
+                        runtime.ingest(command.stream_id, command.values, seq=command.seq)
+                    )
+            else:
+                replies.put(
+                    WorkerFailure(shard_id, f"unknown command {command!r}")
+                )
+        except Exception as exc:
+            replies.put(
+                WorkerFailure(
+                    shard_id,
+                    f"{type(command).__name__} failed: {exc!r}",
+                    seq=getattr(command, "seq", None),
+                )
+            )

@@ -66,6 +66,19 @@ class ExplanationVerificationError(ReproError):
     """
 
 
+class ServiceBackendError(ReproError):
+    """Raised when the serving runtime itself fails, not one explanation.
+
+    Per-alarm explainer failures are captured in the service report
+    (``ServiceAlarm.error``); this error covers failures of the machinery
+    around them — an outcome callback that raised on a worker thread, a
+    shard worker that reported an internal protocol error, or a shard
+    process that kept crashing past its restart budget.  ``drain()`` and
+    ``close()`` re-raise the first such deferred failure instead of
+    swallowing it.
+    """
+
+
 class BaselineBudgetExceededError(ReproError):
     """Raised when a search-based baseline exhausts its budget.
 

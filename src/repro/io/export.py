@@ -15,22 +15,46 @@ PathLike = Union[str, Path]
 
 
 def ks_result_to_dict(result: KSTestResult | None) -> dict | None:
-    """A JSON-serialisable dictionary describing a KS test result."""
+    """A JSON-serialisable dictionary describing a KS test result.
+
+    Duck-typed over the 1-D :class:`~repro.core.ks.KSTestResult` and the 2-D
+    :class:`~repro.multidim.fasano_franceschini.KS2DResult` (which has no
+    rejection threshold — its decision rule is the p-value).
+    """
     if result is None:
         return None
-    return {
+    payload = {
         "statistic": result.statistic,
-        "threshold": result.threshold,
         "alpha": result.alpha,
         "n": result.n,
         "m": result.m,
         "pvalue": result.pvalue,
         "rejected": result.rejected,
     }
+    threshold = getattr(result, "threshold", None)
+    if threshold is not None:
+        payload["threshold"] = threshold
+    return payload
 
 
-def explanation_to_dict(explanation: Explanation) -> dict:
-    """A JSON-serialisable dictionary describing an explanation."""
+def ks2d_explanation_to_dict(explanation) -> dict:
+    """A JSON-serialisable dictionary describing a 2-D greedy explanation."""
+    return {
+        "method": "greedy-ks2d",
+        "size": explanation.size,
+        "indices": explanation.indices.tolist(),
+        "points": explanation.points.tolist(),
+        "reverses_test": explanation.reverses_test,
+        "runtime_seconds": explanation.runtime_seconds,
+        "ks_before": ks_result_to_dict(explanation.result_before),
+        "ks_after": ks_result_to_dict(explanation.result_after),
+    }
+
+
+def explanation_to_dict(explanation) -> dict:
+    """A JSON-serialisable dictionary describing an explanation (1-D or 2-D)."""
+    if hasattr(explanation, "points"):  # KS2DExplanation
+        return ks2d_explanation_to_dict(explanation)
     return {
         "method": explanation.method,
         "alpha": explanation.alpha,
@@ -63,8 +87,25 @@ def explanation_to_csv(explanation: Explanation) -> str:
     return "\n".join(lines) + "\n"
 
 
-def explanation_report(explanation: Explanation) -> str:
+def explanation_report(explanation) -> str:
     """A short human-readable report, suitable for a monitoring alert."""
+    if hasattr(explanation, "points"):  # KS2DExplanation
+        before = explanation.result_before
+        after = explanation.result_after
+        verdict = "passes" if after.passed else "still fails"
+        return "\n".join(
+            [
+                "Counterfactual explanation (greedy-ks2d)",
+                "-" * 48,
+                f"failed 2-D KS test  : D = {before.statistic:.4f}, "
+                f"p = {before.pvalue:.4g} (alpha = {before.alpha}, "
+                f"n = {before.n}, m = {before.m})",
+                f"explanation size    : {explanation.size} points",
+                f"after removal       : D = {after.statistic:.4f}, "
+                f"p = {after.pvalue:.4g} -> {verdict}",
+                f"runtime             : {explanation.runtime_seconds * 1000:.1f} ms",
+            ]
+        )
     before = explanation.ks_before
     after = explanation.ks_after
     lines = [

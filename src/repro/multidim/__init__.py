@@ -8,14 +8,19 @@ This package implements:
 * :class:`GreedyKS2DExplainer` — a greedy counterfactual explainer for
   failed 2-D tests (MOCHE's exact machinery does not carry over because the
   2-D statistic is not a simple function of one cumulative vector, so a
-  greedy heuristic is used instead, with the same interface).
+  greedy heuristic is used instead, with the same interface);
+* :class:`KS2DDriftDetector` — the sliding-window drift detector for
+  streams of ``(x, y)`` pairs, served through the explanation service via
+  ``StreamConfig(backend="ks2d")``.
 """
 
+from repro.multidim.detector import KS2DDriftDetector
 from repro.multidim.explain2d import GreedyKS2DExplainer, KS2DExplanation
 from repro.multidim.fasano_franceschini import KS2DResult, ks2d_statistic, ks2d_test
 
 __all__ = [
     "GreedyKS2DExplainer",
+    "KS2DDriftDetector",
     "KS2DExplanation",
     "KS2DResult",
     "ks2d_statistic",

@@ -1,0 +1,127 @@
+"""Sliding-window drift detection for streams of 2-D points.
+
+:class:`KS2DDriftDetector` is the Fasano-Franceschini counterpart of
+:class:`repro.drift.detector.KSDriftDetector`: it maintains a reference
+window and a test window of ``(x, y)`` points, runs the two-sample 2-D KS
+test whenever the test window fills, and reports rejections as
+:class:`~repro.drift.detector.DriftAlarm` objects whose ``reference`` and
+``test`` snapshots are ``(window_size, 2)`` arrays and whose ``result`` is
+a :class:`~repro.multidim.fasano_franceschini.KS2DResult`.
+
+This is what serves *streams of pairs* through the explanation service:
+``StreamConfig(backend="ks2d")`` builds this detector and pairs it with the
+greedy 2-D explainer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.drift.detector import DriftAlarm
+from repro.exceptions import NonFiniteDataError, ValidationError
+from repro.multidim.fasano_franceschini import ks2d_test
+
+
+class KS2DDriftDetector:
+    """Two-window Fasano-Franceschini drift detector over a stream of pairs.
+
+    Parameters
+    ----------
+    window_size:
+        Number of points in both the reference and the test window.
+    alpha:
+        Significance level of the 2-D KS tests.
+    slide_on_alarm:
+        When True (default) the reference window stays fixed across passing
+        tests and is replaced by the test window only after an alarm; when
+        False the reference always holds the immediately preceding window.
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        alpha: float = 0.05,
+        slide_on_alarm: bool = True,
+    ):
+        if window_size < 2:
+            raise ValidationError("window_size must be at least 2")
+        self.window_size = int(window_size)
+        self.alpha = float(alpha)
+        self.slide_on_alarm = bool(slide_on_alarm)
+        self._reference: deque[tuple[float, float]] = deque(maxlen=self.window_size)
+        self._test: deque[tuple[float, float]] = deque(maxlen=self.window_size)
+        self._count = 0
+        self.tests_run = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def observations_seen(self) -> int:
+        """Total number of points pushed into the detector."""
+        return self._count
+
+    @property
+    def ready(self) -> bool:
+        """True when both windows are full and a test can be conducted."""
+        return (
+            len(self._reference) == self.window_size
+            and len(self._test) == self.window_size
+        )
+
+    def reference_window(self) -> np.ndarray:
+        """Snapshot of the current reference window as an ``(w, 2)`` array."""
+        return np.asarray(self._reference, dtype=float).reshape(-1, 2)
+
+    def test_window(self) -> np.ndarray:
+        """Snapshot of the current test window as an ``(w, 2)`` array."""
+        return np.asarray(self._test, dtype=float).reshape(-1, 2)
+
+    # ------------------------------------------------------------------
+    def update(self, point) -> Optional[DriftAlarm]:
+        """Push one ``(x, y)`` point; return an alarm if drift is detected."""
+        arr = np.asarray(point, dtype=float).ravel()
+        if arr.size != 2:
+            raise ValidationError("a ks2d stream observation must be an (x, y) pair")
+        if not np.all(np.isfinite(arr)):
+            raise NonFiniteDataError("stream observations must be finite")
+        self._count += 1
+        entry = (float(arr[0]), float(arr[1]))
+        if len(self._reference) < self.window_size:
+            self._reference.append(entry)
+            return None
+        self._test.append(entry)
+        if len(self._test) < self.window_size:
+            return None
+
+        reference = self.reference_window()
+        test = self.test_window()
+        result = ks2d_test(reference, test, self.alpha)
+        self.tests_run += 1
+        alarm: Optional[DriftAlarm] = None
+        if result.rejected:
+            alarm = DriftAlarm(
+                position=self._count - 1,
+                reference=reference,
+                test=test,
+                result=result,
+            )
+        self._advance(result.rejected, test)
+        return alarm
+
+    def process(self, stream: Iterable) -> Iterator[DriftAlarm]:
+        """Consume an iterable of ``(x, y)`` points, yielding alarms."""
+        for point in stream:
+            alarm = self.update(point)
+            if alarm is not None:
+                yield alarm
+
+    # ------------------------------------------------------------------
+    def _advance(self, alarmed: bool, test: np.ndarray) -> None:
+        """Slide the windows after a completed test."""
+        if not self.slide_on_alarm or alarmed:
+            self._reference = deque(
+                [(float(x), float(y)) for x, y in test], maxlen=self.window_size
+            )
+        self._test = deque(maxlen=self.window_size)

@@ -7,7 +7,9 @@ explanations immediately.  This package turns the one-shot pipeline of
 
 * :class:`ExplanationService` (:mod:`~repro.service.engine`) — accepts
   ``submit(stream_id, observations)`` calls, multiplexes per-stream sliding
-  windows over the drift detectors and dispatches alarm explanations;
+  windows over the drift detectors and routes alarm explanations through a
+  pluggable :mod:`repro.cluster` executor (inline, thread pool, or
+  process shards);
 * :class:`MicroBatcher` (:mod:`~repro.service.batching`) — coalesces
   pending explanation jobs and executes them on a configurable thread
   worker pool with explicit backpressure (block or drop-oldest);
@@ -30,7 +32,9 @@ from repro.service.batching import (
 from repro.service.cache import CacheStats, LRUCache, SharedCaches, array_digest
 from repro.service.engine import ExplanationService
 from repro.service.registry import (
+    BACKENDS,
     EXPLAINERS,
+    EXPLAINERS_2D,
     PREFERENCE_BUILDERS,
     StreamConfig,
     StreamRegistry,
@@ -40,9 +44,11 @@ from repro.service.registry import (
 from repro.service.results import ServiceAlarm, ServiceReport, StreamReport
 
 __all__ = [
+    "BACKENDS",
     "BatcherStats",
     "CacheStats",
     "EXPLAINERS",
+    "EXPLAINERS_2D",
     "ExplanationJob",
     "ExplanationService",
     "JobOutcome",

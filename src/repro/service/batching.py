@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.ks import KSTestResult
 from repro.exceptions import ValidationError
+from repro.utils.deferred import DeferredErrors
 
 POLICIES = ("block", "drop-oldest")
 
@@ -106,8 +107,11 @@ class MicroBatcher:
         batch, on a worker thread.  Exceptions are captured per job.
     on_outcome:
         ``on_outcome(outcome)``; called for every job — completed, failed
-        or dropped — exactly once.  Exceptions it raises are swallowed so
-        a faulty callback cannot kill a worker or lose outcomes.
+        or dropped — exactly once.  Exceptions it raises cannot kill a
+        worker or lose outcomes; they are recorded and re-raised (wrapped in
+        :class:`~repro.exceptions.ServiceBackendError`) by the next
+        ``drain()`` or ``close()`` call, so callback bugs surface instead of
+        disappearing on a worker thread.
     workers:
         Number of worker threads.
     max_batch:
@@ -145,6 +149,7 @@ class MicroBatcher:
         self._cv = threading.Condition()
         self._in_flight = 0
         self._closed = False
+        self._deferred = DeferredErrors()
         self._workers = [
             threading.Thread(target=self._worker_loop, name=f"repro-worker-{i}", daemon=True)
             for i in range(int(workers))
@@ -195,20 +200,37 @@ class MicroBatcher:
         return True
 
     def _deliver(self, outcome: JobOutcome) -> None:
-        """Invoke the outcome callback, shielding the caller from its errors."""
+        """Invoke the outcome callback, shielding the caller from its errors.
+
+        A faulty callback must not kill a worker thread, skip the rest of a
+        batch's outcomes, or wedge drain()/close(); its exception is recorded
+        and re-raised by the next drain()/close() instead.
+        """
         try:
             self._on_outcome(outcome)
-        except Exception:
-            # A faulty callback must not kill a worker thread, skip the
-            # rest of a batch's outcomes, or wedge drain()/close().
-            pass
+        except Exception as exc:
+            self._deferred.add(exc)
 
-    def drain(self, timeout: Optional[float] = None) -> bool:
-        """Block until every submitted job has been executed or dropped."""
+    def _raise_deferred_errors(self) -> None:
+        """Re-raise the first recorded callback error, if any."""
+        self._deferred.raise_first("outcome callback failed on a worker thread")
+
+    def _wait_drained(self, timeout: Optional[float]) -> bool:
+        """Wait for the queue and all in-flight batches to empty out."""
         with self._cv:
             return self._cv.wait_for(
                 lambda: not self._queue and self._in_flight == 0, timeout=timeout
             )
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job has been executed or dropped.
+
+        Raises :class:`~repro.exceptions.ServiceBackendError` if an outcome
+        callback failed on a worker thread since the last drain/close.
+        """
+        drained = self._wait_drained(timeout)
+        self._raise_deferred_errors()
+        return drained
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Stop accepting jobs and join the workers.
@@ -216,9 +238,11 @@ class MicroBatcher:
         With ``drain=True`` (default) all pending work is executed first;
         with ``drain=False`` the pending queue is discarded and every
         unclaimed job is reported through ``on_outcome`` as dropped.
+        Deferred outcome-callback errors are re-raised after the workers have
+        been joined (the pool is shut down either way).
         """
         if drain:
-            self.drain(timeout=timeout)
+            self._wait_drained(timeout)
         with self._cv:
             self._closed = True
             discarded = list(self._queue)
@@ -229,6 +253,7 @@ class MicroBatcher:
             self._deliver(JobOutcome(job=job, dropped=True))
         for worker in self._workers:
             worker.join(timeout=timeout)
+        self._raise_deferred_errors()
 
     def __enter__(self) -> "MicroBatcher":
         return self

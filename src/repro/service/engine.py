@@ -2,12 +2,19 @@
 
 :class:`ExplanationService` is the serving layer over the one-shot
 pipeline: it multiplexes any number of named streams over per-stream drift
-detectors, keeps detection synchronous and cheap on the submitting thread,
-and hands every alarm to a micro-batched worker pool that builds the
-preference list and runs the configured explainer.  All streams share one
-:class:`~repro.service.cache.SharedCaches` bundle, so repeated tests
-against a stable reference reuse its sorted window and replicated feeds
-reuse whole explanations.
+detectors and routes the work through a pluggable *executor*
+(:mod:`repro.cluster`) that decides where detection and explanation run:
+
+* ``executor="inline"`` — everything synchronous on the submitting thread;
+* ``executor="thread"`` (default) — detection on the submitting thread,
+  explanations micro-batched onto a thread worker pool with shared caches
+  (the PR 1 behaviour);
+* ``executor="process"`` — streams consistent-hashed onto ``shards`` worker
+  processes that own detector state, explainers and per-shard caches, for
+  multi-core serving of the GIL-bound MOCHE hot path.
+
+All three backends produce identical alarms and explanations on the same
+input (see :meth:`~repro.service.results.ServiceReport.canonical_dict`).
 
 Typical use::
 
@@ -24,13 +31,22 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 import numpy as np
 
+from repro.cluster.base import Executor, ExecutorHooks, make_executor
+from repro.cluster.runtime import (
+    coerce_observations,
+    explain_alarm,
+    explanation_cache_key,
+    observation_count,
+    run_detection,
+)
+from repro.cluster.wire import IngestReply
 from repro.core.explanation import Explanation
-from repro.core.preference import PreferenceList
-from repro.service.batching import ExplanationJob, JobOutcome, MicroBatcher
+from repro.exceptions import ValidationError
+from repro.service.batching import ExplanationJob, JobOutcome
 from repro.service.cache import SharedCaches, array_digest
 from repro.service.registry import StreamConfig, StreamRegistry, StreamState
 from repro.service.results import ServiceAlarm, ServiceReport, StreamReport
@@ -42,22 +58,37 @@ class ExplanationService:
     Parameters
     ----------
     workers:
-        Worker threads explaining alarms concurrently.
+        Worker threads explaining alarms concurrently (``thread`` executor
+        only; other backends ignore it).
     max_batch:
-        Micro-batch size: jobs a worker claims (and coalesces) at once.
+        Micro-batch size: jobs a worker claims (and coalesces) at once
+        (``thread`` only).
     queue_capacity:
-        Bound of the pending-explanation queue.
+        Backpressure bound: the pending-explanation queue (``thread``) or
+        the in-flight chunk count (``process``); ``inline`` ignores it.
     policy:
-        Backpressure policy, ``"block"`` or ``"drop-oldest"``.
+        Backpressure policy, ``"block"`` or ``"drop-oldest"``
+        (``thread`` only; the ``process`` backend always blocks).
     default_config:
         Config used by :meth:`register` when none is given.
     caches:
-        Shared cache bundle; a fresh default-sized one when omitted.
+        Shared cache bundle; a fresh default-sized one when omitted.  Used
+        by the in-process executors; process shards hold their own.
     max_alarms_per_stream:
         Bound on each stream's retained alarm log (oldest entries are
         discarded once exceeded) so a long-running service does not grow
         without limit; the per-stream counters still cover the full
         lifetime.  ``None`` disables the bound.
+    executor:
+        ``"inline"``, ``"thread"``, ``"process"``, or a pre-built (unbound)
+        :class:`~repro.cluster.base.Executor` instance.
+    shards:
+        Worker processes (``process`` executor only).
+    mp_context:
+        Multiprocessing start method for the ``process`` executor
+        (default ``"spawn"``).  The CLI cross-validates these flag/executor
+        combinations; the library constructor simply ignores options the
+        chosen backend does not take.
     """
 
     def __init__(
@@ -69,6 +100,9 @@ class ExplanationService:
         default_config: Optional[StreamConfig] = None,
         caches: Optional[SharedCaches] = None,
         max_alarms_per_stream: Optional[int] = 10_000,
+        executor: Union[str, Executor] = "thread",
+        shards: int = 2,
+        mp_context: Optional[str] = None,
     ):
         self.default_config = default_config or StreamConfig()
         self.max_alarms_per_stream = max_alarms_per_stream
@@ -77,14 +111,42 @@ class ExplanationService:
         self._results_lock = threading.Lock()
         self._started = time.perf_counter()
         self._closed = False
-        self._batcher = MicroBatcher(
-            handler=self._explain_job,
-            on_outcome=self._record_outcome,
-            workers=workers,
-            max_batch=max_batch,
-            capacity=queue_capacity,
-            policy=policy,
+        if isinstance(executor, str):
+            executor = make_executor(
+                executor,
+                **self._executor_options(
+                    executor, workers, max_batch, queue_capacity, policy, shards, mp_context
+                ),
+            )
+        self._executor = executor.bind(
+            ExecutorHooks(
+                explain=self._explain_job,
+                record=self._record_outcome,
+                record_reply=self._record_reply,
+                snapshot=self._registry.snapshot,
+            )
         )
+
+    @staticmethod
+    def _executor_options(
+        name: str, workers, max_batch, capacity, policy, shards, mp_context
+    ) -> dict:
+        """The constructor options each named executor understands."""
+        if name == "thread":
+            return {
+                "workers": workers,
+                "max_batch": max_batch,
+                "capacity": capacity,
+                "policy": policy,
+            }
+        if name == "process":
+            return {"shards": shards, "mp_context": mp_context, "capacity": capacity}
+        return {}
+
+    @property
+    def executor(self) -> Executor:
+        """The executor backend this service runs on."""
+        return self._executor
 
     # ------------------------------------------------------------------
     # Stream management
@@ -99,16 +161,30 @@ class ExplanationService:
         config = config or self.default_config
         if overrides:
             config = config.with_overrides(**overrides)
-        return self._registry.register(
+        state = self._registry.register(
             stream_id,
             config,
             ks_runner=self.caches.ks_test,
             max_alarms=self.max_alarms_per_stream,
+            # Stream-owning executors run detection and explanation in their
+            # own runtime; the parent state then only does accounting.
+            build_runtime=not self._executor.owns_detection,
         )
+        try:
+            self._executor.register(state)
+        except Exception:
+            # Keep the registry and the executor consistent: a stream the
+            # executor refused (e.g. a custom callable config handed to the
+            # process backend) must not linger half-registered.
+            self._registry.remove(stream_id)
+            raise
+        return state
 
     def remove(self, stream_id: str) -> StreamState:
         """Deregister a stream, returning its final state."""
-        return self._registry.remove(stream_id)
+        state = self._registry.remove(stream_id)
+        self._executor.remove(stream_id)
+        return state
 
     def stream_ids(self) -> list[str]:
         return self._registry.ids()
@@ -116,29 +192,42 @@ class ExplanationService:
     def __contains__(self, stream_id: str) -> bool:
         return stream_id in self._registry
 
+    def snapshot(self) -> dict[str, dict]:
+        """Serializable registry snapshot (``stream_id -> config dict``)."""
+        return self._registry.snapshot()
+
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def submit(self, stream_id: str, observations: Iterable[float]) -> int:
+    def submit(self, stream_id: str, observations: Iterable) -> int:
         """Feed observations into a stream, dispatching alarms as they fire.
 
-        Detection runs synchronously on the calling thread (it is cheap);
-        alarm explanations are queued for the worker pool.  Returns the
-        number of alarms raised by this call.
+        With the in-process executors, detection runs synchronously on the
+        calling thread (it is cheap) and the number of alarms raised by this
+        call is returned; explanations are queued (``thread``) or computed
+        in place (``inline``).  With the ``process`` executor the chunk is
+        routed to the owning shard and ``0`` is returned — alarms surface in
+        :meth:`report` after the shard acknowledges the chunk.
         """
+        if self._closed:
+            # One uniform check for every backend: a closed service must
+            # not advance detector state or counters.
+            raise ValidationError("cannot submit to a closed service")
         state = self._registry.get(stream_id)
-        values = np.asarray(observations, dtype=float).ravel()
-        alarms = 0
+        values = coerce_observations(observations, state.config)
+        if self._executor.owns_detection:
+            # Observation counts come back with the shard acknowledgement
+            # (_record_reply), so a chunk the executor rejects — or loses to
+            # a crash — never inflates the report.
+            self._executor.ingest(state, values)
+            return 0
         with state.lock:
-            for value in values:
-                alarm = state.detector.update(float(value))
-                if alarm is None:
-                    continue
-                alarms += 1
-                state.alarms_raised += 1
+            alarms = run_detection(state.detector, state.config, values)
+            state.alarms_raised += len(alarms)
+            for alarm in alarms:
                 self._dispatch(state, alarm)
-            state.observations += values.size
-        return alarms
+            state.observations += observation_count(values, state.config)
+        return len(alarms)
 
     def _dispatch(self, state: StreamState, alarm) -> None:
         config = state.config
@@ -150,16 +239,8 @@ class ExplanationService:
             test_digest = array_digest(alarm.test)
         key = None
         if config.cacheable:
-            key = (
-                config.method_name,
-                config.preference_name,
-                config.alpha,
-                config.top_k,
-                config.seed,
-                reference_digest,
-                test_digest,
-            )
-        self._batcher.submit(
+            key = explanation_cache_key(config, reference_digest, test_digest)
+        self._executor.dispatch(
             ExplanationJob(
                 stream_id=state.stream_id,
                 position=alarm.position,
@@ -174,33 +255,37 @@ class ExplanationService:
         )
 
     # ------------------------------------------------------------------
-    # Worker-side execution
+    # Worker-side execution (in-process executors)
     # ------------------------------------------------------------------
     def _explain_job(self, job: ExplanationJob) -> tuple[Explanation, bool]:
-        """Explain one alarm, consulting the shared explanation cache."""
-        if job.key is not None:
-            cached = self.caches.explanations.get(job.key)
-            if cached is not None:
-                return cached, True
+        """Explain one alarm, consulting the shared caches."""
         state: StreamState = job.context
-        preference = self._build_preference(state.config, job)
-        explanation = state.explainer.explain(job.reference, job.test, preference)
-        if job.key is not None:
-            self.caches.explanations.put(job.key, explanation)
-        return explanation, False
+        return explain_alarm(
+            state.config,
+            state.explainer,
+            self.caches,
+            job.reference,
+            job.test,
+            reference_digest=job.reference_digest,
+            test_digest=job.test_digest,
+        )
 
-    def _build_preference(self, config: StreamConfig, job: ExplanationJob) -> PreferenceList:
-        if not isinstance(config.preference, str):
-            return config.preference(job.reference, job.test)
-        key = (
-            config.preference_name,
-            config.seed,
-            job.reference_digest or array_digest(job.reference),
-            job.test_digest or array_digest(job.test),
-        )
-        return self.caches.preferences.get_or_compute(
-            key, lambda: config.build_preference(job.reference, job.test)
-        )
+    @staticmethod
+    def _fold_alarm(state: StreamState, alarm: ServiceAlarm) -> None:
+        """Fold one resolved alarm into a stream's accounting.
+
+        Single classification point for every executor backend (the caller
+        holds the results lock), so thread and process runs cannot diverge.
+        """
+        if alarm.dropped:
+            state.dropped += 1
+        elif alarm.error is not None:
+            state.errors += 1
+        else:
+            state.explained += 1
+            if alarm.from_cache:
+                state.cache_hits += 1
+        state.alarms.append(alarm)
 
     def _record_outcome(self, outcome: JobOutcome) -> None:
         job = outcome.job
@@ -219,28 +304,54 @@ class ExplanationService:
             alarm.explanation = explanation
             alarm.from_cache = from_cache or outcome.coalesced
         with self._results_lock:
-            if alarm.dropped:
-                state.dropped += 1
-            elif alarm.error is not None:
-                state.errors += 1
-            else:
-                state.explained += 1
-                if alarm.from_cache:
-                    state.cache_hits += 1
-            state.alarms.append(alarm)
+            self._fold_alarm(state, alarm)
+
+    def _record_reply(self, reply: IngestReply) -> None:
+        """Fold one shard acknowledgement into the per-stream accounting."""
+        try:
+            state = self._registry.get(reply.stream_id)
+        except ValidationError:
+            # The stream was removed while this chunk was in flight; its
+            # accounting went with it.
+            return
+        with self._results_lock:
+            state.observations += reply.observations
+            state.remote_tests_run = (state.remote_tests_run or 0) + reply.tests_run_delta
+            state.alarms_raised += reply.alarms_raised_delta
+            for record in reply.alarms:
+                self._fold_alarm(
+                    state,
+                    ServiceAlarm(
+                        stream_id=record.stream_id,
+                        position=record.position,
+                        result=record.result,
+                        explanation=record.explanation,
+                        error=record.error,
+                        from_cache=record.from_cache,
+                    ),
+                )
 
     # ------------------------------------------------------------------
     # Lifecycle and results
     # ------------------------------------------------------------------
     def drain(self, timeout: Optional[float] = None) -> bool:
-        """Wait until every queued alarm has been explained or dropped."""
-        return self._batcher.drain(timeout=timeout)
+        """Wait until every submitted chunk and queued alarm is resolved.
+
+        Raises :class:`~repro.exceptions.ServiceBackendError` if the backend
+        recorded a deferred failure (a raising outcome callback, a shard
+        worker protocol error) since the last drain/close.
+        """
+        return self._executor.drain(timeout=timeout)
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
-        """Drain (by default) and stop the worker pool."""
+        """Drain (by default) and stop the executor backend.
+
+        Like :meth:`drain`, re-raises deferred backend failures — after the
+        backend's threads/processes have been shut down.
+        """
         if not self._closed:
-            self._batcher.close(drain=drain, timeout=timeout)
             self._closed = True
+            self._executor.close(drain=drain, timeout=timeout)
 
     def __enter__(self) -> "ExplanationService":
         return self
@@ -295,5 +406,5 @@ class ExplanationService:
         )
 
     def stats(self) -> dict:
-        """Batcher counters as a plain dictionary."""
-        return self._batcher.stats.to_dict()
+        """Executor counters as a plain dictionary."""
+        return self._executor.stats()

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Optional, Union
 
 import numpy as np
@@ -33,6 +33,8 @@ from repro.core.moche import MOCHE
 from repro.core.preference import PreferenceList
 from repro.drift.detector import IncrementalKSDetector, KSDriftDetector
 from repro.exceptions import ValidationError
+from repro.multidim.detector import KS2DDriftDetector
+from repro.multidim.explain2d import GreedyKS2DExplainer
 from repro.outliers.spectral_residual import SpectralResidual
 
 #: Explainer name -> factory ``(alpha, top_k, seed) -> explainer``.  Shared
@@ -76,10 +78,25 @@ PREFERENCE_BUILDERS: dict[str, Callable[[np.ndarray, np.ndarray, int], Preferenc
     ),
 }
 
+#: Explainer name -> factory for 2-D (Fasano-Franceschini) streams.
+EXPLAINERS_2D: dict[str, Callable[[float, int, int], object]] = {
+    "greedy-ks2d": lambda alpha, top_k, seed: GreedyKS2DExplainer(
+        alpha=alpha, candidate_pool=top_k
+    ),
+}
+
 #: Custom preference builders map ``(reference, test)`` to a PreferenceList.
 CustomPreferenceBuilder = Callable[[np.ndarray, np.ndarray], PreferenceList]
 
 DETECTORS = ("windowed", "incremental")
+
+BACKENDS = ("ks1d", "ks2d")
+
+#: What the ``None`` method/preference sentinels resolve to, per backend.
+BACKEND_DEFAULTS: dict[str, dict[str, str]] = {
+    "ks1d": {"method": "moche", "preference": "spectral-residual"},
+    "ks2d": {"method": "greedy-ks2d", "preference": "identity"},
+}
 
 
 def build_preference_list(
@@ -116,11 +133,22 @@ class StreamConfig:
         Name of a builder from :data:`PREFERENCE_BUILDERS`, or a custom
         callable ``(reference, test) -> PreferenceList``.  Only named
         builders participate in the shared preference/explanation caches.
+        ``None`` (the default) resolves per backend: ``"spectral-residual"``
+        for scalar streams, ``"identity"`` for ``backend="ks2d"``.
     method:
-        Name of an explainer from :data:`EXPLAINERS`, or a pre-built
-        explainer object exposing ``explain(reference, test, preference)``.
+        Name of an explainer from :data:`EXPLAINERS` (or :data:`EXPLAINERS_2D`
+        for ``backend="ks2d"``), or a pre-built explainer object exposing
+        ``explain(reference, test, preference)``.  ``None`` (the default)
+        resolves per backend: ``"moche"`` for scalar streams,
+        ``"greedy-ks2d"`` for 2-D ones (MOCHE's cumulative-vector machinery
+        is 1-D only, so explicitly requesting it on a 2-D stream is an
+        error, not a silent substitution).
     top_k, seed:
         Passed to the explainer factory / preference builder.
+    backend:
+        ``"ks1d"`` (default) for scalar streams tested with the one-dimensional
+        KS test, or ``"ks2d"`` for streams of ``(x, y)`` pairs tested with the
+        Fasano-Franceschini test and explained greedily.
     """
 
     window_size: int = 200
@@ -128,10 +156,11 @@ class StreamConfig:
     detector: str = "windowed"
     stride: int = 1
     slide_on_alarm: bool = True
-    preference: Union[str, CustomPreferenceBuilder] = "spectral-residual"
-    method: Union[str, object] = "moche"
+    preference: Union[str, CustomPreferenceBuilder, None] = None
+    method: Union[str, object, None] = None
     top_k: int = 100
     seed: int = 0
+    backend: str = "ks1d"
 
     def __post_init__(self) -> None:
         validate_alpha(self.alpha)
@@ -141,6 +170,19 @@ class StreamConfig:
             raise ValidationError(f"detector must be one of {DETECTORS}")
         if self.stride < 1:
             raise ValidationError("stride must be at least 1")
+        if self.backend not in BACKENDS:
+            raise ValidationError(f"backend must be one of {BACKENDS}")
+        # The sentinel defaults resolve per backend, so an *explicit* 1-D
+        # method/preference on a 2-D stream can be rejected instead of
+        # silently substituted.
+        defaults = BACKEND_DEFAULTS[self.backend]
+        if self.method is None:
+            object.__setattr__(self, "method", defaults["method"])
+        if self.preference is None:
+            object.__setattr__(self, "preference", defaults["preference"])
+        if self.backend == "ks2d":
+            self._validate_ks2d()
+            return
         if isinstance(self.preference, str) and self.preference not in PREFERENCE_BUILDERS:
             raise ValidationError(
                 f"unknown preference builder {self.preference!r} "
@@ -149,6 +191,23 @@ class StreamConfig:
         if isinstance(self.method, str) and self.method not in EXPLAINERS:
             raise ValidationError(
                 f"unknown explanation method {self.method!r} (have {sorted(EXPLAINERS)})"
+            )
+
+    def _validate_ks2d(self) -> None:
+        """Validate a 2-D stream config."""
+        if self.detector == "incremental":
+            raise ValidationError(
+                "backend='ks2d' supports only the 'windowed' detector"
+            )
+        if isinstance(self.method, str) and self.method not in EXPLAINERS_2D:
+            raise ValidationError(
+                f"unknown 2-D explanation method {self.method!r} "
+                f"(have {sorted(EXPLAINERS_2D)})"
+            )
+        if isinstance(self.preference, str) and self.preference != "identity":
+            raise ValidationError(
+                "backend='ks2d' supports only the 'identity' preference "
+                "or a custom builder"
             )
 
     # ------------------------------------------------------------------
@@ -174,8 +233,41 @@ class StreamConfig:
         return getattr(self.preference, "__name__", type(self.preference).__name__)
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON/pickle-friendly snapshot of this config.
+
+        Only fully *named* configurations serialise: custom preference
+        callables and explainer objects have no portable representation and
+        cannot cross a process boundary.
+        """
+        if not self.cacheable:
+            raise ValidationError(
+                "only fully named stream configs (string preference and "
+                "method) can be serialised; custom callables cannot cross "
+                "a process boundary"
+            )
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StreamConfig":
+        """Rebuild a config from a :meth:`to_dict` snapshot (validating it)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown StreamConfig fields in snapshot: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+    # ------------------------------------------------------------------
     def build_detector(self, ks_runner=None):
         """Instantiate this stream's drift detector."""
+        if self.backend == "ks2d":
+            return KS2DDriftDetector(
+                window_size=self.window_size,
+                alpha=self.alpha,
+                slide_on_alarm=self.slide_on_alarm,
+            )
         if self.detector == "incremental":
             return IncrementalKSDetector(
                 window_size=self.window_size,
@@ -193,18 +285,36 @@ class StreamConfig:
 
     def build_explainer(self):
         """Instantiate (or pass through) this stream's explainer."""
-        if isinstance(self.method, str):
-            return EXPLAINERS[self.method](self.alpha, self.top_k, self.seed)
-        return self.method
+        if not isinstance(self.method, str):
+            return self.method
+        table = EXPLAINERS_2D if self.backend == "ks2d" else EXPLAINERS
+        return table[self.method](self.alpha, self.top_k, self.seed)
 
     def build_preference(self, reference: np.ndarray, test: np.ndarray) -> PreferenceList:
         """Build the preference list for one alarming window."""
-        if isinstance(self.preference, str):
-            return build_preference_list(self.preference, reference, test, self.seed)
-        return self.preference(reference, test)
+        if not isinstance(self.preference, str):
+            return self.preference(reference, test)
+        if self.backend == "ks2d":
+            # 2-D windows are (w, 2) arrays: rank the w points, not the 2w
+            # coordinates the 1-D builders would see.
+            return PreferenceList.identity(int(np.asarray(test).shape[0]))
+        return build_preference_list(self.preference, reference, test, self.seed)
 
     def with_overrides(self, **overrides) -> "StreamConfig":
-        """A copy of this config with the given fields replaced."""
+        """A copy of this config with the given fields replaced.
+
+        When the override switches ``backend``, a method/preference still
+        sitting at the *old* backend's default is reset to the sentinel so
+        it re-resolves for the new backend (an explicitly chosen value is
+        carried over and validated as usual).
+        """
+        new_backend = overrides.get("backend", self.backend)
+        if new_backend != self.backend:
+            defaults = BACKEND_DEFAULTS[self.backend]
+            if "method" not in overrides and self.method == defaults["method"]:
+                overrides["method"] = None
+            if "preference" not in overrides and self.preference == defaults["preference"]:
+                overrides["preference"] = None
         return replace(self, **overrides)
 
 
@@ -215,6 +325,10 @@ class StreamState:
     ``alarms`` is a deque so a long-running service can bound the retained
     alarm log per stream (``maxlen`` set at registration); the counters
     always cover the stream's full lifetime.
+
+    When the stream's detector runs in another process (the process-shard
+    executor), ``remote_tests_run`` holds the worker-reported test count and
+    takes precedence over the local detector's counter.
     """
 
     stream_id: str
@@ -229,10 +343,13 @@ class StreamState:
     dropped: int = 0
     cache_hits: int = 0
     alarms: deque = field(default_factory=deque)
+    remote_tests_run: Optional[int] = None
 
     @property
     def tests_run(self) -> int:
         """KS tests the detector has conducted so far."""
+        if self.remote_tests_run is not None:
+            return self.remote_tests_run
         return getattr(self.detector, "tests_run", 0)
 
 
@@ -257,11 +374,15 @@ class StreamRegistry:
         config: Optional[StreamConfig] = None,
         ks_runner=None,
         max_alarms: Optional[int] = None,
+        build_runtime: bool = True,
     ) -> StreamState:
         """Register a new stream; raises on duplicate ids.
 
         ``max_alarms`` bounds the retained alarm log (oldest entries are
-        discarded); ``None`` keeps every alarm.
+        discarded); ``None`` keeps every alarm.  ``build_runtime=False``
+        skips constructing the detector and explainer — used when the
+        stream's runtime lives elsewhere (a process shard) and the local
+        state only does accounting.
         """
         if not stream_id:
             raise ValidationError("stream_id must be a non-empty string")
@@ -269,8 +390,8 @@ class StreamRegistry:
         state = StreamState(
             stream_id=stream_id,
             config=config,
-            detector=config.build_detector(ks_runner=ks_runner),
-            explainer=config.build_explainer(),
+            detector=config.build_detector(ks_runner=ks_runner) if build_runtime else None,
+            explainer=config.build_explainer() if build_runtime else None,
             alarms=deque(maxlen=max_alarms),
         )
         with self._lock:
@@ -301,3 +422,31 @@ class StreamRegistry:
     def states(self) -> list[StreamState]:
         with self._lock:
             return [self._streams[stream_id] for stream_id in sorted(self._streams)]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """Serializable ``stream_id -> config dict`` snapshot of the registry.
+
+        This is what the process-shard executor replays to re-register a
+        crashed shard's streams, and what persistence layers should store.
+        Raises for streams configured with custom callables (which cannot be
+        serialised).
+        """
+        with self._lock:
+            states = sorted(self._streams.items())
+        return {stream_id: state.config.to_dict() for stream_id, state in states}
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: dict[str, dict], ks_runner=None, max_alarms: Optional[int] = None
+    ) -> "StreamRegistry":
+        """Rebuild a registry (fresh detector state) from :meth:`snapshot`."""
+        registry = cls()
+        for stream_id, payload in snapshot.items():
+            registry.register(
+                stream_id,
+                StreamConfig.from_dict(payload),
+                ks_runner=ks_runner,
+                max_alarms=max_alarms,
+            )
+        return registry

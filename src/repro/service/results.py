@@ -137,6 +137,32 @@ class ServiceReport:
             return 0.0
         return self.observations / self.elapsed_seconds
 
+    def canonical_dict(self) -> dict:
+        """An executor-independent view of the run, for parity comparison.
+
+        The three executor backends (inline / thread / process) must produce
+        identical alarms and explanations on the same replay, but they
+        differ legitimately in timing, cache topology (process shards hold
+        per-shard caches) and batching counters.  This view keeps exactly
+        the semantic content — streams, counters, alarm positions, test
+        results and explanations — and strips wall-clock times, cache-hit
+        bookkeeping and executor statistics, so two runs compare equal iff
+        they explained the same drifts the same way.
+        """
+        streams = []
+        for stream in self.streams:
+            payload = stream.to_dict()
+            payload.pop("cache_hits", None)
+            for alarm in payload["alarms"]:
+                alarm.pop("from_cache", None)
+                if alarm.get("explanation"):
+                    alarm["explanation"].pop("runtime_seconds", None)
+            # report() already orders per-stream alarms by position, but a
+            # canonical view must not depend on how the report was built.
+            payload["alarms"].sort(key=lambda alarm: alarm["position"])
+            streams.append(payload)
+        return {"streams": streams}
+
     def to_dict(self) -> dict:
         return {
             "streams": [stream.to_dict() for stream in self.streams],
@@ -165,11 +191,11 @@ class ServiceReport:
             f"elapsed            : {self.elapsed_seconds:.3f} s "
             f"({self.throughput:,.0f} obs/s)",
             f"cache hit rate     : {100 * self.cache_hit_rate:.1f}%",
-            f"batches executed   : {self.batcher_stats.get('batches', 0)} "
-            f"(largest {self.batcher_stats.get('largest_batch', 0)}, "
-            f"coalesced {self.batcher_stats.get('coalesced', 0)}, "
-            f"dropped {self.batcher_stats.get('dropped', 0)})",
         ]
+        stats = dict(self.batcher_stats or {})
+        name = stats.pop("executor", "thread")
+        detail = ", ".join(f"{key} {value}" for key, value in stats.items())
+        lines.append(f"executor           : {name}" + (f" ({detail})" if detail else ""))
         for stream in self.streams:
             lines.append(
                 f"  {stream.stream_id}: {stream.observations} obs, "

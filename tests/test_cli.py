@@ -162,6 +162,40 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert "sensor0" in out and "sensor0-2" in out
 
+    def test_serve_on_process_shards(self, fleet_files, capsys):
+        code = main([
+            "serve", *fleet_files,
+            "--window", "150",
+            "--executor", "process",
+            "--shards", "2",
+            "--summary-only",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alarms raised" in out
+        assert "sensor0" in out and "sensor2" in out
+
+    def test_serve_inline_executor(self, fleet_files, capsys):
+        code = main(["serve", fleet_files[0], "--window", "150",
+                     "--executor", "inline", "--summary-only"])
+        assert code == 0
+        assert "alarms raised" in capsys.readouterr().out
+
+    def test_serve_rejects_unknown_executor(self, fleet_files):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", fleet_files[0], "--executor", "nope"])
+
+    def test_serve_rejects_mismatched_backend_flags(self, fleet_files, capsys):
+        # --shards without the process executor is a configuration mistake,
+        # not something to ignore silently.
+        code = main(["serve", fleet_files[0], "--shards", "4"])
+        assert code == 3
+        assert "--shards requires --executor process" in capsys.readouterr().err
+        code = main(["serve", fleet_files[0], "--executor", "process",
+                     "--workers", "8"])
+        assert code == 3
+        assert "--workers" in capsys.readouterr().err
+
     def test_serve_missing_file_reports_error(self, tmp_path, capsys):
         code = main(["serve", str(tmp_path / "missing.csv")])
         assert code == 3

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core.ks import ks_test
-from repro.exceptions import ValidationError
+from repro.exceptions import ServiceBackendError, ValidationError
 from repro.service.batching import ExplanationJob, JobOutcome, MicroBatcher
 
 
@@ -232,16 +232,20 @@ class TestLifecycle:
         batcher.close()
         batcher.close()
 
-    def test_faulty_outcome_callback_does_not_wedge_the_batcher(self):
+    def test_faulty_outcome_callback_surfaces_without_wedging(self):
         def bad_outcome(outcome):
             raise RuntimeError("callback bug")
 
-        with MicroBatcher(lambda job: "ok", bad_outcome, workers=1) as batcher:
-            for position in range(4):
-                batcher.submit(make_job(position=position))
-            # Workers survive the raising callback and drain completes.
-            assert batcher.drain(timeout=30)
-            assert batcher.stats.executed == 4
+        batcher = MicroBatcher(lambda job: "ok", bad_outcome, workers=1)
+        for position in range(4):
+            batcher.submit(make_job(position=position))
+        # Workers survive the raising callback, every job still executes,
+        # and the error is propagated by drain() instead of vanishing.
+        with pytest.raises(ServiceBackendError, match="callback"):
+            batcher.drain(timeout=30)
+        assert batcher.stats.executed == 4
+        # The failure was consumed by the raise; close() shuts down cleanly.
+        batcher.close()
 
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValidationError):
