@@ -17,8 +17,9 @@ The CLI exposes the library's main workflows without writing any Python:
 ``repro serve``
     Replay one or many series files through the multi-stream explanation
     service (micro-batching, shared caches, pluggable executor: inline,
-    thread pool or ``--shards N`` worker processes) and print the service
-    report with every explained alarm.
+    thread pool or ``--shards N`` worker processes, optionally elastic
+    between ``--min-shards``/``--max-shards``) and print the service report
+    with every explained alarm.
 
 ``repro experiments``
     Regenerate the paper's tables and figures at a reduced scale.
@@ -36,6 +37,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.cluster.autoscale import Autoscaler, QueueDepthPolicy
 from repro.cluster.base import EXECUTOR_NAMES
 from repro.core.ks import ks_test
 from repro.core.preference import PreferenceList
@@ -149,6 +151,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError("--queue-capacity does not apply to --executor inline")
     if args.executor != "process" and args.shards is not None:
         raise ReproError("--shards requires --executor process")
+    if (args.min_shards is None) != (args.max_shards is None):
+        raise ReproError("--min-shards and --max-shards must be given together")
+    autoscale = args.min_shards is not None
+    if autoscale and args.executor != "process":
+        raise ReproError("--min-shards/--max-shards require --executor process")
     series = [load_series_csv(path, value_column=args.column) for path in args.series]
     stream_ids = _stream_ids(args.series)
     config = StreamConfig(
@@ -162,6 +169,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     # Only flags the user actually set are forwarded, so the service's own
     # signature defaults stay the single source of truth.
+    shards = args.shards
+    if autoscale:
+        if shards is not None and not args.min_shards <= shards <= args.max_shards:
+            raise ReproError(
+                f"--shards {shards} lies outside the autoscaling band "
+                f"[{args.min_shards}, {args.max_shards}]"
+            )
+        # The pool starts at the floor (or the explicit --shards) and the
+        # queue-depth policy elastically resizes it between the bounds as
+        # the replay load develops.
+        shards = shards if shards is not None else args.min_shards
     overrides = {
         name: value
         for name, value in (
@@ -169,7 +187,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ("max_batch", args.max_batch),
             ("queue_capacity", args.queue_capacity),
             ("policy", args.policy),
-            ("shards", args.shards),
+            ("shards", shards),
         )
         if value is not None
     }
@@ -178,6 +196,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         **overrides,
     ) as service:
+        autoscaler = None
+        if autoscale:
+            autoscaler = Autoscaler(
+                service.executor,
+                QueueDepthPolicy(
+                    min_shards=args.min_shards, max_shards=args.max_shards
+                ),
+            )
         for stream_id in stream_ids:
             service.register(stream_id)
         # Replay the files in interleaved chunks so the service sees the
@@ -188,6 +214,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 chunk = values[start:start + args.chunk]
                 if chunk.size:
                     service.submit(stream_id, chunk)
+            if autoscaler is not None:
+                decision = autoscaler.tick()
+                if decision is not None:
+                    print(decision.render())
         report = service.report()
     print(report.render(alarms=not args.summary_only))
     if args.output:
@@ -281,6 +311,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--shards", type=int, default=None,
                               help="worker processes for --executor process "
                                    "(default 2)")
+    serve_parser.add_argument("--min-shards", type=int, default=None,
+                              help="enable queue-depth autoscaling: lower "
+                                   "bound of the elastic shard pool "
+                                   "(--executor process; use with "
+                                   "--max-shards)")
+    serve_parser.add_argument("--max-shards", type=int, default=None,
+                              help="upper bound of the elastic shard pool "
+                                   "(--executor process; use with "
+                                   "--min-shards)")
     serve_parser.add_argument("--workers", type=int, default=None,
                               help="explanation worker threads for --executor "
                                    "thread (default 2)")

@@ -23,6 +23,7 @@ path, also used in-process by the engine), :mod:`~repro.cluster.worker`
 (the shard process main loop).
 """
 
+from repro.cluster.autoscale import Autoscaler, AutoscaleDecision, QueueDepthPolicy
 from repro.cluster.base import EXECUTOR_NAMES, Executor, ExecutorHooks, make_executor
 from repro.cluster.executors import InlineExecutor, ThreadExecutor
 from repro.cluster.partition import HashRing, stable_hash
@@ -38,17 +39,26 @@ from repro.cluster.runtime import (
 from repro.cluster.sharding import ProcessShardExecutor
 from repro.cluster.wire import (
     AlarmRecord,
+    CollectStats,
     CrashShard,
     IngestChunk,
     IngestReply,
+    MigrateIn,
+    MigrateInDone,
+    MigrateOut,
+    MigrateOutDone,
     RegisterStream,
     RemoveStream,
+    ShardStatsReply,
     Shutdown,
     WorkerFailure,
 )
 
 __all__ = [
     "AlarmRecord",
+    "Autoscaler",
+    "AutoscaleDecision",
+    "CollectStats",
     "CrashShard",
     "EXECUTOR_NAMES",
     "Executor",
@@ -57,10 +67,16 @@ __all__ = [
     "IngestChunk",
     "IngestReply",
     "InlineExecutor",
+    "MigrateIn",
+    "MigrateInDone",
+    "MigrateOut",
+    "MigrateOutDone",
     "ProcessShardExecutor",
+    "QueueDepthPolicy",
     "RegisterStream",
     "RemoveStream",
     "ShardRuntime",
+    "ShardStatsReply",
     "Shutdown",
     "ThreadExecutor",
     "WorkerFailure",

@@ -1,0 +1,146 @@
+"""Queue-depth-driven elastic autoscaling for the sharded executor.
+
+:meth:`ProcessShardExecutor.resize` is the mechanism; this module is the
+policy.  The signal is the executor's own backpressure gauge — the fraction
+of the bounded in-flight chunk capacity currently outstanding — because it
+is exactly what a producer experiences: near 1.0 the producers are about to
+block, near 0.0 the pool is idle.
+
+The split is deliberate:
+
+* :class:`QueueDepthPolicy` is a pure decision function (depth, shard
+  count) → target shard count, with hysteresis (distinct scale-up and
+  scale-down watermarks) and a cooldown so one burst cannot thrash the pool
+  through repeated spawn/migrate cycles.  Being pure, it is testable
+  without a single worker process.
+* :class:`Autoscaler` is the driver: ``tick()`` reads the executor's stats,
+  asks the policy, and applies the decision through the ``Executor`` seam
+  (``resize()``), recording every decision for the operator.  Tick it from
+  the ingest loop (``repro serve --min-shards/--max-shards`` does, once per
+  replay round) or from any timer.
+
+Executors without a queue-depth gauge (inline/thread) simply never trigger
+a decision, so an autoscaler can be attached unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One applied scaling step."""
+
+    shards: int  #: shard count before the step
+    target: int  #: shard count requested
+    depth: float  #: queue depth (outstanding / capacity) that triggered it
+
+    @property
+    def direction(self) -> str:
+        return "up" if self.target > self.shards else "down"
+
+    def render(self) -> str:
+        return (
+            f"autoscale {self.direction}: {self.shards} -> {self.target} shards "
+            f"(queue depth {self.depth:.2f})"
+        )
+
+
+class QueueDepthPolicy:
+    """Hysteresis policy mapping queue depth to a target shard count.
+
+    Parameters
+    ----------
+    min_shards, max_shards:
+        Inclusive bounds the pool may scale between.
+    scale_up_at:
+        Depth at or above which one shard is added (producers are close to
+        blocking on the in-flight bound).
+    scale_down_at:
+        Depth at or below which one shard is removed (the pool is mostly
+        idle and each extra shard only costs memory and cold caches).
+    cooldown_ticks:
+        Observations to ignore after a step, so the depth can respond to
+        the new topology before the next decision.
+    """
+
+    def __init__(
+        self,
+        min_shards: int = 1,
+        max_shards: int = 4,
+        scale_up_at: float = 0.75,
+        scale_down_at: float = 0.15,
+        cooldown_ticks: int = 2,
+    ) -> None:
+        if min_shards < 1:
+            raise ValidationError("min_shards must be at least 1")
+        if max_shards < min_shards:
+            raise ValidationError("max_shards must be >= min_shards")
+        if not 0.0 <= scale_down_at < scale_up_at <= 1.0:
+            raise ValidationError(
+                "watermarks must satisfy 0 <= scale_down_at < scale_up_at <= 1"
+            )
+        if cooldown_ticks < 0:
+            raise ValidationError("cooldown_ticks must be non-negative")
+        self.min_shards = int(min_shards)
+        self.max_shards = int(max_shards)
+        self.scale_up_at = float(scale_up_at)
+        self.scale_down_at = float(scale_down_at)
+        self.cooldown_ticks = int(cooldown_ticks)
+        self._cooldown = 0
+
+    def decide(self, outstanding: int, capacity: int, shards: int) -> Optional[int]:
+        """Target shard count for one observation, or ``None`` to hold.
+
+        A decision always moves one shard at a time: each resize migrates
+        ~1/N of the streams, and a second observation after the cooldown
+        will take the next step if the pressure persists.
+        """
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        depth = outstanding / capacity if capacity else 0.0
+        if depth >= self.scale_up_at and shards < self.max_shards:
+            self._cooldown = self.cooldown_ticks
+            return shards + 1
+        if depth <= self.scale_down_at and shards > self.min_shards:
+            self._cooldown = self.cooldown_ticks
+            return shards - 1
+        return None
+
+
+class Autoscaler:
+    """Drives ``Executor.resize`` from the executor's own queue-depth gauge."""
+
+    def __init__(self, executor, policy: Optional[QueueDepthPolicy] = None) -> None:
+        self._executor = executor
+        self.policy = policy or QueueDepthPolicy()
+        self.decisions: list[AutoscaleDecision] = []
+
+    def tick(self) -> Optional[AutoscaleDecision]:
+        """Observe once and apply at most one scaling step.
+
+        Returns the applied decision, or ``None`` when the executor exposes
+        no queue-depth gauge (in-process backends) or the policy held.
+        """
+        stats = self._executor.stats()
+        outstanding = stats.get("outstanding")
+        capacity = stats.get("capacity")
+        shards = stats.get("shards")
+        if outstanding is None or capacity is None or shards is None:
+            return None
+        target = self.policy.decide(int(outstanding), int(capacity), int(shards))
+        if target is None:
+            return None
+        decision = AutoscaleDecision(
+            shards=int(shards),
+            target=int(target),
+            depth=int(outstanding) / int(capacity) if capacity else 0.0,
+        )
+        self._executor.resize(target)
+        self.decisions.append(decision)
+        return decision

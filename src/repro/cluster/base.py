@@ -115,6 +115,33 @@ class Executor(abc.ABC):
         raise NotImplementedError(f"executor {self.name!r} does not ingest chunks")
 
     # ------------------------------------------------------------------
+    # Elastic operation
+    # ------------------------------------------------------------------
+    def resize(self, shards: int) -> int:
+        """Elastically change the worker shard count; returns the new count.
+
+        The process backend quiesces only the streams whose ring owner
+        changes, migrates their detector state to the new owners and
+        resumes.  In-process executors have no shard pool: this base
+        implementation validates the request and reports the single logical
+        shard they run as, so ``resize()`` is report-parity-neutral across
+        every backend.
+        """
+        if shards < 1:
+            raise ValidationError("shards must be at least 1")
+        return 1
+
+    def cache_stats(self) -> Optional[dict]:
+        """Worker-side cache statistics, merged across workers.
+
+        ``None`` means the parent process's caches see every lookup (the
+        in-process executors), so the service report needs no merge.  The
+        process backend returns the summed per-shard
+        :meth:`~repro.service.cache.SharedCaches.stats_dict` counters.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @abc.abstractmethod

@@ -224,6 +224,43 @@ class ShardRuntime:
         del self._streams[stream_id]
 
     # ------------------------------------------------------------------
+    # Live migration
+    # ------------------------------------------------------------------
+    def export_streams(self, stream_ids) -> dict:
+        """Extract streams for migration: config + detector state snapshots.
+
+        Each exported stream is removed from the table (its last chunk was
+        already processed — command-queue FIFO guarantees it).  Ids this
+        runtime does not hold are skipped, not errors: a respawned shard
+        legitimately no longer knows streams the ring moved away first.
+        """
+        exported: dict[str, dict] = {}
+        for stream_id in stream_ids:
+            stream = self._streams.pop(stream_id, None)
+            if stream is None:
+                continue
+            exported[stream_id] = {
+                "config": stream.config.to_dict(),
+                "state": stream.detector.state_dict(),
+            }
+        return exported
+
+    def import_streams(self, streams: dict) -> None:
+        """Install migrated streams, restoring detector state.
+
+        ``streams`` maps ``stream_id -> {"config": dict, "state": dict | None}``.
+        Registration is idempotent (a racing snapshot replay may have
+        registered the stream fresh already); a non-``None`` state then
+        overwrites the detector's windows and counters, so the stream
+        resumes exactly where its previous shard left off.
+        """
+        for stream_id, payload in streams.items():
+            self.register(stream_id, payload["config"])
+            state = payload.get("state")
+            if state is not None:
+                self._streams[stream_id].detector.load_state_dict(state)
+
+    # ------------------------------------------------------------------
     def ingest(self, stream_id: str, values, seq: int = 0) -> IngestReply:
         """Run one chunk through detection + explanation, returning the reply."""
         try:

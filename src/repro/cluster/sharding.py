@@ -7,17 +7,32 @@ that ceiling: stream ids are consistent-hashed onto N shard processes
 serving runtime for its streams — detector state, explainers and a private
 cache bundle (:class:`~repro.cluster.runtime.ShardRuntime`).  Chunks flow
 to shards over per-shard command queues; alarms (already explained) and
-counter deltas flow back over one shared reply queue, where a collector
-thread folds them into the service report.
+counter deltas flow back over per-shard reply *pipes* — one writer each,
+so a worker dying mid-crash can never poison a lock other workers share —
+multiplexed by one parent collector thread that folds them into the
+service report.
 
 Fault handling is shard-level: a worker process that dies — crash, OOM
 kill, the :class:`~repro.cluster.wire.CrashShard` test hook — is detected
 on the next ingest or drain, respawned with a fresh command queue, and its
 streams are re-registered from the service registry's snapshot (detector
-state restarts empty; chunks that were in flight are counted as lost, not
-silently re-run, so no alarm is ever double-reported).  A shard that keeps
-dying past ``max_restarts`` is marked failed and surfaces as a
-:class:`~repro.exceptions.ServiceBackendError` instead of looping forever.
+state restarts empty; the affected stream ids are recorded in
+``state_lost_streams`` so the data loss is visible in the service report,
+and chunks that were in flight are counted as lost, not silently re-run,
+so no alarm is ever double-reported).  A shard that keeps dying past
+``max_restarts`` is *retired*: it is removed from the ring and its streams
+are redistributed to the surviving shards through the same migration path
+a :meth:`ProcessShardExecutor.resize` uses (fresh state — the crashes
+destroyed it — and recorded as lost).  Only when no survivor exists does
+the failure surface as a :class:`~repro.exceptions.ServiceBackendError`.
+
+Elastic operation is built on the same wire protocol:
+:meth:`ProcessShardExecutor.resize` quiesces only the streams whose ring
+owner changes, extracts their detector state from the old owners
+(``MigrateOut`` → ``MigrateOutDone``), installs it on the new owners
+(``MigrateIn``) and resumes — observations for unaffected streams keep
+flowing throughout, and a replay that spans a resize produces the exact
+alarms and explanations of a fixed-shard run.
 """
 
 from __future__ import annotations
@@ -26,7 +41,7 @@ import multiprocessing
 import threading
 import time
 from dataclasses import dataclass
-from queue import Empty
+from multiprocessing.connection import wait as connection_wait
 from typing import Optional
 
 import numpy as np
@@ -34,17 +49,30 @@ import numpy as np
 from repro.cluster.base import Executor
 from repro.cluster.partition import HashRing
 from repro.cluster.wire import (
+    CollectStats,
     CrashShard,
     IngestChunk,
     IngestReply,
+    MigrateIn,
+    MigrateInDone,
+    MigrateOut,
+    MigrateOutDone,
     RegisterStream,
     RemoveStream,
+    ShardStatsReply,
     Shutdown,
     WorkerFailure,
 )
 from repro.cluster.worker import shard_worker_main
 from repro.exceptions import ServiceBackendError, ValidationError
+from repro.service.cache import merge_stats_dicts
 from repro.utils.deferred import DeferredErrors
+
+
+def _shard_index(shard_id: str) -> tuple[int, str]:
+    """Sort key ordering ``shard-2`` before ``shard-10`` (then lexically)."""
+    _, _, suffix = shard_id.rpartition("-")
+    return (int(suffix) if suffix.isdigit() else 1 << 30, shard_id)
 
 
 @dataclass
@@ -54,6 +82,7 @@ class _Shard:
     shard_id: str
     process: Optional[multiprocessing.process.BaseProcess] = None
     commands: Optional[object] = None
+    reply_reader: Optional[object] = None
     restarts: int = 0
     failed: bool = False
 
@@ -118,15 +147,31 @@ class ProcessShardExecutor(Executor):
         self._lost_chunks = 0
         self._closed = False
         self._lifecycle = threading.RLock()
-        self._replies = None
+        self._bound = False
+        self._reply_lock = threading.Lock()
+        self._reply_readers: list = []
         self._collector: Optional[threading.Thread] = None
         self._collector_stop = threading.Event()
+        # Elastic rebalancing / fault bookkeeping.  ``_migrating`` holds the
+        # stream ids whose ingest is briefly blocked while their detector
+        # state travels; ``_migrations`` and ``_stats_collections`` are the
+        # per-epoch rendezvous records the collector thread fills in.
+        self._resize_lock = threading.Lock()
+        self._migrating: set[str] = set()
+        self._migrations: dict[int, dict] = {}
+        self._stats_collections: dict[int, dict] = {}
+        self._epoch = 0
+        self._resizes = 0
+        self._migrated_streams = 0
+        self._retired = 0
+        self._state_lost: set[str] = set()
+        self._worker_cache_stats: dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     # Startup / shutdown
     # ------------------------------------------------------------------
     def _start(self) -> None:
-        self._replies = self._ctx.Queue()
+        self._bound = True
         for shard in self._shards.values():
             self._spawn(shard)
         self._collector = threading.Thread(
@@ -134,26 +179,48 @@ class ProcessShardExecutor(Executor):
         )
         self._collector.start()
 
-    def _spawn(self, shard: _Shard) -> None:
-        """(Re)start one shard process and re-register its streams."""
+    def _spawn(self, shard: _Shard, respawn: bool = False) -> None:
+        """(Re)start one shard process and re-register its streams.
+
+        On a *respawn* the replayed streams restart with fresh detector
+        state — the crash destroyed the old one — so their ids are recorded
+        in ``state_lost_streams``; silent mid-window data loss was exactly
+        the reporting bug this marker fixes.
+        """
         shard.commands = self._ctx.Queue()
+        # Replies travel over a dedicated pipe with exactly one writer (this
+        # worker): unlike a shared queue, there is no cross-process write
+        # lock a crashing worker could die holding — and the pipe's EOF is a
+        # free, unambiguous death notification for the collector.
+        reader, writer = self._ctx.Pipe(duplex=False)
         shard.process = self._ctx.Process(
             target=shard_worker_main,
-            args=(shard.shard_id, shard.commands, self._replies, self._cache_config),
+            args=(shard.shard_id, shard.commands, writer, self._cache_config),
             daemon=True,
         )
         shard.process.start()
+        writer.close()  # the child holds the only surviving write end
+        shard.reply_reader = reader
+        with self._reply_lock:
+            self._reply_readers.append(reader)
         # Re-register this shard's streams from the registry snapshot
         # (empty on first spawn).  Worker-side registration is idempotent
         # for identical configs, so racing with an in-progress explicit
         # registration is harmless.
         snapshot = self.hooks.snapshot() if self.hooks is not None else {}
-        for stream_id, config in snapshot.items():
-            if self._ring.shard_for(stream_id) == shard.shard_id:
-                shard.commands.put(RegisterStream(stream_id, config))
+        owned = [
+            stream_id
+            for stream_id in snapshot
+            if self._ring.shard_for(stream_id) == shard.shard_id
+        ]
+        if respawn and owned:
+            with self._cv:
+                self._state_lost.update(owned)
+        for stream_id in owned:
+            shard.commands.put(RegisterStream(stream_id, snapshot[stream_id]))
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
-        if self._replies is None or self._closed:
+        if not self._bound or self._closed:
             return
         pending_error: Optional[Exception] = None
         if drain:
@@ -161,6 +228,12 @@ class ProcessShardExecutor(Executor):
                 self.drain(timeout=timeout)
             except ServiceBackendError as exc:
                 pending_error = exc
+            try:
+                # Final worker-cache snapshot while the workers still live,
+                # so a report built after close() sees the merged counters.
+                self.cache_stats(timeout=5.0)
+            except Exception:
+                pass  # best effort: a report can live without cache stats
         with self._lifecycle:
             self._closed = True
             if drain:
@@ -233,21 +306,28 @@ class ProcessShardExecutor(Executor):
         # counted as lost.  When the in-flight bound is hit we wait
         # *outside* the lifecycle lock, so crash handling (which frees
         # capacity by abandoning a dead shard's chunks) can still run.
+        # A stream whose detector state is mid-migration blocks here until
+        # the resize installs it on the new owner; streams that are not
+        # moving never touch the migrating set and keep flowing.
         while True:
             with self._lifecycle:
-                shard = self._shard_for_stream(state.stream_id)
-                with self._cv:
-                    if len(self._outstanding) < self.capacity:
-                        self._seq += 1
-                        seq = self._seq
-                        self._outstanding[seq] = shard.shard_id
-                        self._ingests += 1
-                        shard.commands.put(
-                            IngestChunk(
-                                seq=seq, stream_id=state.stream_id, values=values
+                if state.stream_id in self._migrating:
+                    if self._closed:
+                        raise ValidationError("cannot submit to a closed executor")
+                else:
+                    shard = self._shard_for_stream(state.stream_id)
+                    with self._cv:
+                        if len(self._outstanding) < self.capacity:
+                            self._seq += 1
+                            seq = self._seq
+                            self._outstanding[seq] = shard.shard_id
+                            self._ingests += 1
+                            shard.commands.put(
+                                IngestChunk(
+                                    seq=seq, stream_id=state.stream_id, values=values
+                                )
                             )
-                        )
-                        return
+                            return
             # A dead shard (not necessarily this stream's) may be pinning
             # the capacity with chunks it will never acknowledge; reap all
             # shards so abandonment can free the slots, and fail fast on a
@@ -255,7 +335,10 @@ class ProcessShardExecutor(Executor):
             self._reap_dead_shards()
             self._raise_deferred()
             with self._cv:
-                if len(self._outstanding) >= self.capacity:
+                if (
+                    len(self._outstanding) >= self.capacity
+                    or state.stream_id in self._migrating
+                ):
                     self._cv.wait(0.05)
 
     def _shard_for_stream(self, stream_id: str) -> _Shard:
@@ -264,18 +347,24 @@ class ProcessShardExecutor(Executor):
             # Mirror the thread backend: work handed to a closed executor
             # must fail loudly, not sit on a queue no worker will read.
             raise ValidationError("cannot submit to a closed executor")
-        shard = self._shards[self._ring.shard_for(stream_id)]
-        self._ensure_alive(shard)
-        if shard.failed:
-            # Surface the deferred budget-exhaustion error here (once)
-            # rather than raising a fresh copy now and the deferred one
-            # again at the next drain()/close().
-            self._raise_deferred()
-            raise ServiceBackendError(
-                f"shard {shard.shard_id!r} exceeded its restart budget "
-                f"({self.max_restarts}); stream {stream_id!r} is unserved"
-            )
-        return shard
+        while True:
+            shard = self._shards[self._ring.shard_for(stream_id)]
+            self._ensure_alive(shard)
+            if shard.failed:
+                # Surface the deferred budget-exhaustion error here (once)
+                # rather than raising a fresh copy now and the deferred one
+                # again at the next drain()/close().
+                self._raise_deferred()
+                raise ServiceBackendError(
+                    f"shard {shard.shard_id!r} exceeded its restart budget "
+                    f"({self.max_restarts}); stream {stream_id!r} is unserved"
+                )
+            if self._shards.get(shard.shard_id) is shard:
+                return shard
+            # _ensure_alive retired the shard out from under us: the ring
+            # now points at a survivor — resolve again (each retirement
+            # shrinks the pool, so this terminates).  Returning the stale
+            # handle would enqueue onto a queue no process will ever read.
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -295,18 +384,28 @@ class ProcessShardExecutor(Executor):
                 with self._cv:
                     self._restarts += 1
                 if shard.restarts > self.max_restarts:
-                    shard.failed = True
-                    self._defer(
-                        ServiceBackendError(
-                            f"shard {shard.shard_id!r} crashed "
-                            f"{shard.restarts} times; giving up on it"
+                    if len(self._shards) > 1:
+                        # Stop betting on a bad host: retire the shard and
+                        # redistribute its streams to the survivors through
+                        # the migration path (fresh state — the crashes
+                        # destroyed it — and recorded as lost).
+                        self._retire_shard(shard)
+                    else:
+                        shard.failed = True
+                        self._defer(
+                            ServiceBackendError(
+                                f"shard {shard.shard_id!r} crashed "
+                                f"{shard.restarts} times; giving up on it"
+                            )
                         )
-                    )
                     return
+                self._spawn(shard, respawn=True)
+                return
             self._spawn(shard)
 
     def _reap_dead_shards(self) -> None:
-        for shard in self._shards.values():
+        # Over a copy: _ensure_alive may retire a shard, mutating the table.
+        for shard in list(self._shards.values()):
             self._ensure_alive(shard)
 
     def _abandon_outstanding(self, shard_id: str) -> None:
@@ -328,50 +427,462 @@ class ProcessShardExecutor(Executor):
         shard.commands.put(CrashShard())
         process.join(wait_seconds)
 
+    def _retire_shard(self, shard: _Shard) -> None:
+        """Redistribute a repeatedly-crashing shard's streams to survivors.
+
+        Called under the lifecycle lock with the shard already dead.  Its
+        detector state died with it, so the streams arrive at their new
+        ring owners fresh (``MigrateIn`` with ``state=None`` — the same
+        install path a resize uses) and are recorded as ``state_lost``.
+        """
+        del self._shards[shard.shard_id]
+        snapshot = self.hooks.snapshot() if self.hooks is not None else {}
+        moved = sorted(
+            stream_id
+            for stream_id in snapshot
+            if self._ring.shard_for(stream_id) == shard.shard_id
+        )
+        self._ring.remove(shard.shard_id)
+        with self._cv:
+            self.shard_count = len(self._shards)
+            self._retired += 1
+            self._state_lost.update(moved)
+        for stream_id in moved:
+            dest = self._shards[self._ring.shard_for(stream_id)]
+            if dest.process is None or not dest.process.is_alive():
+                continue  # its own respawn replays the snapshot under the new ring
+            dest.commands.put(
+                MigrateIn(
+                    epoch=0,  # untracked: no resize is waiting on this install
+                    streams={stream_id: {"config": snapshot[stream_id], "state": None}},
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Elastic rebalancing
+    # ------------------------------------------------------------------
+    def resize(self, shards: int, timeout: Optional[float] = None) -> int:
+        """Live-rebalance the pool to ``shards`` worker processes.
+
+        Only the streams whose consistent-hash owner changes (~``1/N`` of
+        the fleet, by the ring's guarantee) are quiesced: their last
+        enqueued chunks finish on the old owner (command-queue FIFO), their
+        detector state crosses the wire, and they resume on the new owner
+        with not an observation lost or re-detected.  All other streams
+        keep ingesting throughout.  Returns the new shard count.
+
+        ``timeout`` bounds each migration phase; on expiry (or on a source
+        shard dying mid-extraction) the unmigrated streams are registered
+        fresh on their new owners and recorded in ``state_lost_streams``,
+        so a resize always leaves a consistent, serving topology.
+        """
+        if shards < 1:
+            raise ValidationError("shards must be at least 1")
+        with self._resize_lock:
+            with self._lifecycle:
+                if self._closed or not self._bound:
+                    raise ValidationError("cannot resize a closed or unbound executor")
+                current = len(self._shards)
+                if shards == current:
+                    return current
+                grow = shards > current
+                with self._cv:
+                    self._resizes += 1
+            if grow:
+                self._grow(shards, timeout)
+            else:
+                self._shrink(shards, timeout)
+            with self._cv:
+                return self.shard_count
+
+    def _new_shard_ids(self, count: int) -> list[str]:
+        """Fresh shard ids filling the lowest free indices (``shard-K``)."""
+        ids: list[str] = []
+        index = 0
+        while len(ids) < count:
+            candidate = f"shard-{index}"
+            if candidate not in self._shards:
+                ids.append(candidate)
+            index += 1
+        return ids
+
+    def _open_epoch(self) -> int:
+        """Allocate a migration epoch record (caller holds the lifecycle lock)."""
+        self._epoch += 1
+        epoch = self._epoch
+        with self._cv:
+            self._migrations[epoch] = {
+                "out_pending": {},  # shard id -> process handle at enqueue time
+                "in_pending": {},
+                "states": {},  # stream id -> {"config": ..., "state": ...}
+            }
+        return epoch
+
+    def _grow(self, target: int, timeout: Optional[float]) -> None:
+        with self._lifecycle:
+            fresh = [
+                _Shard(shard_id)
+                for shard_id in self._new_shard_ids(target - len(self._shards))
+            ]
+            for shard in fresh:
+                # The ring does not know the newcomer yet, so the snapshot
+                # replay inside _spawn sees nothing owned by it: it starts
+                # empty and receives its streams via MigrateIn, state intact.
+                self._shards[shard.shard_id] = shard
+                self._spawn(shard)
+            snapshot = self.hooks.snapshot() if self.hooks is not None else {}
+            before = {sid: self._ring.shard_for(sid) for sid in snapshot}
+            for shard in fresh:
+                self._ring.add(shard.shard_id)
+            moved = {
+                sid: snapshot[sid]
+                for sid in snapshot
+                if self._ring.shard_for(sid) != before[sid]
+            }
+            epoch = self._open_epoch()
+            record = self._migrations[epoch]
+            with self._cv:
+                self.shard_count = len(self._shards)
+                self._migrating.update(moved)
+                self._migrated_streams += len(moved)
+            by_source: dict[str, list[str]] = {}
+            for sid in moved:
+                by_source.setdefault(before[sid], []).append(sid)
+            for source_id, stream_ids in sorted(by_source.items()):
+                source = self._shards.get(source_id)
+                if source is not None:
+                    self._ensure_alive(source)
+                    source = self._shards.get(source_id)  # may have been retired
+                if (
+                    source is None
+                    or source.process is None
+                    or not source.process.is_alive()
+                ):
+                    continue  # state already lost; fresh fallback at finish
+                with self._cv:
+                    record["out_pending"][source_id] = source.process
+                source.commands.put(
+                    MigrateOut(epoch=epoch, stream_ids=tuple(sorted(stream_ids)))
+                )
+        states = self._await_migrate_out(epoch, timeout)
+        self._finish_migration(epoch, moved, states)
+        self._await_migrate_in(epoch, timeout)
+
+    def _shrink(self, target: int, timeout: Optional[float]) -> None:
+        with self._lifecycle:
+            victim_ids = sorted(self._shards, key=_shard_index)[target:]
+            # Popped immediately so crash handling cannot respawn a victim;
+            # local references keep the handles for MigrateOut + Shutdown.
+            victims = [self._shards.pop(shard_id) for shard_id in victim_ids]
+            snapshot = self.hooks.snapshot() if self.hooks is not None else {}
+            owner = {sid: self._ring.shard_for(sid) for sid in snapshot}
+            for victim in victims:
+                self._ring.remove(victim.shard_id)
+            moved = {
+                sid: snapshot[sid] for sid in snapshot if owner[sid] in set(victim_ids)
+            }
+            epoch = self._open_epoch()
+            record = self._migrations[epoch]
+            with self._cv:
+                self.shard_count = len(self._shards)
+                self._migrating.update(moved)
+                self._migrated_streams += len(moved)
+            for victim in victims:
+                if victim.process is None or not victim.process.is_alive():
+                    # A dead victim's state and in-flight chunks are gone;
+                    # nobody will reap it now that it left the table.
+                    self._abandon_outstanding(victim.shard_id)
+                    continue
+                stream_ids = tuple(
+                    sorted(sid for sid in moved if owner[sid] == victim.shard_id)
+                )
+                with self._cv:
+                    record["out_pending"][victim.shard_id] = victim.process
+                victim.commands.put(MigrateOut(epoch=epoch, stream_ids=stream_ids))
+        states = self._await_migrate_out(epoch, timeout)
+        self._finish_migration(epoch, moved, states)
+        # Retire the victims now their state has left the building.
+        for victim in victims:
+            if victim.process is not None and victim.process.is_alive():
+                victim.commands.put(Shutdown())
+        for victim in victims:
+            if victim.process is not None:
+                victim.process.join(10)
+                if victim.process.is_alive():
+                    victim.process.terminate()
+                    victim.process.join(1)
+        self._await_migrate_in(epoch, timeout)
+
+    def _await_migrate_out(self, epoch: int, timeout: Optional[float]) -> dict:
+        """Wait for every pending MigrateOutDone; give up on dead sources.
+
+        The wait itself happens outside the lifecycle lock so ingestion of
+        unaffected streams (and crash handling) keeps flowing while the
+        extraction is in flight.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._cv:
+                record = self._migrations[epoch]
+                if not record["out_pending"]:
+                    return dict(record["states"])
+            self._reap_dead_shards()
+            with self._lifecycle:
+                with self._cv:
+                    record = self._migrations[epoch]
+                    for shard_id, process in list(record["out_pending"].items()):
+                        shard = self._shards.get(shard_id)
+                        if shard is None:
+                            # A shrink victim: it answers or it dies.
+                            if not process.is_alive():
+                                record["out_pending"].pop(shard_id)
+                                self._abandon_outstanding(shard_id)
+                        elif shard.process is not process:
+                            # Crashed and respawned: the command queue (and
+                            # the state) died with the old process.
+                            record["out_pending"].pop(shard_id)
+            with self._cv:
+                if not record["out_pending"]:
+                    return dict(record["states"])
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if self._closed or (remaining is not None and remaining <= 0):
+                    # Timed out — or close() raced us and the workers are
+                    # being torn down, so the replies will never come.
+                    record["out_pending"].clear()
+                    return dict(record["states"])
+                self._cv.wait(0.05 if remaining is None else min(0.05, remaining))
+
+    def _finish_migration(self, epoch: int, moved: dict, states: dict) -> None:
+        """Install the extracted streams on their new owners and unblock them.
+
+        ``moved`` maps every migrating stream id to its config snapshot;
+        ids missing from ``states`` lost their detector state (source died
+        or timed out) and are registered fresh + recorded as lost.  The
+        MigrateIn is enqueued *before* the stream leaves the migrating set,
+        so its next chunk queues strictly behind the install (FIFO).
+        """
+        with self._lifecycle:
+            record = self._migrations[epoch]
+            by_dest: dict[str, dict] = {}
+            for stream_id, config in moved.items():
+                payload = states.get(stream_id)
+                if payload is None:
+                    payload = {"config": config, "state": None}
+                    with self._cv:
+                        self._state_lost.add(stream_id)
+                by_dest.setdefault(self._ring.shard_for(stream_id), {})[
+                    stream_id
+                ] = payload
+            for dest_id, streams in sorted(by_dest.items()):
+                dest = self._shards.get(dest_id)
+                if dest is None or dest.process is None or not dest.process.is_alive():
+                    # The destination is down: its respawn replays the
+                    # snapshot under the current ring (fresh state, loss
+                    # recorded by the respawn path).
+                    with self._cv:
+                        self._state_lost.update(streams)
+                    continue
+                with self._cv:
+                    record["in_pending"][dest_id] = dest.process
+                dest.commands.put(MigrateIn(epoch=epoch, streams=streams))
+            with self._cv:
+                self._migrating.difference_update(moved)
+                self._cv.notify_all()
+
+    def _await_migrate_in(self, epoch: int, timeout: Optional[float]) -> None:
+        """Wait for the MigrateIn acks (traffic already flows meanwhile)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            while True:
+                with self._cv:
+                    record = self._migrations[epoch]
+                    if not record["in_pending"]:
+                        return
+                self._reap_dead_shards()
+                with self._lifecycle:
+                    with self._cv:
+                        record = self._migrations[epoch]
+                        for shard_id, process in list(record["in_pending"].items()):
+                            shard = self._shards.get(shard_id)
+                            if shard is None or shard.process is not process:
+                                # Destination died: respawn replayed fresh.
+                                record["in_pending"].pop(shard_id)
+                with self._cv:
+                    if not record["in_pending"]:
+                        return
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if self._closed or (remaining is not None and remaining <= 0):
+                        # Timed out, or close() raced us: the installs that
+                        # did land are fine, the rest replay fresh.
+                        return
+                    self._cv.wait(0.05 if remaining is None else min(0.05, remaining))
+        finally:
+            with self._cv:
+                self._migrations.pop(epoch, None)
+
+    # ------------------------------------------------------------------
+    # Worker-side cache statistics
+    # ------------------------------------------------------------------
+    def cache_stats(self, timeout: float = 10.0) -> Optional[dict]:
+        """Cache counters summed across the live shard workers.
+
+        Each worker owns a private :class:`~repro.service.cache.SharedCaches`
+        the parent never sees; without this merge the service report showed
+        misleadingly cold parent caches under ``--executor process``.  After
+        a close the last collected snapshot (taken during the graceful
+        shutdown) is returned.
+        """
+        with self._lifecycle:
+            if self._closed or not self._bound:
+                return dict(self._worker_cache_stats) or None
+            self._epoch += 1
+            epoch = self._epoch
+            collection = {"expected": {}, "replies": {}}
+            with self._cv:
+                self._stats_collections[epoch] = collection
+            for shard in self._shards.values():
+                if (
+                    shard.failed
+                    or shard.process is None
+                    or not shard.process.is_alive()
+                ):
+                    continue
+                with self._cv:
+                    collection["expected"][shard.shard_id] = shard.process
+                shard.commands.put(CollectStats(epoch=epoch))
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._cv:
+                if set(collection["expected"]) <= set(collection["replies"]):
+                    break
+            with self._lifecycle:
+                with self._cv:
+                    for shard_id, process in list(collection["expected"].items()):
+                        shard = self._shards.get(shard_id)
+                        if shard is None or shard.process is not process:
+                            collection["expected"].pop(shard_id)  # died: stats lost
+            with self._cv:
+                if set(collection["expected"]) <= set(collection["replies"]):
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cv.wait(min(0.05, remaining))
+        with self._cv:
+            self._stats_collections.pop(epoch, None)
+            merged = merge_stats_dicts(*collection["replies"].values())
+            self._worker_cache_stats = merged
+            return merged
+
     # ------------------------------------------------------------------
     # Reply collection
     # ------------------------------------------------------------------
     def _collector_loop(self) -> None:
-        # The stop signal is a thread Event checked between timed gets, NOT
-        # a sentinel message: the parent must never put() into the shared
-        # reply queue, because a worker terminated mid-put (close with
-        # drain=False) can die holding the queue's write lock, and a
-        # parent-side feeder thread blocked on that lock would deadlock
-        # interpreter shutdown.
+        # One reader per shard generation, multiplexed with connection.wait.
+        # Each pipe has exactly one writer (its worker), so a worker dying
+        # mid-send — CrashShard, OOM kill, close(drain=False) — corrupts at
+        # most its own pipe and can never wedge a lock the other workers
+        # (or the parent) share; the earlier shared reply *queue* deadlocked
+        # exactly that way when a crash landed inside the queue's feeder.
+        # A closed pipe raises EOFError here, which doubles as a free death
+        # notification.  The stop signal is a thread Event checked between
+        # timed waits, never a sentinel message.
         while True:
+            with self._reply_lock:
+                readers = list(self._reply_readers)
+            if not readers:
+                if self._collector_stop.is_set():
+                    return
+                time.sleep(0.05)
+                continue
             try:
-                reply = self._replies.get(timeout=0.25)
-            except Empty:
+                ready = connection_wait(readers, timeout=0.25)
+            except OSError:
+                ready = []
+            if not ready:
                 if self._collector_stop.is_set():
                     return
                 continue
-            except Exception as exc:
-                # A worker killed mid-put can leave a truncated pickle in
-                # the reply pipe; the collector must survive it (a dead
-                # collector means nothing is ever acknowledged again) and
-                # surface it on the next drain()/close() instead.
-                if self._collector_stop.is_set():
-                    return
-                self._defer(
-                    ServiceBackendError(f"reply collection failed: {exc!r}")
-                )
-                time.sleep(0.05)  # do not hot-spin on a broken queue
-                continue
-            if isinstance(reply, IngestReply):
+            for reader in ready:
                 try:
-                    self.hooks.record_reply(reply)
+                    reply = reader.recv()
+                except EOFError:
+                    # The worker died (or exited cleanly) and its buffered
+                    # replies are fully drained: retire the reader.
+                    self._drop_reader(reader)
+                    continue
                 except Exception as exc:
-                    self._defer(exc)
-                finally:
-                    self._ack(reply.seq, served=True)
-            elif isinstance(reply, WorkerFailure):
-                self._defer(
-                    ServiceBackendError(
-                        f"shard {reply.shard_id!r} reported: {reply.message}"
+                    # A worker killed mid-send leaves a truncated pickle in
+                    # its pipe; the collector must survive it (a dead
+                    # collector means nothing is ever acknowledged again),
+                    # drop the broken pipe and surface the failure on the
+                    # next drain()/close().
+                    self._defer(
+                        ServiceBackendError(f"reply collection failed: {exc!r}")
                     )
+                    self._drop_reader(reader)
+                    continue
+                self._handle_reply(reply)
+
+    def _drop_reader(self, reader) -> None:
+        with self._reply_lock:
+            if reader in self._reply_readers:
+                self._reply_readers.remove(reader)
+        try:
+            reader.close()
+        except OSError:
+            pass
+
+    def _handle_reply(self, reply) -> None:
+        if isinstance(reply, IngestReply):
+            try:
+                self.hooks.record_reply(reply)
+            except Exception as exc:
+                self._defer(exc)
+            finally:
+                self._ack(reply.seq, served=True)
+        elif isinstance(reply, MigrateOutDone):
+            with self._cv:
+                record = self._migrations.get(reply.epoch)
+                if record is not None:
+                    record["states"].update(reply.states)
+                    record["out_pending"].pop(reply.shard_id, None)
+                    self._cv.notify_all()
+        elif isinstance(reply, MigrateInDone):
+            with self._cv:
+                record = self._migrations.get(reply.epoch)
+                if record is not None:
+                    record["in_pending"].pop(reply.shard_id, None)
+                    self._cv.notify_all()
+        elif isinstance(reply, ShardStatsReply):
+            with self._cv:
+                collection = self._stats_collections.get(reply.epoch)
+                if collection is not None:
+                    collection["replies"][reply.shard_id] = reply.cache_stats
+                    self._cv.notify_all()
+        elif isinstance(reply, WorkerFailure):
+            self._defer(
+                ServiceBackendError(
+                    f"shard {reply.shard_id!r} reported: {reply.message}"
                 )
-                if reply.seq is not None:
-                    self._ack(reply.seq)
+            )
+            if reply.seq is not None:
+                self._ack(reply.seq)
+            if reply.command in ("MigrateOut", "MigrateIn", "CollectStats"):
+                # The failure replaced a reply some rendezvous is waiting
+                # on: release it, or a resize()/cache_stats() caller with
+                # no deadline would wait forever on a live-but-failing
+                # worker.  Missing migration states fall back to fresh
+                # registration (recorded as lost) at _finish_migration.
+                with self._cv:
+                    for record in self._migrations.values():
+                        record["out_pending"].pop(reply.shard_id, None)
+                        record["in_pending"].pop(reply.shard_id, None)
+                    for collection in self._stats_collections.values():
+                        collection["expected"].pop(reply.shard_id, None)
+                    self._cv.notify_all()
 
     def _ack(self, seq: int, served: bool = False) -> None:
         with self._cv:
@@ -421,5 +932,9 @@ class ProcessShardExecutor(Executor):
                 "ingests": self._ingests,
                 "outstanding": len(self._outstanding),
                 "restarts": self._restarts,
+                "retired_shards": self._retired,
+                "resizes": self._resizes,
+                "migrated_streams": self._migrated_streams,
                 "lost_chunks": self._lost_chunks,
+                "state_lost_streams": sorted(self._state_lost),
             }

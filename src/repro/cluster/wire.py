@@ -4,8 +4,9 @@ Everything that crosses the process boundary is defined here, as plain
 dataclasses of primitives, NumPy arrays and the library's own picklable
 result types (:class:`~repro.core.ks.KSTestResult`,
 :class:`~repro.core.explanation.Explanation`, ...).  Commands flow parent →
-worker over a per-shard command queue; replies flow worker → parent over
-one shared reply queue.
+worker over a per-shard command queue; replies flow worker → parent over a
+per-shard reply pipe (one writer each, so a crashing worker cannot poison
+a lock its siblings share).
 
 The protocol is deliberately small:
 
@@ -16,11 +17,24 @@ The protocol is deliberately small:
   alarms it raised (with explanations attached) plus counter deltas out;
   every chunk is acknowledged exactly once, which is what ``drain()``
   counts;
+* ``MigrateOut`` → ``MigrateOutDone`` — live rebalancing: extract the named
+  streams *with their detector state* (``state_dict()`` snapshots) so the
+  parent can move them to their new ring owners;
+* ``MigrateIn`` → ``MigrateInDone`` — install migrated streams on their new
+  shard, restoring detector state so no observation is re-detected or lost
+  across a resize;
+* ``CollectStats`` → ``ShardStatsReply`` — snapshot the worker's private
+  cache statistics so the parent report can aggregate them;
 * ``WorkerFailure`` — a worker-side error that is *not* tied to a single
   alarm (those ride inside ``AlarmRecord.error``);
 * ``CrashShard`` — test hook: hard-kills the worker so fault handling can
   be exercised deterministically;
 * ``Shutdown`` — clean exit.
+
+Because each shard's command queue and reply pipe are FIFO, a
+``MigrateOut`` enqueued after a stream's last chunk is processed strictly
+after it — the migration machinery leans on that ordering instead of extra
+round trips.
 """
 
 from __future__ import annotations
@@ -56,6 +70,42 @@ class IngestChunk:
     seq: int
     stream_id: str
     values: np.ndarray
+
+
+@dataclass(frozen=True)
+class MigrateOut:
+    """Extract streams (config + detector state) for a live migration.
+
+    The worker drops each named stream from its table and replies with a
+    :class:`MigrateOutDone` carrying ``state_dict()`` snapshots.  Stream ids
+    the worker does not know (e.g. because it respawned after the ring was
+    already updated) are silently absent from the reply; the parent
+    registers those fresh on the destination and records the state loss.
+    """
+
+    epoch: int
+    stream_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class MigrateIn:
+    """Install migrated streams on their new shard.
+
+    ``streams`` maps ``stream_id -> {"config": dict, "state": dict | None}``;
+    a ``None`` state means "register fresh" (the source's state was lost).
+    Installation is idempotent: a stream the shard already holds (a racing
+    snapshot replay) keeps its registration and only loads the state.
+    """
+
+    epoch: int
+    streams: dict
+
+
+@dataclass(frozen=True)
+class CollectStats:
+    """Ask the worker for a snapshot of its private cache statistics."""
+
+    epoch: int
 
 
 @dataclass(frozen=True)
@@ -98,13 +148,48 @@ class IngestReply:
 
 
 @dataclass
+class MigrateOutDone:
+    """The extracted streams of one :class:`MigrateOut` request.
+
+    ``states`` maps ``stream_id -> {"config": dict, "state": dict}`` for
+    every requested stream the worker actually held.
+    """
+
+    shard_id: str
+    epoch: int
+    states: dict = field(default_factory=dict)
+
+
+@dataclass
+class MigrateInDone:
+    """Acknowledgement that one :class:`MigrateIn` batch was installed."""
+
+    shard_id: str
+    epoch: int
+    stream_ids: tuple[str, ...] = ()
+
+
+@dataclass
+class ShardStatsReply:
+    """One worker's private cache statistics (``SharedCaches.stats_dict()``)."""
+
+    shard_id: str
+    epoch: int
+    cache_stats: dict = field(default_factory=dict)
+
+
+@dataclass
 class WorkerFailure:
     """A worker-side failure not attributable to a single alarm.
 
     When ``seq`` is set, the failure consumed that chunk (the parent must
-    still mark it acknowledged so ``drain()`` does not hang).
+    still mark it acknowledged so ``drain()`` does not hang).  ``command``
+    names the wire command that failed, so the parent can release any
+    rendezvous (migration epoch, stats collection) that was waiting on the
+    reply this failure replaced.
     """
 
     shard_id: str
     message: str
     seq: Optional[int] = None
+    command: Optional[str] = None

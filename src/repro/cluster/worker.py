@@ -19,11 +19,17 @@ import os
 
 from repro.cluster.runtime import ShardRuntime
 from repro.cluster.wire import (
+    CollectStats,
     CrashShard,
     IngestChunk,
     IngestReply,
+    MigrateIn,
+    MigrateInDone,
+    MigrateOut,
+    MigrateOutDone,
     RegisterStream,
     RemoveStream,
+    ShardStatsReply,
     Shutdown,
     WorkerFailure,
 )
@@ -40,7 +46,10 @@ def shard_worker_main(shard_id: str, commands, replies, cache_config=None) -> No
     commands:
         Multiprocessing queue of wire commands, parent -> this worker.
     replies:
-        Shared multiprocessing queue of wire replies, workers -> parent.
+        Write end of this worker's private reply pipe
+        (:class:`multiprocessing.connection.Connection`), worker -> parent.
+        One writer per pipe: a worker dying mid-``send`` can corrupt only
+        its own pipe, never a lock shared with its siblings.
     cache_config:
         Optional keyword arguments for this shard's private
         :class:`~repro.service.cache.SharedCaches`.
@@ -58,25 +67,51 @@ def shard_worker_main(shard_id: str, commands, replies, cache_config=None) -> No
                 runtime.register(command.stream_id, command.config)
             elif isinstance(command, RemoveStream):
                 runtime.remove(command.stream_id)
+            elif isinstance(command, MigrateOut):
+                replies.send(
+                    MigrateOutDone(
+                        shard_id=shard_id,
+                        epoch=command.epoch,
+                        states=runtime.export_streams(command.stream_ids),
+                    )
+                )
+            elif isinstance(command, MigrateIn):
+                runtime.import_streams(command.streams)
+                replies.send(
+                    MigrateInDone(
+                        shard_id=shard_id,
+                        epoch=command.epoch,
+                        stream_ids=tuple(command.streams),
+                    )
+                )
+            elif isinstance(command, CollectStats):
+                replies.send(
+                    ShardStatsReply(
+                        shard_id=shard_id,
+                        epoch=command.epoch,
+                        cache_stats=runtime.caches.stats_dict(),
+                    )
+                )
             elif isinstance(command, IngestChunk):
                 if command.stream_id not in runtime:
                     # The stream was removed while this chunk was in
                     # flight; acknowledge it empty (the parent tolerates
                     # the same race on its side) rather than failing.
-                    replies.put(IngestReply(seq=command.seq, stream_id=command.stream_id))
+                    replies.send(IngestReply(seq=command.seq, stream_id=command.stream_id))
                 else:
-                    replies.put(
+                    replies.send(
                         runtime.ingest(command.stream_id, command.values, seq=command.seq)
                     )
             else:
-                replies.put(
+                replies.send(
                     WorkerFailure(shard_id, f"unknown command {command!r}")
                 )
         except Exception as exc:
-            replies.put(
+            replies.send(
                 WorkerFailure(
                     shard_id,
                     f"{type(command).__name__} failed: {exc!r}",
                     seq=getattr(command, "seq", None),
+                    command=type(command).__name__,
                 )
             )

@@ -141,6 +141,37 @@ class KSDriftDetector:
                 yield alarm
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the mutable detector state.
+
+        Parameters (window size, alpha, ...) are *not* included — they live
+        in the stream's config, which travels separately; the state dict
+        carries only what a live shard migration must preserve: the window
+        contents and the lifetime counters.
+        """
+        return {
+            "kind": "windowed",
+            "reference": [float(v) for v in self._reference],
+            "test": [float(v) for v in self._test],
+            "count": int(self._count),
+            "tests_run": int(self.tests_run),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this detector."""
+        if state.get("kind") != "windowed":
+            raise ValidationError(
+                f"state snapshot kind {state.get('kind')!r} does not match "
+                "this 'windowed' detector"
+            )
+        self._reference = deque(
+            (float(v) for v in state["reference"]), maxlen=self.window_size
+        )
+        self._test = deque((float(v) for v in state["test"]), maxlen=self.window_size)
+        self._count = int(state["count"])
+        self.tests_run = int(state["tests_run"])
+
+    # ------------------------------------------------------------------
     def _advance(self, alarmed: bool, test: np.ndarray) -> None:
         """Slide the windows after a completed test."""
         if not self.slide_on_alarm:
@@ -292,3 +323,39 @@ class IncrementalKSDetector:
             alarm = self.update(value)
             if alarm is not None:
                 yield alarm
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the mutable detector state.
+
+        The treap is not serialised structurally: the KS statistic depends
+        only on the window *contents*, so :meth:`load_state_dict` rebuilds
+        an equivalent :class:`IncrementalKS` from the two windows and the
+        detector's seed, and every subsequent statistic is identical.
+        """
+        return {
+            "kind": "incremental",
+            "reference": [float(v) for v in self._reference],
+            "test": [float(v) for v in self._test],
+            "count": int(self._count),
+            "since_test": int(self._since_test),
+            "tests_run": int(self.tests_run),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this detector."""
+        if state.get("kind") != "incremental":
+            raise ValidationError(
+                f"state snapshot kind {state.get('kind')!r} does not match "
+                "this 'incremental' detector"
+            )
+        self._reference = deque(float(v) for v in state["reference"])
+        self._test = deque(float(v) for v in state["test"])
+        self._iks = IncrementalKS.from_samples(
+            np.asarray(self._reference, dtype=float),
+            np.asarray(self._test, dtype=float),
+            seed=self._seed,
+        )
+        self._count = int(state["count"])
+        self._since_test = int(state["since_test"])
+        self.tests_run = int(state["tests_run"])

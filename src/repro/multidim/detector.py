@@ -118,6 +118,39 @@ class KS2DDriftDetector:
                 yield alarm
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the mutable detector state.
+
+        Parameters (window size, alpha, ...) live in the stream's config;
+        the state dict carries only what a live shard migration must
+        preserve: window contents and lifetime counters.
+        """
+        return {
+            "kind": "ks2d",
+            "reference": [[float(x), float(y)] for x, y in self._reference],
+            "test": [[float(x), float(y)] for x, y in self._test],
+            "count": int(self._count),
+            "tests_run": int(self.tests_run),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this detector."""
+        if state.get("kind") != "ks2d":
+            raise ValidationError(
+                f"state snapshot kind {state.get('kind')!r} does not match "
+                "this 'ks2d' detector"
+            )
+        self._reference = deque(
+            ((float(x), float(y)) for x, y in state["reference"]),
+            maxlen=self.window_size,
+        )
+        self._test = deque(
+            ((float(x), float(y)) for x, y in state["test"]), maxlen=self.window_size
+        )
+        self._count = int(state["count"])
+        self.tests_run = int(state["tests_run"])
+
+    # ------------------------------------------------------------------
     def _advance(self, alarmed: bool, test: np.ndarray) -> None:
         """Slide the windows after a completed test."""
         if not self.slide_on_alarm or alarmed:

@@ -11,7 +11,10 @@ so the explanation is computed once and fanned out to every waiting job.
 Backpressure is explicit.  When the queue is full, ``policy="block"`` makes
 ``submit`` wait for space (lossless, slows the producer down) while
 ``policy="drop-oldest"`` evicts the oldest pending job (bounded staleness,
-never blocks detection).
+never blocks detection).  Evicted jobs' outcomes are delivered on the
+worker threads, never on the submitting thread: a user callback is thereby
+free to re-enter ``submit()`` (e.g. to requeue or escalate a dropped job)
+without recursing into itself or deadlocking against ``drain()``.
 """
 
 from __future__ import annotations
@@ -146,6 +149,7 @@ class MicroBatcher:
         self.policy = policy
         self.stats = BatcherStats()
         self._queue: deque[ExplanationJob] = deque()
+        self._pending_drops: deque[JobOutcome] = deque()
         self._cv = threading.Condition()
         self._in_flight = 0
         self._closed = False
@@ -169,9 +173,10 @@ class MicroBatcher:
 
         Returns True when the job was enqueued; under ``drop-oldest`` the
         *evicted* job is reported through ``on_outcome`` with
-        ``dropped=True``, and the new job is always accepted.
+        ``dropped=True`` — on a worker thread, never this one, so an
+        outcome callback may safely re-enter ``submit()`` — and the new job
+        is always accepted.
         """
-        dropped: Optional[ExplanationJob] = None
         with self._cv:
             if self._closed:
                 raise ValidationError("cannot submit to a closed batcher")
@@ -183,20 +188,16 @@ class MicroBatcher:
             elif len(self._queue) >= self.capacity:
                 dropped = self._queue.popleft()
                 self.stats.dropped += 1
-                # Keep the evicted job "in flight" until its outcome has
-                # been delivered, so drain() cannot complete before the
-                # drop is recorded.
+                # Keep the evicted job "in flight" until a worker delivers
+                # its outcome, so drain() cannot complete before the drop
+                # is recorded.  Delivering it *here* would run a user
+                # callback on the submitting thread, where re-entering
+                # submit() on a still-full queue recurses without bound.
                 self._in_flight += 1
+                self._pending_drops.append(JobOutcome(job=dropped, dropped=True))
             self._queue.append(job)
             self.stats.submitted += 1
             self._cv.notify_all()
-        if dropped is not None:
-            try:
-                self._deliver(JobOutcome(job=dropped, dropped=True))
-            finally:
-                with self._cv:
-                    self._in_flight -= 1
-                    self._cv.notify_all()
         return True
 
     def _deliver(self, outcome: JobOutcome) -> None:
@@ -247,8 +248,19 @@ class MicroBatcher:
             self._closed = True
             discarded = list(self._queue)
             self._queue.clear()
+            # Undelivered drop outcomes are flushed here too: the workers
+            # may already be past their last wakeup on a drain=False close.
+            flushed = list(self._pending_drops)
+            self._pending_drops.clear()
             self.stats.dropped += len(discarded)
             self._cv.notify_all()
+        for outcome in flushed:
+            try:
+                self._deliver(outcome)
+            finally:
+                with self._cv:
+                    self._in_flight -= 1
+                    self._cv.notify_all()
         for job in discarded:
             self._deliver(JobOutcome(job=job, dropped=True))
         for worker in self._workers:
@@ -265,20 +277,35 @@ class MicroBatcher:
     def _worker_loop(self) -> None:
         while True:
             with self._cv:
-                self._cv.wait_for(lambda: self._queue or self._closed)
-                if not self._queue:
-                    if self._closed:
-                        return
-                    continue
+                self._cv.wait_for(
+                    lambda: self._queue or self._pending_drops or self._closed
+                )
+                drops = list(self._pending_drops)
+                self._pending_drops.clear()
                 batch = [
                     self._queue.popleft()
                     for _ in range(min(self.max_batch, len(self._queue)))
                 ]
-                self._in_flight += len(batch)
-                self.stats.batches += 1
-                self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
-                # Claiming jobs frees queue space: wake blocked producers.
-                self._cv.notify_all()
+                if batch:
+                    self._in_flight += len(batch)
+                    self.stats.batches += 1
+                    self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+                if batch or drops:
+                    # Claiming jobs frees queue space: wake blocked producers.
+                    self._cv.notify_all()
+                elif self._closed:
+                    return
+                else:
+                    continue
+            for outcome in drops:
+                try:
+                    self._deliver(outcome)
+                finally:
+                    with self._cv:
+                        self._in_flight -= 1
+                        self._cv.notify_all()
+            if not batch:
+                continue
             try:
                 self._execute_batch(batch)
             finally:

@@ -130,6 +130,33 @@ class LRUCache:
             self._entries.clear()
 
 
+def merge_stats_dicts(*stats_dicts: dict) -> dict[str, dict]:
+    """Sum several ``SharedCaches.stats_dict()`` payloads cache-by-cache.
+
+    Used to fold the per-shard worker caches of the process executor into
+    the parent's report: counters add, ``hit_rate`` is recomputed from the
+    pooled totals (a mean of rates would weight a cold cache like a hot
+    one).
+    """
+    merged: dict[str, dict] = {}
+    for stats_dict in stats_dicts:
+        for name, payload in (stats_dict or {}).items():
+            slot = merged.setdefault(name, {"hits": 0, "misses": 0, "evictions": 0})
+            for counter in ("hits", "misses", "evictions"):
+                slot[counter] += int(payload.get(counter, 0))
+    for slot in merged.values():
+        lookups = slot["hits"] + slot["misses"]
+        slot["hit_rate"] = slot["hits"] / lookups if lookups else 0.0
+    return merged
+
+
+def pooled_hit_rate(stats_dict: dict) -> float:
+    """Overall hit rate of a ``stats_dict`` payload (0.0 when unused)."""
+    hits = sum(int(payload.get("hits", 0)) for payload in stats_dict.values())
+    lookups = hits + sum(int(payload.get("misses", 0)) for payload in stats_dict.values())
+    return hits / lookups if lookups else 0.0
+
+
 def array_digest(sample: np.ndarray) -> bytes:
     """Content digest of a 1-D float array, used as a cache key.
 

@@ -47,7 +47,12 @@ from repro.cluster.wire import IngestReply
 from repro.core.explanation import Explanation
 from repro.exceptions import ValidationError
 from repro.service.batching import ExplanationJob, JobOutcome
-from repro.service.cache import SharedCaches, array_digest
+from repro.service.cache import (
+    SharedCaches,
+    array_digest,
+    merge_stats_dicts,
+    pooled_hit_rate,
+)
 from repro.service.registry import StreamConfig, StreamRegistry, StreamState
 from repro.service.results import ServiceAlarm, ServiceReport, StreamReport
 
@@ -195,6 +200,17 @@ class ExplanationService:
     def snapshot(self) -> dict[str, dict]:
         """Serializable registry snapshot (``stream_id -> config dict``)."""
         return self._registry.snapshot()
+
+    def resize(self, shards: int) -> int:
+        """Elastically change the executor's shard count; returns the new one.
+
+        On the process backend this is a *live* rebalance: only the streams
+        whose ring owner changes are quiesced while their detector state
+        migrates, and the run's alarms/explanations are byte-identical to a
+        fixed-shard replay.  The in-process executors have no shard pool,
+        so the call validates and reports their single logical shard.
+        """
+        return self._executor.resize(shards)
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -379,8 +395,15 @@ class ExplanationService:
             ]
 
     def report(self) -> ServiceReport:
-        """A structured snapshot of the whole run (drains pending work first)."""
-        self.drain()
+        """A structured snapshot of the whole run (drains pending work first).
+
+        With the process executor the per-shard worker caches are collected
+        over the wire and pooled with the parent's (which only the
+        detection-local executors exercise), so cache hit rates describe
+        the run instead of reading as misleading zeros.
+        """
+        if not self._closed:
+            self.drain()
         elapsed = time.perf_counter() - self._started
         with self._results_lock:
             streams = [
@@ -397,12 +420,21 @@ class ExplanationService:
                 )
                 for state in self._registry.states()
             ]
+        cache_stats = self.caches.stats_dict()
+        hit_rate = self.caches.overall_hit_rate()
+        worker_stats = self._executor.cache_stats()
+        if worker_stats:
+            cache_stats = merge_stats_dicts(cache_stats, worker_stats)
+            hit_rate = pooled_hit_rate(cache_stats)
+        stats = self.stats()
         return ServiceReport(
             streams=streams,
-            cache_stats=self.caches.stats_dict(),
-            batcher_stats=self.stats(),
+            cache_stats=cache_stats,
+            batcher_stats=stats,
             elapsed_seconds=elapsed,
-            cache_hit_rate=self.caches.overall_hit_rate(),
+            cache_hit_rate=hit_rate,
+            restarts=int(stats.get("restarts", 0)),
+            state_lost=list(stats.get("state_lost_streams", [])),
         )
 
     def stats(self) -> dict:

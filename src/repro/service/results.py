@@ -109,13 +109,24 @@ class StreamReport:
 
 @dataclass
 class ServiceReport:
-    """Aggregate result of a service run across all registered streams."""
+    """Aggregate result of a service run across all registered streams.
+
+    ``cache_stats`` pools the parent-process caches with the per-shard
+    worker caches when the run used the process executor, so hit rates
+    reflect where the lookups actually happened.  ``restarts`` and
+    ``state_lost`` make shard-fault data loss visible: a respawned (or
+    retired) shard rebuilds its streams with *fresh* detector state, and
+    the affected stream ids are listed instead of silently reading as a
+    clean run.
+    """
 
     streams: list[StreamReport]
     cache_stats: dict[str, dict]
     batcher_stats: dict
     elapsed_seconds: float
     cache_hit_rate: float
+    restarts: int = 0
+    state_lost: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -175,6 +186,10 @@ class ServiceReport:
                 "elapsed_seconds": self.elapsed_seconds,
                 "cache_hit_rate": self.cache_hit_rate,
             },
+            "faults": {
+                "restarts": self.restarts,
+                "state_lost": list(self.state_lost),
+            },
             "caches": self.cache_stats,
             "batcher": self.batcher_stats,
         }
@@ -194,8 +209,15 @@ class ServiceReport:
         ]
         stats = dict(self.batcher_stats or {})
         name = stats.pop("executor", "thread")
+        stats.pop("state_lost_streams", None)  # rendered on its own line below
         detail = ", ".join(f"{key} {value}" for key, value in stats.items())
         lines.append(f"executor           : {name}" + (f" ({detail})" if detail else ""))
+        if self.restarts or self.state_lost:
+            lost = ", ".join(self.state_lost) if self.state_lost else "none"
+            lines.append(
+                f"shard faults       : {self.restarts} restart(s); "
+                f"detector state lost on: {lost}"
+            )
         for stream in self.streams:
             lines.append(
                 f"  {stream.stream_id}: {stream.observations} obs, "

@@ -196,6 +196,35 @@ class TestServeCommand:
         assert code == 3
         assert "--workers" in capsys.readouterr().err
 
+    def test_serve_elastic_shards(self, fleet_files, capsys):
+        code = main([
+            "serve", *fleet_files,
+            "--window", "150",
+            "--executor", "process",
+            "--min-shards", "1",
+            "--max-shards", "2",
+            "--summary-only",
+        ])
+        assert code == 0
+        assert "alarms raised" in capsys.readouterr().out
+
+    def test_serve_rejects_mismatched_elastic_flags(self, fleet_files, capsys):
+        # Half an autoscaling band is a configuration mistake.
+        code = main(["serve", fleet_files[0], "--executor", "process",
+                     "--min-shards", "1"])
+        assert code == 3
+        assert "--min-shards and --max-shards" in capsys.readouterr().err
+        # ... and the band only means something on the process executor.
+        code = main(["serve", fleet_files[0],
+                     "--min-shards", "1", "--max-shards", "2"])
+        assert code == 3
+        assert "--executor process" in capsys.readouterr().err
+        # An explicit --shards outside the band is rejected, not clamped.
+        code = main(["serve", fleet_files[0], "--executor", "process",
+                     "--shards", "8", "--min-shards", "1", "--max-shards", "2"])
+        assert code == 3
+        assert "outside the autoscaling band" in capsys.readouterr().err
+
     def test_serve_missing_file_reports_error(self, tmp_path, capsys):
         code = main(["serve", str(tmp_path / "missing.csv")])
         assert code == 3

@@ -1,0 +1,433 @@
+"""Elastic shard rebalancing: state migration, invariants and autoscaling.
+
+Covers the rebalance invariants the resize machinery must hold:
+
+* detector ``state_dict``/``load_state_dict`` round-trips resume a stream
+  exactly where it left off (property-tested per detector flavour);
+* a ``resize(N -> N±1)`` moves only ~1/N of the streams (the consistent
+  hash ring's guarantee, observed end to end through the executor);
+* no observation is lost or double-processed across a live migration, and
+  the three executor backends stay report-parity through a resize;
+* crashed-shard handling records the data loss (``restarts`` /
+  ``state_lost``) instead of hiding it, and a shard past its restart
+  budget is retired with its streams redistributed to survivors;
+* worker-side cache statistics are merged into the parent report;
+* the queue-depth autoscaler policy scales between its bounds with
+  hysteresis and cooldown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Autoscaler, HashRing, QueueDepthPolicy
+from repro.cluster.sharding import ProcessShardExecutor
+from repro.cluster.wire import WorkerFailure
+from repro.datasets.synthetic import drifting_series
+from repro.drift.detector import IncrementalKSDetector, KSDriftDetector
+from repro.exceptions import ServiceBackendError, ValidationError
+from repro.multidim.detector import KS2DDriftDetector
+from repro.service import ExplanationService, StreamConfig
+
+STREAM_IDS = ("a", "b", "c", "d", "e", "f")
+
+
+@pytest.fixture(scope="module")
+def drifted_values() -> np.ndarray:
+    values, _ = drifting_series(length=1200, drift_start=600, drift_magnitude=3.0, seed=5)
+    return values
+
+
+def replay(
+    executor: str,
+    values: np.ndarray,
+    resize_at: dict[int, int] | None = None,
+    chunk: int = 100,
+    **kwargs,
+):
+    """Interleaved fleet replay with optional mid-replay resizes."""
+    with ExplanationService(
+        executor=executor,
+        default_config=StreamConfig(window_size=150),
+        **kwargs,
+    ) as service:
+        for stream_id in STREAM_IDS:
+            service.register(stream_id)
+        for index, start in enumerate(range(0, values.size, chunk)):
+            if resize_at and index in resize_at:
+                service.resize(resize_at[index])
+            for stream_id in STREAM_IDS:
+                service.submit(stream_id, values[start:start + chunk])
+        return service.report()
+
+
+# ----------------------------------------------------------------------
+# Detector state round-trips
+# ----------------------------------------------------------------------
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestDetectorStateRoundTrip:
+    """After any prefix, snapshot+restore must not change future behaviour."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(finite_floats, min_size=1, max_size=60), st.data())
+    def test_windowed_detector(self, values, data):
+        cut = data.draw(st.integers(min_value=0, max_value=len(values)))
+        original = KSDriftDetector(window_size=8, alpha=0.2)
+        for value in values[:cut]:
+            original.update(value)
+        restored = KSDriftDetector(window_size=8, alpha=0.2)
+        restored.load_state_dict(original.state_dict())
+        tail = values[cut:]
+        alarms_a = [a.position for v in tail if (a := original.update(v)) is not None]
+        alarms_b = [a.position for v in tail if (a := restored.update(v)) is not None]
+        assert alarms_a == alarms_b
+        assert original.tests_run == restored.tests_run
+        assert original.observations_seen == restored.observations_seen
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(finite_floats, min_size=1, max_size=60), st.data())
+    def test_incremental_detector(self, values, data):
+        cut = data.draw(st.integers(min_value=0, max_value=len(values)))
+        original = IncrementalKSDetector(window_size=8, alpha=0.2, stride=2)
+        for value in values[:cut]:
+            original.update(value)
+        restored = IncrementalKSDetector(window_size=8, alpha=0.2, stride=2)
+        restored.load_state_dict(original.state_dict())
+        tail = values[cut:]
+        alarms_a = [a.position for v in tail if (a := original.update(v)) is not None]
+        alarms_b = [a.position for v in tail if (a := restored.update(v)) is not None]
+        assert alarms_a == alarms_b
+        assert original.tests_run == restored.tests_run
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(st.tuples(finite_floats, finite_floats), min_size=1, max_size=40),
+        st.data(),
+    )
+    def test_ks2d_detector(self, points, data):
+        cut = data.draw(st.integers(min_value=0, max_value=len(points)))
+        original = KS2DDriftDetector(window_size=5, alpha=0.2)
+        for point in points[:cut]:
+            original.update(point)
+        restored = KS2DDriftDetector(window_size=5, alpha=0.2)
+        restored.load_state_dict(original.state_dict())
+        tail = points[cut:]
+        alarms_a = [a.position for p in tail if (a := original.update(p)) is not None]
+        alarms_b = [a.position for p in tail if (a := restored.update(p)) is not None]
+        assert alarms_a == alarms_b
+        assert original.tests_run == restored.tests_run
+
+    def test_kind_mismatch_rejected(self):
+        windowed = KSDriftDetector(window_size=8)
+        incremental = IncrementalKSDetector(window_size=8)
+        with pytest.raises(ValidationError):
+            incremental.load_state_dict(windowed.state_dict())
+        with pytest.raises(ValidationError):
+            KS2DDriftDetector(window_size=8).load_state_dict(windowed.state_dict())
+
+    def test_state_dicts_are_json_serialisable(self):
+        detector = KSDriftDetector(window_size=4)
+        for value in (0.0, 1.0, 2.0, 3.0, 4.0):
+            detector.update(value)
+        assert json.loads(json.dumps(detector.state_dict())) == detector.state_dict()
+
+
+# ----------------------------------------------------------------------
+# Ring movement bound
+# ----------------------------------------------------------------------
+class TestMovedFractionBound:
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_adding_a_shard_moves_a_bounded_fraction(self, shards):
+        keys = [f"stream-{i}" for i in range(400)]
+        ring = HashRing([f"shard-{i}" for i in range(shards)])
+        before = {key: ring.shard_for(key) for key in keys}
+        ring.add(f"shard-{shards}")
+        moved = sum(ring.shard_for(key) != before[key] for key in keys)
+        expected = len(keys) / (shards + 1)
+        assert 0 < moved <= 2.5 * expected
+        # Every moved key lands on the newcomer: nothing shuffles between
+        # surviving shards.
+        for key in keys:
+            if ring.shard_for(key) != before[key]:
+                assert ring.shard_for(key) == f"shard-{shards}"
+
+
+# ----------------------------------------------------------------------
+# Live migration invariants (process executor)
+# ----------------------------------------------------------------------
+class TestLiveResize:
+    def test_resize_parity_and_no_loss(self, drifted_values):
+        """A 2->3->2 mid-replay resize changes nothing observable."""
+        inline = replay("inline", drifted_values)
+        assert inline.alarms_raised > 0
+        elastic = replay(
+            "process", drifted_values, shards=2, resize_at={4: 3, 8: 2}
+        )
+        assert json.dumps(elastic.canonical_dict(), sort_keys=True) == json.dumps(
+            inline.canonical_dict(), sort_keys=True
+        )
+        # Migrated cleanly: nothing lost, nothing double-processed.
+        stats = elastic.batcher_stats
+        assert stats["resizes"] == 2
+        assert stats["migrated_streams"] >= 1
+        assert stats["lost_chunks"] == 0
+        assert elastic.state_lost == [] and elastic.restarts == 0
+        for stream in elastic.streams:
+            assert stream.observations == drifted_values.size
+
+    def test_resize_moves_only_the_rings_share_of_streams(self, drifted_values):
+        with ExplanationService(
+            executor="process", shards=2, default_config=StreamConfig(window_size=150)
+        ) as service:
+            ids = [f"s-{i:02d}" for i in range(20)]
+            for stream_id in ids:
+                service.register(stream_id)
+            executor = service.executor
+            before = {stream_id: executor.shard_of(stream_id) for stream_id in ids}
+            assert service.resize(3) == 3
+            after = {stream_id: executor.shard_of(stream_id) for stream_id in ids}
+            moved = [stream_id for stream_id in ids if after[stream_id] != before[stream_id]]
+            # ~1/3 expected to move onto the newcomer; bound with slack.
+            assert len(moved) <= 2.5 * len(ids) / 3
+            assert all(after[stream_id] == "shard-2" for stream_id in moved)
+            # The migrated streams still serve and alarm after the move.
+            victim = moved[0] if moved else ids[0]
+            service.submit(victim, drifted_values)
+            report = service.report()
+        by_id = {stream.stream_id: stream for stream in report.streams}
+        assert by_id[victim].alarms_raised >= 1
+        assert by_id[victim].explained == by_id[victim].alarms_raised
+
+    def test_resize_under_concurrent_submission_loses_nothing(self, drifted_values):
+        with ExplanationService(
+            executor="process", shards=2, default_config=StreamConfig(window_size=150)
+        ) as service:
+            for stream_id in STREAM_IDS:
+                service.register(stream_id)
+            errors: list[Exception] = []
+
+            def producer():
+                try:
+                    for start in range(0, drifted_values.size, 60):
+                        for stream_id in STREAM_IDS:
+                            service.submit(stream_id, drifted_values[start:start + 60])
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            thread = threading.Thread(target=producer, daemon=True)
+            thread.start()
+            service.resize(3)
+            service.resize(2)
+            thread.join(timeout=240)
+            assert not thread.is_alive()
+            report = service.report()
+        assert errors == []
+        assert report.batcher_stats["lost_chunks"] == 0
+        for stream in report.streams:
+            assert stream.observations == drifted_values.size
+
+    def test_worker_failure_releases_the_migration_rendezvous(self):
+        """A failed migration command must unblock resize(), not hang it.
+
+        The worker survives command failures by replying WorkerFailure
+        instead of MigrateOutDone/MigrateInDone; the parent must treat that
+        as 'this shard's migration is over' (state lost, fresh fallback) or
+        a deadline-less resize() would wait forever on a live worker.
+        """
+        executor = ProcessShardExecutor(shards=1)  # unbound: no processes
+        executor._migrations[7] = {
+            "out_pending": {"shard-0": object()},
+            "in_pending": {"shard-0": object()},
+            "states": {},
+        }
+        executor._stats_collections[8] = {"expected": {"shard-0": object()}, "replies": {}}
+        executor._handle_reply(
+            WorkerFailure("shard-0", "MigrateOut failed: boom", command="MigrateOut")
+        )
+        assert executor._migrations[7]["out_pending"] == {}
+        assert executor._migrations[7]["in_pending"] == {}
+        assert executor._stats_collections[8]["expected"] == {}
+        with pytest.raises(ServiceBackendError):
+            executor._raise_deferred()
+        # An unrelated failure (say, RemoveStream) does not touch rendezvous.
+        executor._migrations[7]["out_pending"]["shard-0"] = object()
+        executor._handle_reply(
+            WorkerFailure("shard-0", "RemoveStream failed", command="RemoveStream")
+        )
+        assert "shard-0" in executor._migrations[7]["out_pending"]
+
+    def test_resize_validation(self):
+        with ExplanationService(executor="process", shards=1) as service:
+            with pytest.raises(ValidationError):
+                service.resize(0)
+            assert service.resize(1) == 1  # no-op
+        with pytest.raises(ValidationError):
+            service.executor.resize(2)  # closed
+
+    def test_inline_and_thread_resize_are_parity_neutral(self, drifted_values):
+        baseline = replay("inline", drifted_values)
+        for executor in ("inline", "thread"):
+            resized = replay(executor, drifted_values, resize_at={4: 3, 8: 2})
+            assert json.dumps(resized.canonical_dict(), sort_keys=True) == json.dumps(
+                baseline.canonical_dict(), sort_keys=True
+            )
+
+
+# ----------------------------------------------------------------------
+# Fault visibility: respawn loss markers and retirement
+# ----------------------------------------------------------------------
+class TestFaultVisibility:
+    def test_respawn_records_state_loss_in_report(self, drifted_values):
+        with ExplanationService(
+            executor="process", shards=2, default_config=StreamConfig(window_size=150)
+        ) as service:
+            service.register("a")
+            service.register("b")
+            executor = service.executor
+            # Feed half a window so there is mid-window state to lose.
+            service.submit("a", drifted_values[:80])
+            service.drain()
+            executor.crash_shard(executor.shard_of("a"))
+            service.submit("a", drifted_values)
+            report = service.report()
+        assert report.restarts >= 1
+        assert "a" in report.state_lost
+        payload = report.to_dict()
+        assert payload["faults"]["restarts"] >= 1
+        assert "a" in payload["faults"]["state_lost"]
+        assert "detector state lost" in report.render(alarms=False)
+
+    def test_exhausted_shard_is_retired_and_streams_redistributed(self, drifted_values):
+        executor = ProcessShardExecutor(shards=2, max_restarts=0)
+        with ExplanationService(
+            executor=executor, default_config=StreamConfig(window_size=150)
+        ) as service:
+            service.register("a")
+            service.register("b")
+            doomed = executor.shard_of("a")
+            survivor = executor.shard_of("b")
+            assert doomed != survivor
+            executor.crash_shard(doomed)
+            # Past its (zero) budget the shard is retired, not respawned:
+            # "a" moves to the survivor and keeps serving.
+            service.submit("a", drifted_values)
+            report = service.report()
+            assert executor.shard_of("a") == survivor
+        stats = report.batcher_stats
+        assert stats["retired_shards"] == 1
+        assert stats["shards"] == 1
+        assert "a" in report.state_lost
+        by_id = {stream.stream_id: stream for stream in report.streams}
+        assert by_id["a"].alarms_raised >= 1
+        assert by_id["a"].explained == by_id["a"].alarms_raised
+
+
+# ----------------------------------------------------------------------
+# Worker-side cache statistics
+# ----------------------------------------------------------------------
+class TestWorkerCacheStats:
+    def test_process_report_sees_worker_cache_hits(self, drifted_values):
+        report = replay("process", drifted_values, shards=2)
+        hits = sum(payload["hits"] for payload in report.cache_stats.values())
+        assert hits > 0, "worker-side cache hits must reach the parent report"
+        assert report.cache_hit_rate > 0.0
+        # The stats survive serialisation with recomputed hit rates.
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert sum(c["hits"] for c in payload["caches"].values()) == hits
+
+
+# ----------------------------------------------------------------------
+# Autoscaling policy
+# ----------------------------------------------------------------------
+class _FakeShardedExecutor:
+    """Executor stand-in exposing the queue-depth gauge without processes."""
+
+    def __init__(self, shards: int = 2, capacity: int = 100):
+        self.shards = shards
+        self.capacity = capacity
+        self.outstanding = 0
+        self.resized_to: list[int] = []
+
+    def stats(self) -> dict:
+        return {
+            "shards": self.shards,
+            "capacity": self.capacity,
+            "outstanding": self.outstanding,
+        }
+
+    def resize(self, shards: int) -> int:
+        self.resized_to.append(shards)
+        self.shards = shards
+        return shards
+
+
+class TestAutoscaler:
+    def test_policy_validation(self):
+        with pytest.raises(ValidationError):
+            QueueDepthPolicy(min_shards=0)
+        with pytest.raises(ValidationError):
+            QueueDepthPolicy(min_shards=3, max_shards=2)
+        with pytest.raises(ValidationError):
+            QueueDepthPolicy(scale_up_at=0.2, scale_down_at=0.5)
+        with pytest.raises(ValidationError):
+            QueueDepthPolicy(cooldown_ticks=-1)
+
+    def test_scales_up_down_with_hysteresis_and_cooldown(self):
+        executor = _FakeShardedExecutor(shards=2)
+        scaler = Autoscaler(
+            executor,
+            QueueDepthPolicy(
+                min_shards=1, max_shards=4, scale_up_at=0.8, scale_down_at=0.1,
+                cooldown_ticks=1,
+            ),
+        )
+        executor.outstanding = 90  # depth 0.9: scale up
+        decision = scaler.tick()
+        assert decision is not None and decision.target == 3
+        assert executor.shards == 3
+        assert scaler.tick() is None  # cooldown holds even under pressure
+        decision = scaler.tick()
+        assert decision is not None and decision.target == 4
+        assert scaler.tick() is None  # cooldown
+        assert scaler.tick() is None  # at max_shards: hold
+        executor.outstanding = 50  # mid-band: hold
+        assert scaler.tick() is None
+        executor.outstanding = 5  # depth 0.05: scale down
+        decision = scaler.tick()
+        assert decision is not None and decision.target == 3
+        assert decision.direction == "down"
+        assert "3" in decision.render()
+        assert [d.target for d in scaler.decisions] == [3, 4, 3]
+
+    def test_never_leaves_the_bounds(self):
+        executor = _FakeShardedExecutor(shards=2)
+        policy = QueueDepthPolicy(
+            min_shards=2, max_shards=3, scale_up_at=0.8, scale_down_at=0.1,
+            cooldown_ticks=0,
+        )
+        scaler = Autoscaler(executor, policy)
+        executor.outstanding = 100
+        for _ in range(5):
+            scaler.tick()
+        assert executor.shards == 3
+        executor.outstanding = 0
+        for _ in range(5):
+            scaler.tick()
+        assert executor.shards == 2
+        assert all(2 <= target <= 3 for target in executor.resized_to)
+
+    def test_non_sharded_executors_are_ignored(self, drifted_values):
+        with ExplanationService(executor="inline") as service:
+            scaler = Autoscaler(service.executor, QueueDepthPolicy())
+            assert scaler.tick() is None
+            assert scaler.decisions == []

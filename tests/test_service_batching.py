@@ -168,6 +168,51 @@ class TestBackpressure:
         assert dropped == [1, 2, 3]  # oldest pending jobs evicted first
         assert completed == [0, 4, 5]
 
+    def test_dropped_outcomes_are_delivered_off_the_submitting_thread(self):
+        """Drop outcomes must run on workers, not on the submitter.
+
+        Synchronous delivery inside ``submit()`` meant a callback that
+        re-entered ``submit()`` on a full queue recursed without bound (each
+        re-entry evicts another job, whose outcome re-enters again) and
+        could deadlock against ``drain()``; routed through the worker
+        delivery path, re-entry is a plain enqueue.
+        """
+        release = threading.Event()
+        delivery_threads: list[str] = []
+        resubmitted: set[int] = set()
+        lock = threading.Lock()
+
+        def on_outcome(outcome: JobOutcome) -> None:
+            if not outcome.dropped:
+                return
+            with lock:
+                delivery_threads.append(threading.current_thread().name)
+                first_time = outcome.job.position not in resubmitted
+                resubmitted.add(outcome.job.position)
+            if first_time and outcome.job.position < 100:
+                # Re-enter submit() from the callback: the original bug
+                # recursed or deadlocked right here.  Only first-generation
+                # jobs requeue, so the cascade is bounded.
+                batcher.submit(make_job(position=outcome.job.position + 100))
+
+        batcher = MicroBatcher(
+            lambda job: release.wait(timeout=10),
+            on_outcome,
+            workers=1,
+            max_batch=1,
+            capacity=1,
+            policy="drop-oldest",
+        )
+        submitter = threading.current_thread().name
+        for position in range(6):
+            batcher.submit(make_job(position=position))
+        release.set()
+        assert batcher.drain(timeout=30)
+        batcher.close()
+        assert delivery_threads, "some jobs must have been dropped"
+        assert all(name != submitter for name in delivery_threads)
+        assert all(name.startswith("repro-worker") for name in delivery_threads)
+
     def test_submit_never_blocks_under_drop_oldest(self):
         collector = Collector()
         release = threading.Event()
