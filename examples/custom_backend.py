@@ -1,0 +1,80 @@
+"""A custom stream backend in one file, plus a snapshot warm restart.
+
+Demonstrates the two headline seams of the backend plugin layer:
+
+1. **A new stream flavour is one registered object.**  ``LogScaleBackend``
+   subclasses the built-in scalar backend and tests streams on a log
+   scale (useful for latency-like, multiplicative data: a regime change
+   from ~e^0 to ~e^3 is a clean shift after ``log1p``).  Nothing in the
+   service, cluster or export layers knows it exists — registration is
+   the entire integration.
+2. **Snapshots ride the same protocol.**  The replay is interrupted
+   halfway with ``service.snapshot()``, the service is torn down, and a
+   fresh one ``restore()``s and finishes — the custom backend's detector
+   state and alarm log survive because the backend owns its
+   ``state_dict`` pass-through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends import KS1DBackend, register_backend
+from repro.service import ExplanationService, StreamConfig
+
+
+@register_backend
+class LogScaleBackend(KS1DBackend):
+    """Scalar streams tested (and explained) on a log1p scale."""
+
+    name = "log-ks"
+
+    def coerce_observations(self, observations):
+        values = super().coerce_observations(observations)
+        if np.any(values < 0):
+            raise ValueError("log-ks streams take non-negative observations")
+        return np.log1p(values)
+
+
+def build_latency_feed(seed: int = 7, length: int = 900) -> np.ndarray:
+    """A multiplicative feed: calm regime, then a 20x latency regression."""
+    rng = np.random.default_rng(seed)
+    calm = rng.lognormal(mean=0.0, sigma=0.4, size=2 * length // 3)
+    regressed = rng.lognormal(mean=3.0, sigma=0.4, size=length // 3)
+    return np.concatenate([calm, regressed])
+
+
+def main() -> None:
+    feed = build_latency_feed()
+    config = StreamConfig(window_size=150, backend="log-ks")
+
+    # First half of the replay, then a snapshot...
+    service = ExplanationService(executor="inline", default_config=config)
+    service.register("api-latency")
+    half = feed.size // 2
+    service.submit("api-latency", feed[:half])
+    snapshot = service.snapshot()
+    service.close()
+    print(f"snapshot after {half} observations "
+          f"({len(snapshot.accounting['api-latency']['alarms'])} alarm(s) so far)")
+
+    # ...restored into a brand-new service, which finishes the feed.
+    service = ExplanationService(executor="inline", default_config=config)
+    service.restore(snapshot)
+    service.submit("api-latency", feed[half:])
+    report = service.report()
+    service.close()
+
+    stream = report.streams[0]
+    print(f"served {stream.observations} observations through "
+          f"backend={config.backend!r}: {stream.alarms_raised} alarm(s), "
+          f"{stream.explained} explained")
+    for alarm in stream.alarms:
+        print(f"  drift at observation {alarm.position}: "
+              f"explanation of size {alarm.explanation.size} "
+              f"(log-scale values {alarm.explanation.values.min():.2f}.."
+              f"{alarm.explanation.values.max():.2f})")
+
+
+if __name__ == "__main__":
+    main()

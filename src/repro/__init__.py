@@ -23,8 +23,14 @@ The package provides:
 * :mod:`repro.multidim` — the Fasano-Franceschini two-dimensional KS test,
   a greedy explainer for it and a 2-D drift detector (served through the
   service with ``StreamConfig(backend="ks2d")``);
+* :mod:`repro.backends` — the stream-backend plugin layer: every stream
+  flavour (scalar ``ks1d``, 2-D ``ks2d``, or a registered third-party
+  plugin) is one :class:`StreamBackend` object owning config validation,
+  detector/explainer construction, chunk normalisation, cache keys,
+  detector-state persistence and report rendering;
 * :mod:`repro.service` — an in-process multi-stream explanation service
-  with micro-batching, shared caching and pluggable execution;
+  with micro-batching, shared caching, pluggable execution and
+  snapshot/warm-restart persistence;
 * :mod:`repro.cluster` — the execution runtime behind the service: the
   :class:`Executor` seam with inline / thread-pool / process-shard
   backends, consistent-hash partitioning of streams onto worker processes,
@@ -34,6 +40,12 @@ The main classes of every layer are re-exported here, so typical use is
 just ``from repro import MOCHE, KSDriftDetector, ExplanationService``.
 """
 
+from repro.backends import (
+    StreamBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.cluster import (
     Executor,
     HashRing,
@@ -80,11 +92,12 @@ from repro.service import (
     MicroBatcher,
     ServiceAlarm,
     ServiceReport,
+    ServiceSnapshot,
     SharedCaches,
     StreamConfig,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # core
@@ -110,11 +123,17 @@ __all__ = [
     "KS2DResult",
     "ks2d_statistic",
     "ks2d_test",
+    # backends
+    "StreamBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     # service
     "ExplanationService",
     "MicroBatcher",
     "ServiceAlarm",
     "ServiceReport",
+    "ServiceSnapshot",
     "SharedCaches",
     "StreamConfig",
     # cluster

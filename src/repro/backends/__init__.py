@@ -1,0 +1,74 @@
+"""First-class stream backends: the plugin layer of the serving stack.
+
+Every stream flavour the explanation service can serve is a
+:class:`~repro.backends.base.StreamBackend` registered here by name.  The
+backend owns the whole vertical slice for its flavour — config validation,
+detector/explainer construction, chunk normalisation, cache keys, detector
+state (de)serialisation and report rendering — so the service, cluster,
+I/O and CLI layers are backend-agnostic: they ask the stream's config for
+its ``plugin`` and call the protocol.
+
+Built-ins (registered on import):
+
+* ``ks1d`` (:class:`~repro.backends.ks1d.KS1DBackend`) — scalar streams
+  under the two-sample KS test, with both the ``windowed`` and the
+  ``incremental`` (dos Reis-style per-observation) detector flavours, the
+  full MOCHE + baselines explainer table and the named preference
+  builders;
+* ``ks2d`` (:class:`~repro.backends.ks2d.KS2DBackend`) — streams of
+  ``(x, y)`` pairs under the Fasano-Franceschini test with the greedy 2-D
+  explainer.
+
+Adding a stream flavour is one file: subclass ``StreamBackend``, call
+:func:`register_backend` (or advertise it in the ``repro.backends``
+entry-point group for :func:`load_entry_point_backends` to find), and
+``StreamConfig(backend="your-name")`` serves it through every executor,
+the live-migration path and service snapshots with no serving-code edits.
+"""
+
+from repro.backends.base import StreamBackend, ks_result_to_dict
+from repro.backends.ks1d import (
+    EXPLAINERS,
+    KS1DBackend,
+    PREFERENCE_BUILDERS,
+    build_preference_list,
+)
+from repro.backends.ks2d import EXPLAINERS_2D, KS2DBackend
+from repro.backends.registry import (
+    ENTRY_POINT_GROUP,
+    BackendRegistry,
+    backend_names,
+    default_registry,
+    get_backend,
+    load_entry_point_backends,
+    register_backend,
+    renderer_for,
+)
+
+#: The built-in backend singletons, registered into the default registry.
+KS1D = KS1DBackend()
+KS2D = KS2DBackend()
+for _backend in (KS1D, KS2D):
+    if _backend.name not in default_registry():
+        register_backend(_backend)
+
+__all__ = [
+    "BackendRegistry",
+    "ENTRY_POINT_GROUP",
+    "EXPLAINERS",
+    "EXPLAINERS_2D",
+    "KS1D",
+    "KS1DBackend",
+    "KS2D",
+    "KS2DBackend",
+    "PREFERENCE_BUILDERS",
+    "StreamBackend",
+    "backend_names",
+    "build_preference_list",
+    "default_registry",
+    "get_backend",
+    "ks_result_to_dict",
+    "load_entry_point_backends",
+    "register_backend",
+    "renderer_for",
+]

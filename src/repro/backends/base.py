@@ -1,0 +1,226 @@
+"""The :class:`StreamBackend` protocol: everything one stream flavour owns.
+
+A *backend* is the single seam between the serving stack and one kind of
+monitored stream.  Before this layer existed, serving a new stream flavour
+meant editing four layers in lockstep — config validation in
+``service/registry.py``, chunk normalisation and detection in
+``cluster/runtime.py``, migration state handling in the wire protocol, and
+report rendering in ``io/export.py`` — each guarded by its own
+``backend == "ks2d"`` string branch.  A backend object collapses all of
+that into one pluggable unit:
+
+* **config** — which detector flavours are legal, what the ``None``
+  method/preference sentinels resolve to, and any backend-specific
+  validation (:meth:`~StreamBackend.validate_config`);
+* **runtime construction** — detectors, explainers and preference lists
+  (:meth:`~StreamBackend.build_detector`,
+  :meth:`~StreamBackend.build_explainer`,
+  :meth:`~StreamBackend.build_preference`);
+* **ingestion** — normalising a submitted chunk into the backend's
+  observation array and driving the detector over it
+  (:meth:`~StreamBackend.coerce_observations`,
+  :meth:`~StreamBackend.observation_count`,
+  :meth:`~StreamBackend.run_detection`);
+* **cache keys** — how results under a config may be shared across
+  streams (:meth:`~StreamBackend.explanation_cache_key`,
+  :meth:`~StreamBackend.preference_cache_key`);
+* **persistence** — the detector ``state_dict`` pass-through a live
+  migration or a service snapshot serialises
+  (:meth:`~StreamBackend.detector_state`,
+  :meth:`~StreamBackend.restore_detector`);
+* **rendering** — turning the backend's explanation objects into JSON
+  payloads and human-readable reports
+  (:meth:`~StreamBackend.explanation_to_dict`,
+  :meth:`~StreamBackend.explanation_report`).
+
+Backends are stateless singletons registered in a
+:class:`~repro.backends.registry.BackendRegistry` under their
+:attr:`~StreamBackend.name`; ``StreamConfig(backend="<name>")`` looks them
+up there, so adding a stream flavour is one registered object — no serving
+code changes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Hashable, Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def ks_result_to_dict(result) -> Optional[dict]:
+    """A JSON-serialisable dictionary describing a KS-style test result.
+
+    Duck-typed over the 1-D :class:`~repro.core.ks.KSTestResult` and the 2-D
+    :class:`~repro.multidim.fasano_franceschini.KS2DResult` (which has no
+    rejection threshold — its decision rule is the p-value), so every
+    backend's renderer can share it.
+    """
+    if result is None:
+        return None
+    payload = {
+        "statistic": result.statistic,
+        "alpha": result.alpha,
+        "n": result.n,
+        "m": result.m,
+        "pvalue": result.pvalue,
+        "rejected": result.rejected,
+    }
+    threshold = getattr(result, "threshold", None)
+    if threshold is not None:
+        payload["threshold"] = threshold
+    return payload
+
+
+class StreamBackend(abc.ABC):
+    """One stream flavour's full contract with the serving stack.
+
+    Subclasses set the class attributes and implement the abstract
+    methods; everything else has a sensible default shared by the built-in
+    backends.  Instances must be stateless (one singleton serves every
+    stream and every process), and picklability of anything they *return*
+    (detector state dicts, explanation objects) is part of the contract —
+    it is what crosses shard and snapshot boundaries.
+    """
+
+    #: Registry name; ``StreamConfig(backend=<name>)`` selects this backend.
+    name: str = "?"
+
+    #: Detector flavours (``config.detector`` values) this backend accepts.
+    detectors: tuple[str, ...] = ("windowed",)
+
+    #: What the ``None`` method / preference sentinels resolve to.
+    default_method: str = "?"
+    default_preference: str = "identity"
+
+    #: Named explainer factories ``(alpha, top_k, seed) -> explainer``.
+    explainers: dict[str, Callable[[float, int, int], object]] = {}
+
+    #: Explanation types this backend's renderer owns (renderer dispatch).
+    explanation_types: tuple[type, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Config
+    # ------------------------------------------------------------------
+    def validate_config(self, config) -> None:
+        """Reject configs this backend cannot serve (called post-init).
+
+        The default enforces the backend's detector flavours and named
+        explainer table; subclasses extend it with their own constraints
+        (and must keep raising :class:`~repro.exceptions.ValidationError`).
+        """
+        if config.detector not in self.detectors:
+            raise ValidationError(
+                f"backend={self.name!r} supports only the "
+                f"{' / '.join(repr(d) for d in self.detectors)} detector"
+                + ("s" if len(self.detectors) > 1 else "")
+            )
+        if isinstance(config.method, str) and config.method not in self.explainers:
+            raise ValidationError(
+                f"unknown {self.name} explanation method {config.method!r} "
+                f"(have {sorted(self.explainers)})"
+            )
+        self.validate_preference(config)
+
+    def validate_preference(self, config) -> None:
+        """Reject preference names this backend cannot build."""
+
+    # ------------------------------------------------------------------
+    # Runtime construction
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_detector(self, config, ks_runner=None):
+        """Instantiate the drift detector for one stream."""
+
+    def build_explainer(self, config):
+        """Instantiate (or pass through) one stream's explainer."""
+        if not isinstance(config.method, str):
+            return config.method
+        return self.explainers[config.method](config.alpha, config.top_k, config.seed)
+
+    @abc.abstractmethod
+    def build_preference(self, config, reference: np.ndarray, test: np.ndarray):
+        """Build the preference list for one alarming window."""
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def coerce_observations(self, observations) -> np.ndarray:
+        """Normalise a submitted chunk into this backend's observation array."""
+
+    def observation_count(self, values: np.ndarray) -> int:
+        """Observations in a coerced chunk (the unit the reports count)."""
+        return int(values.shape[0]) if values.ndim > 1 else int(values.size)
+
+    def run_detection(self, detector, values: np.ndarray) -> list:
+        """Feed a coerced chunk through a detector, returning raised alarms."""
+        alarms = []
+        for value in values:
+            alarm = detector.update(value)
+            if alarm is not None:
+                alarms.append(alarm)
+        return alarms
+
+    # ------------------------------------------------------------------
+    # Cache keys
+    # ------------------------------------------------------------------
+    def explanation_cache_key(
+        self, config, reference_digest: bytes, test_digest: bytes
+    ) -> Hashable:
+        """Content key under which this alarm's explanation may be shared.
+
+        The backend name is part of the key because two backends' windows
+        (e.g. a ``(w, 2)`` point window and a flat ``2w`` scalar window)
+        can serialise to identical bytes.
+        """
+        return (
+            self.name,
+            config.method_name,
+            config.preference_name,
+            config.alpha,
+            config.top_k,
+            config.seed,
+            reference_digest,
+            test_digest,
+        )
+
+    def preference_cache_key(
+        self, config, reference_digest: bytes, test_digest: bytes
+    ) -> Hashable:
+        """Content key under which a named preference list may be shared."""
+        return (
+            self.name,
+            config.preference_name,
+            config.seed,
+            reference_digest,
+            test_digest,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence (live migration + service snapshots)
+    # ------------------------------------------------------------------
+    def detector_state(self, detector) -> dict:
+        """Serializable snapshot of one detector's mutable state."""
+        return detector.state_dict()
+
+    def restore_detector(self, detector, state: dict) -> None:
+        """Restore a :meth:`detector_state` snapshot into a fresh detector."""
+        detector.load_state_dict(state)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def renders(self, explanation) -> bool:
+        """Whether this backend's renderer owns the given explanation object."""
+        return isinstance(explanation, self.explanation_types)
+
+    @abc.abstractmethod
+    def explanation_to_dict(self, explanation) -> dict:
+        """A JSON-serialisable dictionary describing one explanation."""
+
+    @abc.abstractmethod
+    def explanation_report(self, explanation) -> str:
+        """A short human-readable report, suitable for a monitoring alert."""

@@ -1,0 +1,184 @@
+"""The backend registry: name -> :class:`~repro.backends.base.StreamBackend`.
+
+One process-wide :class:`BackendRegistry` holds every stream flavour the
+serving stack can build.  The built-in backends (``ks1d``, ``ks2d``)
+register themselves when :mod:`repro.backends` is imported; third-party
+backends register either imperatively::
+
+    from repro.backends import StreamBackend, register_backend
+
+    @register_backend
+    class MyBackend(StreamBackend):
+        name = "my-backend"
+        ...
+
+or through the ``repro.backends`` setuptools entry-point group, which
+:func:`load_entry_point_backends` scans — an installed package can add a
+stream flavour without any ``repro`` code importing it by name.
+
+Because the registry is what ``StreamConfig(backend=...)`` resolves
+against, an unknown name fails at *config construction* with the list of
+registered names, not deep inside a worker process.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterator, Optional, Union
+
+from repro.backends.base import StreamBackend
+from repro.exceptions import ValidationError
+
+#: The setuptools entry-point group third-party backends register under.
+ENTRY_POINT_GROUP = "repro.backends"
+
+
+class BackendRegistry:
+    """Thread-safe mapping of backend names to backend singletons."""
+
+    def __init__(self) -> None:
+        self._backends: dict[str, StreamBackend] = {}
+        self._lock = threading.Lock()
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._backends
+
+    def __iter__(self) -> Iterator[StreamBackend]:
+        with self._lock:
+            backends = list(self._backends.values())
+        return iter(backends)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._backends)
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        backend: Union[StreamBackend, type],
+        replace: bool = False,
+    ) -> StreamBackend:
+        """Add a backend (instance or zero-arg class) under its ``name``.
+
+        Re-registering an existing name raises unless ``replace=True`` —
+        silently shadowing a flavour that live streams may be configured
+        with is exactly the kind of spooky action a registry must refuse.
+        Returns the registered instance (so it doubles as a decorator).
+        """
+        instance = backend() if isinstance(backend, type) else backend
+        if not isinstance(instance, StreamBackend):
+            raise ValidationError(
+                f"backends must implement StreamBackend, got {type(instance).__name__}"
+            )
+        name = instance.name
+        if not name or name == "?":
+            raise ValidationError("backends must define a non-empty name")
+        with self._lock:
+            if name in self._backends and not replace:
+                raise ValidationError(f"backend {name!r} is already registered")
+            self._backends[name] = instance
+        return backend if isinstance(backend, type) else instance
+
+    def unregister(self, name: str) -> StreamBackend:
+        """Remove a backend by name (mainly for tests), returning it."""
+        with self._lock:
+            try:
+                return self._backends.pop(name)
+            except KeyError:
+                raise ValidationError(f"unknown backend {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> StreamBackend:
+        """Look up a backend; unknown names list what *is* registered.
+
+        Deliberately lock-free: this sits on the per-chunk ingest hot path
+        (``StreamConfig.plugin`` resolves here for every coerce/detect
+        call), and a single CPython dict read is atomic under the GIL —
+        taking the registry mutex would only add a process-wide contention
+        point shared by every worker thread.  Mutations still serialise
+        under the lock.
+        """
+        backend = self._backends.get(name)
+        if backend is None:
+            raise ValidationError(
+                f"unknown backend {name!r} (registered backends: {self.names()})"
+            )
+        return backend
+
+    def names(self) -> tuple[str, ...]:
+        """The registered backend names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._backends))
+
+    def renderer_for(self, explanation) -> Optional[StreamBackend]:
+        """The backend whose renderer owns an explanation object, if any."""
+        for backend in self:
+            if backend.renders(explanation):
+                return backend
+        return None
+
+    # ------------------------------------------------------------------
+    def load_entry_points(self, group: str = ENTRY_POINT_GROUP) -> list[str]:
+        """Register every backend advertised in the entry-point group.
+
+        Returns the names that were newly registered.  Backends whose name
+        is already taken are skipped (first registration wins — the
+        built-ins load before any plugin), and a plugin that fails to
+        import is reported as a :class:`ValidationError` naming it rather
+        than crashing with whatever its import died of.
+        """
+        try:
+            from importlib.metadata import entry_points
+        except ImportError:  # pragma: no cover - py3.7 only
+            return []
+        loaded: list[str] = []
+        for entry_point in entry_points(group=group):
+            try:
+                candidate = entry_point.load()
+            except Exception as exc:
+                raise ValidationError(
+                    f"backend entry point {entry_point.name!r} failed to load: {exc!r}"
+                ) from exc
+            instance = candidate() if isinstance(candidate, type) else candidate
+            if instance.name in self:
+                continue
+            self.register(instance)
+            loaded.append(instance.name)
+        return loaded
+
+
+#: The process-wide default registry every ``StreamConfig`` resolves against.
+_REGISTRY = BackendRegistry()
+
+
+def default_registry() -> BackendRegistry:
+    """The process-wide backend registry."""
+    return _REGISTRY
+
+
+def register_backend(
+    backend: Union[StreamBackend, type], replace: bool = False
+) -> Union[StreamBackend, type, Callable]:
+    """Register a backend with the default registry (usable as a decorator)."""
+    return _REGISTRY.register(backend, replace=replace)
+
+
+def get_backend(name: str) -> StreamBackend:
+    """Look up a backend in the default registry."""
+    return _REGISTRY.get(name)
+
+
+def backend_names() -> tuple[str, ...]:
+    """Names registered in the default registry, sorted."""
+    return _REGISTRY.names()
+
+
+def renderer_for(explanation) -> Optional[StreamBackend]:
+    """The registered backend whose renderer owns an explanation, if any."""
+    return _REGISTRY.renderer_for(explanation)
+
+
+def load_entry_point_backends() -> list[str]:
+    """Scan the ``repro.backends`` entry-point group into the default registry."""
+    return _REGISTRY.load_entry_points()

@@ -19,7 +19,10 @@ The CLI exposes the library's main workflows without writing any Python:
     service (micro-batching, shared caches, pluggable executor: inline,
     thread pool or ``--shards N`` worker processes, optionally elastic
     between ``--min-shards``/``--max-shards``) and print the service report
-    with every explained alarm.
+    with every explained alarm.  With ``--snapshot-dir`` the service state
+    (detector windows, alarm logs, cache contents) is checkpointed after
+    every replay round and a re-run *warm-restarts* from the checkpoint,
+    resuming the replay byte-identically across a process kill.
 
 ``repro experiments``
     Regenerate the paper's tables and figures at a reduced scale.
@@ -49,6 +52,7 @@ from repro.io.export import explanation_report, save_explanation, save_service_r
 from repro.io.loaders import load_sample, load_series_csv
 from repro.service import ExplanationService, StreamConfig
 from repro.service.batching import POLICIES
+from repro.service.snapshot import SNAPSHOT_FILENAME, ServiceSnapshot
 from repro.service.registry import (
     DETECTORS,
     EXPLAINERS,
@@ -156,6 +160,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     autoscale = args.min_shards is not None
     if autoscale and args.executor != "process":
         raise ReproError("--min-shards/--max-shards require --executor process")
+    if args.autoscale_interval is not None and not autoscale:
+        raise ReproError(
+            "--autoscale-interval requires --min-shards/--max-shards"
+        )
+    if args.snapshot_every is not None:
+        if args.snapshot_dir is None:
+            raise ReproError("--snapshot-every requires --snapshot-dir")
+        if args.snapshot_every < 1:
+            raise ReproError("--snapshot-every must be at least 1")
     series = [load_series_csv(path, value_column=args.column) for path in args.series]
     stream_ids = _stream_ids(args.series)
     config = StreamConfig(
@@ -191,6 +204,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         if value is not None
     }
+    snapshot_path = None
+    if args.snapshot_dir is not None:
+        snapshot_path = Path(args.snapshot_dir) / SNAPSHOT_FILENAME
+    snapshot_every = args.snapshot_every if args.snapshot_every is not None else 1
     with ExplanationService(
         default_config=config,
         executor=args.executor,
@@ -204,20 +221,92 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     min_shards=args.min_shards, max_shards=args.max_shards
                 ),
             )
-        for stream_id in stream_ids:
-            service.register(stream_id)
+            # A daemon tick thread drives the pool, so it stays elastic
+            # even while the replay loop is blocked on backpressure.
+            autoscaler.start(
+                interval=args.autoscale_interval
+                if args.autoscale_interval is not None
+                else 0.25
+            )
+        resume: dict[str, int] = {}
+        if snapshot_path is not None and snapshot_path.exists():
+            snapshot = ServiceSnapshot.load(snapshot_path)
+            expected = set(stream_ids)
+            if set(snapshot.stream_ids()) != expected:
+                raise ReproError(
+                    f"snapshot {snapshot_path} holds streams "
+                    f"{snapshot.stream_ids()} but the replay defines "
+                    f"{sorted(expected)}; refusing to mix runs"
+                )
+            # A restore rebuilds the streams from the *snapshot's* configs;
+            # silently ignoring different flags on the restart invocation
+            # would print a report the user thinks reflects them.
+            expected_config = config.to_dict()
+            mismatched = sorted(
+                stream_id
+                for stream_id, payload in snapshot.configs.items()
+                if payload != expected_config
+            )
+            if mismatched:
+                raise ReproError(
+                    f"snapshot {snapshot_path} was written with different "
+                    f"stream configs (streams {mismatched}); rerun with the "
+                    "original flags or point --snapshot-dir elsewhere"
+                )
+            service.restore(snapshot)
+            resume = snapshot.resume_offsets()
+            print(
+                f"warm restart: resumed {len(resume)} stream(s) from "
+                f"{snapshot_path} "
+                f"({sum(resume.values())} observations already served)"
+            )
+        else:
+            for stream_id in stream_ids:
+                service.register(stream_id)
         # Replay the files in interleaved chunks so the service sees the
-        # fleet concurrently, the way a live multiplexed feed would.
+        # fleet concurrently, the way a live multiplexed feed would.  On a
+        # warm restart each stream skips the observations the snapshot
+        # already accounts for, so nothing is re-detected or lost.
         longest = max(values.size for values in series)
+        rounds = 0
+        dirty = False
         for start in range(0, longest, args.chunk):
             for stream_id, values in zip(stream_ids, series):
-                chunk = values[start:start + args.chunk]
-                if chunk.size:
-                    service.submit(stream_id, chunk)
-            if autoscaler is not None:
-                decision = autoscaler.tick()
-                if decision is not None:
-                    print(decision.render())
+                end = min(start + args.chunk, values.size)
+                begin = max(start, resume.get(stream_id, 0))
+                if end > begin:
+                    service.submit(stream_id, values[begin:end])
+                    dirty = True
+            rounds += 1
+            # Catch-up rounds a warm restart skips entirely submit nothing;
+            # checkpointing them would re-capture an unchanged fleet once
+            # per round (drain + wire capture + pickle) for no new state.
+            if (
+                snapshot_path is not None
+                and dirty
+                and rounds % snapshot_every == 0
+            ):
+                service.snapshot().save(snapshot_path)
+                dirty = False
+        if snapshot_path is not None and dirty:
+            # Final checkpoint: a re-run against a completed snapshot is a
+            # pure no-op replay that reprints the same report.
+            service.snapshot().save(snapshot_path)
+        if autoscaler is not None:
+            if not autoscaler.stop():
+                print(
+                    "warning: autoscaler tick thread did not stop in time",
+                    file=sys.stderr,
+                )
+            if autoscaler.error is not None:
+                # The loop died early; the replay still completed, but the
+                # operator must know the pool stopped being elastic.
+                print(
+                    f"warning: autoscaler stopped early: {autoscaler.error}",
+                    file=sys.stderr,
+                )
+            for decision in autoscaler.decisions:
+                print(decision.render())
         report = service.report()
     print(report.render(alarms=not args.summary_only))
     if args.output:
@@ -333,6 +422,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--policy", choices=POLICIES, default=None,
                               help="backpressure policy when the queue is full "
                                    "(--executor thread; default block)")
+    serve_parser.add_argument("--autoscale-interval", type=float, default=None,
+                              help="seconds between background autoscaler "
+                                   "ticks (with --min-shards/--max-shards; "
+                                   "default 0.25)")
+    serve_parser.add_argument("--snapshot-dir", default=None,
+                              help="checkpoint the service state into this "
+                                   "directory after every replay round and "
+                                   "warm-restart from it when it already "
+                                   "holds a snapshot")
+    serve_parser.add_argument("--snapshot-every", type=int, default=None,
+                              help="replay rounds between checkpoints "
+                                   "(with --snapshot-dir; default 1)")
     serve_parser.add_argument("--chunk", type=int, default=256,
                               help="observations per interleaved replay chunk")
     serve_parser.add_argument("--summary-only", action="store_true",

@@ -16,8 +16,10 @@ The split is deliberate:
 * :class:`Autoscaler` is the driver: ``tick()`` reads the executor's stats,
   asks the policy, and applies the decision through the ``Executor`` seam
   (``resize()``), recording every decision for the operator.  Tick it from
-  the ingest loop (``repro serve --min-shards/--max-shards`` does, once per
-  replay round) or from any timer.
+  any loop, or — the usual deployment — call :meth:`Autoscaler.start` to
+  drive it from a daemon background thread on a fixed interval, so the
+  pool stays elastic even when nothing is ingesting
+  (``repro serve --min-shards/--max-shards`` runs it this way).
 
 Executors without a queue-depth gauge (inline/thread) simply never trigger
 a decision, so an autoscaler can be attached unconditionally.
@@ -25,6 +27,7 @@ a decision, so an autoscaler can be attached unconditionally.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -120,7 +123,70 @@ class Autoscaler:
         self._executor = executor
         self.policy = policy or QueueDepthPolicy()
         self.decisions: list[AutoscaleDecision] = []
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        #: The exception that ended the background loop, if one did.
+        self.error: Optional[Exception] = None
 
+    # ------------------------------------------------------------------
+    # Background driving
+    # ------------------------------------------------------------------
+    def start(self, interval: float = 0.25) -> "Autoscaler":
+        """Drive :meth:`tick` from a daemon thread every ``interval`` seconds.
+
+        The ingest loop stops being the only driver: a pool left idle
+        scales itself back down to ``min_shards``, and a burst scales up
+        even while the producer is blocked on backpressure.  The thread is
+        a daemon (it can never hold the process open) and any exception a
+        tick raises — e.g. the executor being closed underneath it — ends
+        the loop and is kept in :attr:`error` for the operator.
+        """
+        if interval <= 0:
+            raise ValidationError("interval must be positive")
+        if self._thread is not None:
+            raise ValidationError("autoscaler is already started")
+        self._stop.clear()
+        self.error = None
+        self._thread = threading.Thread(
+            target=self._loop, args=(float(interval),),
+            name="repro-autoscaler", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            try:
+                self.tick()
+            except Exception as exc:
+                self.error = exc
+                return
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Stop the background thread; True when it actually exited.
+
+        A tick blocked inside a long ``resize()`` can outlive the join
+        timeout; in that case the thread reference is *kept* — so a
+        subsequent :meth:`start` still refuses a duplicate loop — and
+        ``False`` is returned for the caller to act on.  No-op (True)
+        when never started.
+        """
+        if self._thread is None:
+            return True
+        self._stop.set()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            return False
+        self._thread = None
+        return True
+
+    def __enter__(self) -> "Autoscaler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
     def tick(self) -> Optional[AutoscaleDecision]:
         """Observe once and apply at most one scaling step.
 

@@ -142,6 +142,38 @@ class Executor(abc.ABC):
         return None
 
     # ------------------------------------------------------------------
+    # Persistence (service snapshots / warm restarts)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> dict:
+        """Collect detector states + cache contents from a stream-owning backend.
+
+        Returns ``{"streams": {stream_id: {"config", "state"}}, "caches":
+        contents}``.  Only meaningful when ``owns_detection`` — the engine
+        captures parent-local detectors directly otherwise.
+        """
+        raise NotImplementedError(
+            f"executor {self.name!r} does not own detector state"
+        )
+
+    def load_states(self, states: dict) -> None:
+        """Install restored detector states on a stream-owning backend.
+
+        ``states`` maps ``stream_id -> {"config": dict, "state": dict | None}``
+        (the same payload shape the live-migration path installs); streams
+        must already be registered.
+        """
+        raise NotImplementedError(
+            f"executor {self.name!r} does not own detector state"
+        )
+
+    def seed_caches(self, contents: dict) -> None:
+        """Warm worker-side caches from restored snapshot contents.
+
+        No-op by default: the in-process executors share the service's own
+        cache bundle, which the engine restores directly.
+        """
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @abc.abstractmethod

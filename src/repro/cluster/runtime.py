@@ -28,53 +28,26 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.service.cache import SharedCaches, array_digest
-from repro.service.registry import StreamConfig
+from repro.service.registry import StreamConfig, attribute_stream
 from repro.cluster.wire import AlarmRecord, IngestReply
 
 
 # ----------------------------------------------------------------------
-# Backend-aware ingestion helpers
+# Backend-aware ingestion helpers (thin wrappers over the stream's plugin)
 # ----------------------------------------------------------------------
 def coerce_observations(observations, config: StreamConfig) -> np.ndarray:
-    """Normalise a submitted chunk for the stream's backend.
-
-    ``ks1d`` streams take anything `ravel`-able to floats; ``ks2d`` streams
-    take ``(k, 2)`` point arrays (a flat array of ``2k`` floats is accepted
-    and paired up).
-    """
-    if config.backend == "ks2d":
-        arr = np.asarray(observations, dtype=float)
-        if arr.ndim == 1:
-            if arr.size % 2:
-                raise ValidationError(
-                    "a flat ks2d chunk must hold an even number of floats"
-                )
-            arr = arr.reshape(-1, 2)
-        if arr.ndim != 2 or arr.shape[1] != 2:
-            raise ValidationError("ks2d streams take (k, 2) arrays of points")
-        return arr
-    return np.asarray(observations, dtype=float).ravel()
+    """Normalise a submitted chunk for the stream's backend plugin."""
+    return config.plugin.coerce_observations(observations)
 
 
 def observation_count(values: np.ndarray, config: StreamConfig) -> int:
-    """Number of observations in a coerced chunk (points, not floats)."""
-    return int(values.shape[0]) if config.backend == "ks2d" else int(values.size)
+    """Number of observations in a coerced chunk (the backend's unit)."""
+    return config.plugin.observation_count(values)
 
 
 def run_detection(detector, config: StreamConfig, values: np.ndarray) -> list:
     """Feed a coerced chunk into a detector, returning the alarms it raised."""
-    alarms = []
-    if config.backend == "ks2d":
-        for row in values:
-            alarm = detector.update(row)
-            if alarm is not None:
-                alarms.append(alarm)
-    else:
-        for value in values:
-            alarm = detector.update(float(value))
-            if alarm is not None:
-                alarms.append(alarm)
-    return alarms
+    return config.plugin.run_detection(detector, values)
 
 
 # ----------------------------------------------------------------------
@@ -85,19 +58,11 @@ def explanation_cache_key(
 ) -> Hashable:
     """Content key under which this alarm's explanation may be shared.
 
-    The backend is part of the key because a ``(w, 2)`` point window and a
-    flat ``2w`` scalar window serialise to identical bytes.
+    Derived by the stream's backend plugin (the backend name is part of
+    the key because two backends' windows can serialise to identical
+    bytes).
     """
-    return (
-        config.backend,
-        config.method_name,
-        config.preference_name,
-        config.alpha,
-        config.top_k,
-        config.seed,
-        reference_digest,
-        test_digest,
-    )
+    return config.plugin.explanation_cache_key(config, reference_digest, test_digest)
 
 
 def build_preference_cached(
@@ -115,10 +80,8 @@ def build_preference_cached(
     """
     if not isinstance(config.preference, str):
         return config.preference(reference, test)
-    key = (
-        config.backend,
-        config.preference_name,
-        config.seed,
+    key = config.plugin.preference_cache_key(
+        config,
         reference_digest or array_digest(reference),
         test_digest or array_digest(test),
     )
@@ -204,7 +167,8 @@ class ShardRuntime:
         *different* config is an error.
         """
         if isinstance(config, dict):
-            config = StreamConfig.from_dict(config)
+            with attribute_stream(stream_id):
+                config = StreamConfig.from_dict(config)
         existing = self._streams.get(stream_id)
         if existing is not None:
             if existing.config == config:
@@ -241,9 +205,25 @@ class ShardRuntime:
                 continue
             exported[stream_id] = {
                 "config": stream.config.to_dict(),
-                "state": stream.detector.state_dict(),
+                "state": stream.config.plugin.detector_state(stream.detector),
             }
         return exported
+
+    def capture_streams(self) -> dict:
+        """Non-destructive state capture of every stream this shard holds.
+
+        Same payload shape as :meth:`export_streams`
+        (``stream_id -> {"config", "state"}``) but the streams stay
+        registered and keep serving — this is what a service snapshot
+        collects over the wire while the fleet is quiescent (drained).
+        """
+        return {
+            stream_id: {
+                "config": stream.config.to_dict(),
+                "state": stream.config.plugin.detector_state(stream.detector),
+            }
+            for stream_id, stream in sorted(self._streams.items())
+        }
 
     def import_streams(self, streams: dict) -> None:
         """Install migrated streams, restoring detector state.
@@ -258,7 +238,8 @@ class ShardRuntime:
             self.register(stream_id, payload["config"])
             state = payload.get("state")
             if state is not None:
-                self._streams[stream_id].detector.load_state_dict(state)
+                stream = self._streams[stream_id]
+                stream.config.plugin.restore_detector(stream.detector, state)
 
     # ------------------------------------------------------------------
     def ingest(self, stream_id: str, values, seq: int = 0) -> IngestReply:

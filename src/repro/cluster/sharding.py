@@ -49,6 +49,7 @@ import numpy as np
 from repro.cluster.base import Executor
 from repro.cluster.partition import HashRing
 from repro.cluster.wire import (
+    CaptureState,
     CollectStats,
     CrashShard,
     IngestChunk,
@@ -59,13 +60,15 @@ from repro.cluster.wire import (
     MigrateOutDone,
     RegisterStream,
     RemoveStream,
+    SeedCaches,
     ShardStatsReply,
     Shutdown,
+    StateCaptureReply,
     WorkerFailure,
 )
 from repro.cluster.worker import shard_worker_main
 from repro.exceptions import ServiceBackendError, ValidationError
-from repro.service.cache import merge_stats_dicts
+from repro.service.cache import merge_cache_contents, merge_stats_dicts
 from repro.utils.deferred import DeferredErrors
 
 
@@ -723,20 +726,19 @@ class ProcessShardExecutor(Executor):
                 self._migrations.pop(epoch, None)
 
     # ------------------------------------------------------------------
-    # Worker-side cache statistics
+    # Worker-side collections (cache statistics, state captures)
     # ------------------------------------------------------------------
-    def cache_stats(self, timeout: float = 10.0) -> Optional[dict]:
-        """Cache counters summed across the live shard workers.
+    def _broadcast_collect(self, make_command, timeout: float) -> dict:
+        """Send one command to every live shard and gather the replies.
 
-        Each worker owns a private :class:`~repro.service.cache.SharedCaches`
-        the parent never sees; without this merge the service report showed
-        misleadingly cold parent caches under ``--executor process``.  After
-        a close the last collected snapshot (taken during the graceful
-        shutdown) is returned.
+        ``make_command`` maps an epoch to the wire command.  Returns the
+        ``shard_id -> reply payload`` map; shards that die (or report a
+        :class:`~repro.cluster.wire.WorkerFailure`) before answering are
+        dropped from the rendezvous, and the deadline bounds the wait, so
+        the caller always gets whatever the surviving fleet produced.
+        Caller must hold neither lock and have checked ``_closed``.
         """
         with self._lifecycle:
-            if self._closed or not self._bound:
-                return dict(self._worker_cache_stats) or None
             self._epoch += 1
             epoch = self._epoch
             collection = {"expected": {}, "replies": {}}
@@ -751,7 +753,7 @@ class ProcessShardExecutor(Executor):
                     continue
                 with self._cv:
                     collection["expected"][shard.shard_id] = shard.process
-                shard.commands.put(CollectStats(epoch=epoch))
+                shard.commands.put(make_command(epoch))
         deadline = time.monotonic() + timeout
         while True:
             with self._cv:
@@ -762,7 +764,7 @@ class ProcessShardExecutor(Executor):
                     for shard_id, process in list(collection["expected"].items()):
                         shard = self._shards.get(shard_id)
                         if shard is None or shard.process is not process:
-                            collection["expected"].pop(shard_id)  # died: stats lost
+                            collection["expected"].pop(shard_id)  # died: reply lost
             with self._cv:
                 if set(collection["expected"]) <= set(collection["replies"]):
                     break
@@ -772,9 +774,107 @@ class ProcessShardExecutor(Executor):
                 self._cv.wait(min(0.05, remaining))
         with self._cv:
             self._stats_collections.pop(epoch, None)
-            merged = merge_stats_dicts(*collection["replies"].values())
-            self._worker_cache_stats = merged
-            return merged
+            return dict(collection["replies"])
+
+    def cache_stats(self, timeout: float = 10.0) -> Optional[dict]:
+        """Cache counters summed across the live shard workers.
+
+        Each worker owns a private :class:`~repro.service.cache.SharedCaches`
+        the parent never sees; without this merge the service report showed
+        misleadingly cold parent caches under ``--executor process``.  After
+        a close the last collected snapshot (taken during the graceful
+        shutdown) is returned.
+        """
+        with self._lifecycle:
+            if self._closed or not self._bound:
+                return dict(self._worker_cache_stats) or None
+        replies = self._broadcast_collect(
+            lambda epoch: CollectStats(epoch=epoch), timeout
+        )
+        with self._lifecycle:
+            with self._cv:
+                if not replies and self._closed:
+                    # close() raced us between the check above and the
+                    # broadcast: the workers are already gone and it took
+                    # the final snapshot during shutdown — keep that one
+                    # instead of clobbering it with an empty merge.
+                    return dict(self._worker_cache_stats) or None
+                merged = merge_stats_dicts(
+                    *(reply.cache_stats for reply in replies.values())
+                )
+                self._worker_cache_stats = merged
+                return merged
+
+    # ------------------------------------------------------------------
+    # Persistence (service snapshots / warm restarts)
+    # ------------------------------------------------------------------
+    def capture_state(self, timeout: float = 30.0) -> dict:
+        """Collect every shard's streams (detector state) and cache contents.
+
+        Non-destructive — the fleet keeps serving.  Call it on a drained
+        executor: command-queue FIFO then guarantees each shard's capture
+        reflects every chunk that was acknowledged before it.  The resize
+        lock serialises the capture against live rebalances (the
+        background autoscaler can fire one at any moment): a stream whose
+        detector state is mid-flight between shards is registered on
+        *neither* worker, and a capture in that window would silently
+        omit it from the snapshot.
+        """
+        with self._lifecycle:
+            if self._closed or not self._bound:
+                raise ValidationError(
+                    "cannot capture state from a closed or unbound executor"
+                )
+        with self._resize_lock:
+            replies = self._broadcast_collect(
+                lambda epoch: CaptureState(epoch=epoch), timeout
+            )
+        streams: dict[str, dict] = {}
+        for shard_id in sorted(replies):
+            streams.update(replies[shard_id].streams)
+        caches = merge_cache_contents(
+            *(replies[shard_id].cache_contents for shard_id in sorted(replies))
+        )
+        return {"streams": streams, "caches": caches}
+
+    def load_states(self, states: dict) -> None:
+        """Install restored detector states on their owning shards.
+
+        Rides the same idempotent ``MigrateIn`` install path a live
+        rebalance uses (streams must already be registered; per-shard FIFO
+        orders the install strictly before any subsequently ingested
+        chunk).  The epoch is 0: no rendezvous waits on these installs.
+        The resize lock keeps the ring stable while the installs are
+        routed, so a concurrent rebalance cannot strand one on a shard
+        that is no longer the stream's owner.
+        """
+        with self._resize_lock:
+            with self._lifecycle:
+                by_shard: dict[str, dict] = {}
+                handles: dict[str, _Shard] = {}
+                for stream_id, payload in sorted(states.items()):
+                    shard = self._shard_for_stream(stream_id)
+                    handles[shard.shard_id] = shard
+                    by_shard.setdefault(shard.shard_id, {})[stream_id] = payload
+                for shard_id in sorted(by_shard):
+                    handles[shard_id].commands.put(
+                        MigrateIn(epoch=0, streams=by_shard[shard_id])
+                    )
+
+    def seed_caches(self, contents: dict) -> None:
+        """Warm every live shard's private caches from snapshot contents.
+
+        Every shard receives the full (content-keyed) bundle — entries are
+        shared by digest, so over-seeding costs memory bounded by the cache
+        capacities and never correctness.
+        """
+        if not contents:
+            return
+        with self._lifecycle:
+            for shard_id in sorted(self._shards):
+                shard = self._shards[shard_id]
+                if shard.process is not None and shard.process.is_alive():
+                    shard.commands.put(SeedCaches(contents=contents))
 
     # ------------------------------------------------------------------
     # Reply collection
@@ -856,11 +956,11 @@ class ProcessShardExecutor(Executor):
                 if record is not None:
                     record["in_pending"].pop(reply.shard_id, None)
                     self._cv.notify_all()
-        elif isinstance(reply, ShardStatsReply):
+        elif isinstance(reply, (ShardStatsReply, StateCaptureReply)):
             with self._cv:
                 collection = self._stats_collections.get(reply.epoch)
                 if collection is not None:
-                    collection["replies"][reply.shard_id] = reply.cache_stats
+                    collection["replies"][reply.shard_id] = reply
                     self._cv.notify_all()
         elif isinstance(reply, WorkerFailure):
             self._defer(
@@ -870,7 +970,12 @@ class ProcessShardExecutor(Executor):
             )
             if reply.seq is not None:
                 self._ack(reply.seq)
-            if reply.command in ("MigrateOut", "MigrateIn", "CollectStats"):
+            if reply.command in (
+                "MigrateOut",
+                "MigrateIn",
+                "CollectStats",
+                "CaptureState",
+            ):
                 # The failure replaced a reply some rendezvous is waiting
                 # on: release it, or a resize()/cache_stats() caller with
                 # no deadline would wait forever on a live-but-failing

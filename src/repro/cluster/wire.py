@@ -25,6 +25,11 @@ The protocol is deliberately small:
   across a resize;
 * ``CollectStats`` → ``ShardStatsReply`` — snapshot the worker's private
   cache statistics so the parent report can aggregate them;
+* ``CaptureState`` → ``StateCaptureReply`` — *non-destructive* capture of
+  every stream's detector state plus the shard's cache contents, for
+  service snapshots (warm restarts);
+* ``SeedCaches`` — warm a shard's private caches from restored snapshot
+  contents (fire and forget);
 * ``WorkerFailure`` — a worker-side error that is *not* tied to a single
   alarm (those ride inside ``AlarmRecord.error``);
 * ``CrashShard`` — test hook: hard-kills the worker so fault handling can
@@ -109,6 +114,33 @@ class CollectStats:
 
 
 @dataclass(frozen=True)
+class CaptureState:
+    """Non-destructively capture the shard's full serving state.
+
+    Unlike :class:`MigrateOut` the streams stay registered and keep
+    serving; the worker replies with a :class:`StateCaptureReply` carrying
+    every stream's detector ``state_dict`` (through its backend plugin)
+    plus the shard's private cache contents.  This is what
+    ``ExplanationService.snapshot()`` collects from a drained fleet.
+    """
+
+    epoch: int
+
+
+@dataclass(frozen=True)
+class SeedCaches:
+    """Warm the shard's private caches with snapshot-restored contents.
+
+    ``contents`` is a ``SharedCaches.snapshot_contents()`` payload.  Fire
+    and forget: seeding is a performance courtesy, not a correctness
+    requirement (a cold cache recomputes identical results), so no reply
+    is defined and a failure surfaces as an ordinary WorkerFailure.
+    """
+
+    contents: dict
+
+
+@dataclass(frozen=True)
 class CrashShard:
     """Test hook: make the worker die immediately via ``os._exit``."""
 
@@ -176,6 +208,21 @@ class ShardStatsReply:
     shard_id: str
     epoch: int
     cache_stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class StateCaptureReply:
+    """One shard's full serving state for a service snapshot.
+
+    ``streams`` maps ``stream_id -> {"config": dict, "state": dict}`` for
+    every stream the shard holds; ``cache_contents`` is the shard's
+    ``SharedCaches.snapshot_contents()`` payload.
+    """
+
+    shard_id: str
+    epoch: int
+    streams: dict = field(default_factory=dict)
+    cache_contents: dict = field(default_factory=dict)
 
 
 @dataclass

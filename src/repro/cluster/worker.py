@@ -19,6 +19,7 @@ import os
 
 from repro.cluster.runtime import ShardRuntime
 from repro.cluster.wire import (
+    CaptureState,
     CollectStats,
     CrashShard,
     IngestChunk,
@@ -29,8 +30,10 @@ from repro.cluster.wire import (
     MigrateOutDone,
     RegisterStream,
     RemoveStream,
+    SeedCaches,
     ShardStatsReply,
     Shutdown,
+    StateCaptureReply,
     WorkerFailure,
 )
 from repro.service.cache import SharedCaches
@@ -54,6 +57,21 @@ def shard_worker_main(shard_id: str, commands, replies, cache_config=None) -> No
         Optional keyword arguments for this shard's private
         :class:`~repro.service.cache.SharedCaches`.
     """
+    try:
+        # Third-party backends must exist on *this* side of the wire too:
+        # a RegisterStream carrying backend="their-name" resolves against
+        # this process's registry.  Anything advertised in the
+        # ``repro.backends`` entry-point group registers here, same as in
+        # the parent.  A broken plugin must not brick a worker that only
+        # serves built-ins, so the failure is reported, not fatal — its
+        # own streams will fail attributably at registration.
+        from repro.backends import load_entry_point_backends
+
+        load_entry_point_backends()
+    except Exception as exc:
+        replies.send(
+            WorkerFailure(shard_id, f"backend entry-point loading failed: {exc!r}")
+        )
     runtime = ShardRuntime(caches=SharedCaches(**(cache_config or {})))
     while True:
         command = commands.get()
@@ -92,6 +110,17 @@ def shard_worker_main(shard_id: str, commands, replies, cache_config=None) -> No
                         cache_stats=runtime.caches.stats_dict(),
                     )
                 )
+            elif isinstance(command, CaptureState):
+                replies.send(
+                    StateCaptureReply(
+                        shard_id=shard_id,
+                        epoch=command.epoch,
+                        streams=runtime.capture_streams(),
+                        cache_contents=runtime.caches.snapshot_contents(),
+                    )
+                )
+            elif isinstance(command, SeedCaches):
+                runtime.caches.restore_contents(command.contents)
             elif isinstance(command, IngestChunk):
                 if command.stream_id not in runtime:
                     # The stream was removed while this chunk was in

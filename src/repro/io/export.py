@@ -1,75 +1,55 @@
-"""Serialising explanations to JSON, CSV and plain-text reports."""
+"""Serialising explanations to JSON, CSV and plain-text reports.
+
+Rendering is backend-dispatched: each registered
+:class:`~repro.backends.base.StreamBackend` owns the JSON payload and the
+plain-text report of *its* explanation types, and this module routes an
+explanation object to the backend that claims it
+(:func:`repro.backends.renderer_for`).  Explanation objects no backend
+claims — e.g. duck-typed stand-ins in tests — fall back to the scalar
+(``ks1d``) renderer, which is the shape every 1-D explainer produces.
+"""
 
 from __future__ import annotations
 
-import csv
 import json
 from pathlib import Path
 from typing import Union
 
+from repro.backends import KS1D, get_backend, ks_result_to_dict, renderer_for
 from repro.core.explanation import Explanation
-from repro.core.ks import KSTestResult
 from repro.exceptions import ValidationError
 
 PathLike = Union[str, Path]
 
+__all__ = [
+    "explanation_report",
+    "explanation_to_csv",
+    "explanation_to_dict",
+    "explanation_to_json",
+    "ks2d_explanation_to_dict",
+    "ks_result_to_dict",
+    "save_explanation",
+    "save_service_report",
+    "service_report_to_json",
+]
 
-def ks_result_to_dict(result: KSTestResult | None) -> dict | None:
-    """A JSON-serialisable dictionary describing a KS test result.
 
-    Duck-typed over the 1-D :class:`~repro.core.ks.KSTestResult` and the 2-D
-    :class:`~repro.multidim.fasano_franceschini.KS2DResult` (which has no
-    rejection threshold — its decision rule is the p-value).
-    """
-    if result is None:
-        return None
-    payload = {
-        "statistic": result.statistic,
-        "alpha": result.alpha,
-        "n": result.n,
-        "m": result.m,
-        "pvalue": result.pvalue,
-        "rejected": result.rejected,
-    }
-    threshold = getattr(result, "threshold", None)
-    if threshold is not None:
-        payload["threshold"] = threshold
-    return payload
+def _renderer(explanation):
+    """The backend owning an explanation's rendering (ks1d as fallback)."""
+    return renderer_for(explanation) or KS1D
 
 
 def ks2d_explanation_to_dict(explanation) -> dict:
     """A JSON-serialisable dictionary describing a 2-D greedy explanation."""
-    return {
-        "method": "greedy-ks2d",
-        "size": explanation.size,
-        "indices": explanation.indices.tolist(),
-        "points": explanation.points.tolist(),
-        "reverses_test": explanation.reverses_test,
-        "runtime_seconds": explanation.runtime_seconds,
-        "ks_before": ks_result_to_dict(explanation.result_before),
-        "ks_after": ks_result_to_dict(explanation.result_after),
-    }
+    return get_backend("ks2d").explanation_to_dict(explanation)
 
 
 def explanation_to_dict(explanation) -> dict:
-    """A JSON-serialisable dictionary describing an explanation (1-D or 2-D)."""
-    if hasattr(explanation, "points"):  # KS2DExplanation
-        return ks2d_explanation_to_dict(explanation)
-    return {
-        "method": explanation.method,
-        "alpha": explanation.alpha,
-        "size": explanation.size,
-        "fraction_of_test_set": explanation.fraction_of_test_set,
-        "indices": explanation.indices.tolist(),
-        "values": explanation.values.tolist(),
-        "reverses_test": explanation.reverses_test,
-        "converged": explanation.converged,
-        "size_lower_bound": explanation.size_lower_bound,
-        "estimation_error": explanation.estimation_error,
-        "runtime_seconds": explanation.runtime_seconds,
-        "ks_before": ks_result_to_dict(explanation.ks_before),
-        "ks_after": ks_result_to_dict(explanation.ks_after),
-    }
+    """A JSON-serialisable dictionary describing an explanation.
+
+    Dispatched to the backend plugin that owns the explanation's type.
+    """
+    return _renderer(explanation).explanation_to_dict(explanation)
 
 
 def explanation_to_json(explanation: Explanation, indent: int = 2) -> str:
@@ -88,52 +68,11 @@ def explanation_to_csv(explanation: Explanation) -> str:
 
 
 def explanation_report(explanation) -> str:
-    """A short human-readable report, suitable for a monitoring alert."""
-    if hasattr(explanation, "points"):  # KS2DExplanation
-        before = explanation.result_before
-        after = explanation.result_after
-        verdict = "passes" if after.passed else "still fails"
-        return "\n".join(
-            [
-                "Counterfactual explanation (greedy-ks2d)",
-                "-" * 48,
-                f"failed 2-D KS test  : D = {before.statistic:.4f}, "
-                f"p = {before.pvalue:.4g} (alpha = {before.alpha}, "
-                f"n = {before.n}, m = {before.m})",
-                f"explanation size    : {explanation.size} points",
-                f"after removal       : D = {after.statistic:.4f}, "
-                f"p = {after.pvalue:.4g} -> {verdict}",
-                f"runtime             : {explanation.runtime_seconds * 1000:.1f} ms",
-            ]
-        )
-    before = explanation.ks_before
-    after = explanation.ks_after
-    lines = [
-        f"Counterfactual explanation ({explanation.method})",
-        "-" * 48,
-        f"failed KS test      : D = {before.statistic:.4f} > threshold "
-        f"{before.threshold:.4f} (alpha = {before.alpha}, n = {before.n}, m = {before.m})",
-        f"explanation size    : {explanation.size} points "
-        f"({100 * explanation.fraction_of_test_set:.1f}% of the test set)",
-    ]
-    if explanation.size_lower_bound is not None:
-        lines.append(
-            f"size lower bound    : {explanation.size_lower_bound} "
-            f"(estimation error {explanation.estimation_error})"
-        )
-    if after is not None:
-        verdict = "passes" if after.passed else "still fails"
-        lines.append(
-            f"after removal       : D = {after.statistic:.4f} vs threshold "
-            f"{after.threshold:.4f} -> {verdict}"
-        )
-    if explanation.size:
-        lines.append(
-            f"explained value range: [{explanation.values.min():.4g}, "
-            f"{explanation.values.max():.4g}]"
-        )
-    lines.append(f"runtime             : {explanation.runtime_seconds * 1000:.1f} ms")
-    return "\n".join(lines)
+    """A short human-readable report, suitable for a monitoring alert.
+
+    Dispatched to the backend plugin that owns the explanation's type.
+    """
+    return _renderer(explanation).explanation_report(explanation)
 
 
 def save_explanation(explanation: Explanation, path: PathLike) -> Path:

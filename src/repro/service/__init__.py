@@ -31,8 +31,8 @@ from repro.service.batching import (
 )
 from repro.service.cache import CacheStats, LRUCache, SharedCaches, array_digest
 from repro.service.engine import ExplanationService
+from repro.backends import backend_names
 from repro.service.registry import (
-    BACKENDS,
     EXPLAINERS,
     EXPLAINERS_2D,
     PREFERENCE_BUILDERS,
@@ -42,9 +42,9 @@ from repro.service.registry import (
     build_preference_list,
 )
 from repro.service.results import ServiceAlarm, ServiceReport, StreamReport
+from repro.service.snapshot import ServiceSnapshot
 
 __all__ = [
-    "BACKENDS",
     "BatcherStats",
     "CacheStats",
     "EXPLAINERS",
@@ -57,11 +57,13 @@ __all__ = [
     "PREFERENCE_BUILDERS",
     "ServiceAlarm",
     "ServiceReport",
+    "ServiceSnapshot",
     "SharedCaches",
     "StreamConfig",
     "StreamRegistry",
     "StreamReport",
     "StreamState",
     "array_digest",
+    "backend_names",
     "build_preference_list",
 ]

@@ -129,6 +129,28 @@ class LRUCache:
         with self._lock:
             self._entries.clear()
 
+    # ------------------------------------------------------------------
+    def snapshot_items(self) -> list[tuple[Hashable, Any]]:
+        """The cache contents as ``(key, value)`` pairs, LRU-first.
+
+        LRU-first ordering means :meth:`load_items` reinserts them in the
+        same recency order, so a snapshot/restore round trip preserves
+        which entries the next eviction would pick.  Statistics are *not*
+        part of the snapshot — a restored cache starts hot in contents but
+        fresh in counters, so hit rates describe the new run.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
+    def load_items(self, items) -> None:
+        """Insert ``(key, value)`` pairs (oldest first) through :meth:`put`.
+
+        Capacity is enforced as usual; restoring into a smaller cache
+        simply keeps the most recent entries.
+        """
+        for key, value in items:
+            self.put(key, value)
+
 
 def merge_stats_dicts(*stats_dicts: dict) -> dict[str, dict]:
     """Sum several ``SharedCaches.stats_dict()`` payloads cache-by-cache.
@@ -148,6 +170,24 @@ def merge_stats_dicts(*stats_dicts: dict) -> dict[str, dict]:
         lookups = slot["hits"] + slot["misses"]
         slot["hit_rate"] = slot["hits"] / lookups if lookups else 0.0
     return merged
+
+
+def merge_cache_contents(*contents_dicts: dict) -> dict[str, list]:
+    """Pool several ``SharedCaches.snapshot_contents()`` payloads.
+
+    Entries are content-keyed, so two caches holding the same key hold the
+    same value; later payloads win on duplicates (they simply refresh the
+    recency of an identical entry).  Used to fold the per-shard worker
+    caches into one service-snapshot cache bundle.
+    """
+    merged: dict[str, dict] = {}
+    for contents in contents_dicts:
+        for name, items in (contents or {}).items():
+            slot = merged.setdefault(name, {})
+            for key, value in items:
+                slot.pop(key, None)  # refresh recency on duplicates
+                slot[key] = value
+    return {name: list(slot.items()) for name, slot in merged.items()}
 
 
 def pooled_hit_rate(stats_dict: dict) -> float:
@@ -234,14 +274,36 @@ class SharedCaches:
         )
 
     # ------------------------------------------------------------------
+    def snapshot_contents(self) -> dict[str, list]:
+        """Contents of every cache, keyed by cache name (for persistence)."""
+        return {
+            name: cache.snapshot_items() for name, cache in self._caches().items()
+        }
+
+    def restore_contents(self, contents: dict[str, list]) -> None:
+        """Load a :meth:`snapshot_contents` payload into these caches.
+
+        Unknown cache names are ignored (a snapshot written by a build
+        with an extra cache still restores the ones this build has).
+        """
+        caches = self._caches()
+        for name, items in (contents or {}).items():
+            cache = caches.get(name)
+            if cache is not None:
+                cache.load_items(items)
+
+    def _caches(self) -> dict[str, LRUCache]:
+        return {
+            "sorted_references": self.sorted_references,
+            "critical_values": self.critical_values,
+            "preferences": self.preferences,
+            "explanations": self.explanations,
+        }
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict[str, CacheStats]:
         """Per-cache statistics, keyed by cache name."""
-        return {
-            "sorted_references": self.sorted_references.stats,
-            "critical_values": self.critical_values.stats,
-            "preferences": self.preferences.stats,
-            "explanations": self.explanations.stats,
-        }
+        return {name: cache.stats for name, cache in self._caches().items()}
 
     def stats_dict(self) -> dict[str, dict]:
         """JSON-serialisable view of :meth:`stats`."""

@@ -45,16 +45,23 @@ from repro.cluster.runtime import (
 )
 from repro.cluster.wire import IngestReply
 from repro.core.explanation import Explanation
-from repro.exceptions import ValidationError
+from repro.exceptions import ServiceBackendError, ValidationError
 from repro.service.batching import ExplanationJob, JobOutcome
 from repro.service.cache import (
     SharedCaches,
     array_digest,
+    merge_cache_contents,
     merge_stats_dicts,
     pooled_hit_rate,
 )
-from repro.service.registry import StreamConfig, StreamRegistry, StreamState
+from repro.service.registry import (
+    StreamConfig,
+    StreamRegistry,
+    StreamState,
+    attribute_stream,
+)
 from repro.service.results import ServiceAlarm, ServiceReport, StreamReport
+from repro.service.snapshot import ServiceSnapshot
 
 
 class ExplanationService:
@@ -162,10 +169,17 @@ class ExplanationService:
         config: Optional[StreamConfig] = None,
         **overrides,
     ) -> StreamState:
-        """Register a stream, optionally overriding config fields inline."""
+        """Register a stream, optionally overriding config fields inline.
+
+        Config problems — unknown backend, method or preference names,
+        invalid overrides — surface as
+        :class:`~repro.exceptions.ValidationError` naming the stream, so
+        a misconfigured member of a large fleet is attributable.
+        """
         config = config or self.default_config
         if overrides:
-            config = config.with_overrides(**overrides)
+            with attribute_stream(stream_id):
+                config = config.with_overrides(**overrides)
         state = self._registry.register(
             stream_id,
             config,
@@ -197,9 +211,129 @@ class ExplanationService:
     def __contains__(self, stream_id: str) -> bool:
         return stream_id in self._registry
 
-    def snapshot(self) -> dict[str, dict]:
+    def config_snapshot(self) -> dict[str, dict]:
         """Serializable registry snapshot (``stream_id -> config dict``)."""
         return self._registry.snapshot()
+
+    # ------------------------------------------------------------------
+    # Persistence: snapshot / warm restart
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ServiceSnapshot:
+        """Capture the full service state for a warm restart.
+
+        Drains first, so the capture is quiescent and consistent: stream
+        configs, per-stream detector ``state_dict`` snapshots (collected
+        over the wire from the shard workers under the process executor),
+        the per-stream counters *and alarm logs*, and the shared-cache
+        contents (parent caches pooled with the worker caches).  The
+        returned :class:`~repro.service.snapshot.ServiceSnapshot` pickles;
+        feeding it to :meth:`restore` on a fresh service resumes the run
+        byte-identically (see ``repro serve --snapshot-dir``).
+        """
+        if self._closed:
+            raise ValidationError("cannot snapshot a closed service")
+        self.drain()
+        configs = self._registry.snapshot()
+        caches = self.caches.snapshot_contents()
+        detector_states: dict[str, dict] = {}
+        if self._executor.owns_detection:
+            captured = self._executor.capture_state()
+            detector_states = {
+                stream_id: payload["state"]
+                for stream_id, payload in captured["streams"].items()
+            }
+            missing = sorted(set(configs) - set(detector_states))
+            if missing:
+                # A shard died (or timed out) mid-capture.  A snapshot
+                # written without its streams' detector state would restore
+                # them fresh while still skipping their served
+                # observations — silent divergence.  Fail loudly instead;
+                # the caller retries once the fleet is healthy again.
+                raise ServiceBackendError(
+                    f"state capture is missing streams {missing}; "
+                    "refusing to build a partial snapshot"
+                )
+            caches = merge_cache_contents(caches, captured["caches"])
+        else:
+            for state in self._registry.states():
+                with state.lock:
+                    detector_states[state.stream_id] = state.config.plugin.detector_state(
+                        state.detector
+                    )
+        accounting: dict[str, dict] = {}
+        with self._results_lock:
+            for state in self._registry.states():
+                accounting[state.stream_id] = {
+                    "observations": int(state.observations),
+                    "tests_run": int(state.tests_run),
+                    "alarms_raised": int(state.alarms_raised),
+                    "explained": int(state.explained),
+                    "errors": int(state.errors),
+                    "dropped": int(state.dropped),
+                    "cache_hits": int(state.cache_hits),
+                    "alarms": sorted(state.alarms, key=lambda a: a.position),
+                }
+        return ServiceSnapshot(
+            configs=configs,
+            detector_states=detector_states,
+            accounting=accounting,
+            caches=caches,
+        )
+
+    def restore(self, snapshot: ServiceSnapshot) -> list[str]:
+        """Rebuild this (empty) service from a :meth:`snapshot`.
+
+        Streams are re-registered from the snapshot's configs, detector
+        state is installed through each stream's backend plugin (rides the
+        idempotent ``MigrateIn`` install path on the process executor),
+        the shared caches are re-warmed and the per-stream accounting —
+        including the retained alarm logs — is folded back in, so the
+        report of a restored run covers the whole replay, not just the
+        post-restart tail.  Returns the restored stream ids.
+        """
+        if self._closed:
+            raise ValidationError("cannot restore into a closed service")
+        if len(self._registry):
+            raise ValidationError(
+                "restore() requires a service with no registered streams"
+            )
+        self.caches.restore_contents(snapshot.caches)
+        for stream_id in snapshot.stream_ids():
+            with attribute_stream(stream_id):
+                config = StreamConfig.from_dict(snapshot.configs[stream_id])
+            self.register(stream_id, config)
+        if self._executor.owns_detection:
+            self._executor.seed_caches(snapshot.caches)
+            self._executor.load_states(
+                {
+                    stream_id: {
+                        "config": snapshot.configs[stream_id],
+                        "state": snapshot.detector_states.get(stream_id),
+                    }
+                    for stream_id in snapshot.stream_ids()
+                }
+            )
+        else:
+            for state in self._registry.states():
+                payload = snapshot.detector_states.get(state.stream_id)
+                if payload is not None:
+                    with state.lock:
+                        state.config.plugin.restore_detector(state.detector, payload)
+        with self._results_lock:
+            for state in self._registry.states():
+                acct = snapshot.accounting.get(state.stream_id)
+                if not acct:
+                    continue
+                state.observations = int(acct["observations"])
+                state.alarms_raised = int(acct["alarms_raised"])
+                state.explained = int(acct["explained"])
+                state.errors = int(acct["errors"])
+                state.dropped = int(acct["dropped"])
+                state.cache_hits = int(acct["cache_hits"])
+                state.alarms.extend(acct["alarms"])
+                if self._executor.owns_detection:
+                    state.remote_tests_run = int(acct["tests_run"])
+        return snapshot.stream_ids()
 
     def resize(self, shards: int) -> int:
         """Elastically change the executor's shard count; returns the new one.

@@ -2,112 +2,66 @@
 
 Every stream the service monitors is registered under a unique id with a
 :class:`StreamConfig` describing how to detect and how to explain its
-drifts: window size, significance level, detector flavour (windowed KS or
-the incremental dos Reis-style detector), preference-list construction and
-the explanation method (MOCHE or any of the paper's baselines).
+drifts: window size, significance level, detector flavour, preference-list
+construction and the explanation method.  *What those choices mean* is
+owned by the stream's backend plugin (:mod:`repro.backends`): the config
+resolves its ``backend`` name against the backend registry and delegates
+validation, runtime construction, chunk normalisation and persistence to
+the resulting :class:`~repro.backends.base.StreamBackend`, so this module
+is backend-agnostic — registering a new backend plugin makes it servable
+here with no edits.
 
-The named explainer and preference-builder tables live here so the CLI, the
-service and the benchmarks all agree on what ``"moche"`` or
-``"spectral-residual"`` mean.
+The named 1-D explainer and preference-builder tables are re-exported from
+:mod:`repro.backends.ks1d` so the CLI, the service and the benchmarks keep
+agreeing on what ``"moche"`` or ``"spectral-residual"`` mean.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from collections import deque
 from dataclasses import dataclass, field, fields, replace
-from typing import Callable, Optional, Union
+from typing import Callable, Iterator, Optional, Union
 
 import numpy as np
 
-from repro.baselines import (
-    CornerSearchExplainer,
-    D3Explainer,
-    GraceExplainer,
-    GreedyExplainer,
-    Series2GraphExplainer,
-    StompExplainer,
+from repro.backends import (
+    EXPLAINERS,
+    EXPLAINERS_2D,
+    PREFERENCE_BUILDERS,
+    build_preference_list,
+    get_backend,
 )
+from repro.backends.base import StreamBackend
 from repro.core.ks import validate_alpha
-from repro.core.moche import MOCHE
 from repro.core.preference import PreferenceList
-from repro.drift.detector import IncrementalKSDetector, KSDriftDetector
 from repro.exceptions import ValidationError
-from repro.multidim.detector import KS2DDriftDetector
-from repro.multidim.explain2d import GreedyKS2DExplainer
-from repro.outliers.spectral_residual import SpectralResidual
-
-#: Explainer name -> factory ``(alpha, top_k, seed) -> explainer``.  Shared
-#: with the CLI's ``--method`` flag.
-EXPLAINERS: dict[str, Callable[[float, int, int], object]] = {
-    "moche": lambda alpha, top_k, seed: MOCHE(alpha=alpha),
-    "moche-ns": lambda alpha, top_k, seed: MOCHE(alpha=alpha, use_lower_bound=False),
-    "greedy": lambda alpha, top_k, seed: GreedyExplainer(alpha=alpha),
-    "corner-search": lambda alpha, top_k, seed: CornerSearchExplainer(
-        alpha=alpha, top_k=top_k, seed=seed
-    ),
-    "grace": lambda alpha, top_k, seed: GraceExplainer(alpha=alpha, top_k=top_k, seed=seed),
-    "d3": lambda alpha, top_k, seed: D3Explainer(alpha=alpha),
-    "stomp": lambda alpha, top_k, seed: StompExplainer(alpha=alpha),
-    "series2graph": lambda alpha, top_k, seed: Series2GraphExplainer(alpha=alpha),
-}
-
-
-def _spectral_residual_preference(
-    reference: np.ndarray, test: np.ndarray, seed: int
-) -> PreferenceList:
-    series = np.concatenate([np.asarray(reference, float), np.asarray(test, float)])
-    scores = SpectralResidual().scores(series)[-np.asarray(test).size:]
-    return PreferenceList.from_scores(scores, descending=True, seed=seed)
-
-
-#: Preference name -> builder ``(reference, test, seed) -> PreferenceList``.
-PREFERENCE_BUILDERS: dict[str, Callable[[np.ndarray, np.ndarray, int], PreferenceList]] = {
-    "spectral-residual": _spectral_residual_preference,
-    "values-desc": lambda reference, test, seed: PreferenceList.from_scores(
-        test, descending=True, seed=seed
-    ),
-    "values-asc": lambda reference, test, seed: PreferenceList.from_scores(
-        test, descending=False, seed=seed
-    ),
-    "random": lambda reference, test, seed: PreferenceList.random(
-        np.asarray(test).size, seed=seed
-    ),
-    "identity": lambda reference, test, seed: PreferenceList.identity(
-        np.asarray(test).size
-    ),
-}
-
-#: Explainer name -> factory for 2-D (Fasano-Franceschini) streams.
-EXPLAINERS_2D: dict[str, Callable[[float, int, int], object]] = {
-    "greedy-ks2d": lambda alpha, top_k, seed: GreedyKS2DExplainer(
-        alpha=alpha, candidate_pool=top_k
-    ),
-}
 
 #: Custom preference builders map ``(reference, test)`` to a PreferenceList.
 CustomPreferenceBuilder = Callable[[np.ndarray, np.ndarray], PreferenceList]
 
+#: Detector flavours of the built-in scalar backend (CLI ``--detector``).
 DETECTORS = ("windowed", "incremental")
 
-BACKENDS = ("ks1d", "ks2d")
 
-#: What the ``None`` method/preference sentinels resolve to, per backend.
-BACKEND_DEFAULTS: dict[str, dict[str, str]] = {
-    "ks1d": {"method": "moche", "preference": "spectral-residual"},
-    "ks2d": {"method": "greedy-ks2d", "preference": "identity"},
-}
+@contextlib.contextmanager
+def attribute_stream(stream_id: str) -> Iterator[None]:
+    """Re-raise validation errors inside the block naming the stream.
 
-
-def build_preference_list(
-    name: str, reference: np.ndarray, test: np.ndarray, seed: int = 0
-) -> PreferenceList:
-    """Build a preference list with one of the named strategies."""
-    if name not in PREFERENCE_BUILDERS:
-        raise ValidationError(
-            f"unknown preference builder {name!r} (have {sorted(PREFERENCE_BUILDERS)})"
-        )
-    return PREFERENCE_BUILDERS[name](reference, test, seed)
+    Multi-stream registration failures used to surface as bare config
+    errors ("unknown preference builder ...") with nothing saying *which*
+    stream of a fleet was misconfigured; every registration path wraps its
+    config handling in this context manager so the stream id is always in
+    the message (exactly once — already-attributed errors pass through).
+    """
+    try:
+        yield
+    except ValidationError as exc:
+        prefix = f"stream {stream_id!r}: "
+        if str(exc).startswith(prefix):
+            raise
+        raise ValidationError(prefix + str(exc)) from exc
 
 
 @dataclass(frozen=True)
@@ -121,34 +75,36 @@ class StreamConfig:
     alpha:
         Significance level of the KS tests.
     detector:
-        ``"windowed"`` for the tumbling-test-window detector, or
-        ``"incremental"`` for the per-observation sliding detector backed by
-        :class:`repro.drift.IncrementalKS`.
+        A detector flavour the stream's backend supports; the built-in
+        ``ks1d`` backend takes ``"windowed"`` (tumbling test window) or
+        ``"incremental"`` (per-observation sliding detector backed by
+        :class:`repro.drift.IncrementalKS`).
     stride:
         Incremental detector only: run the test every ``stride`` observations
         once the windows are full.
     slide_on_alarm:
-        Passed through to the detector (see :class:`KSDriftDetector`).
+        Passed through to the detector (see
+        :class:`~repro.drift.detector.KSDriftDetector`).
     preference:
-        Name of a builder from :data:`PREFERENCE_BUILDERS`, or a custom
+        Name of a preference builder the backend knows, or a custom
         callable ``(reference, test) -> PreferenceList``.  Only named
         builders participate in the shared preference/explanation caches.
-        ``None`` (the default) resolves per backend: ``"spectral-residual"``
-        for scalar streams, ``"identity"`` for ``backend="ks2d"``.
+        ``None`` (the default) resolves to the backend's default
+        (``"spectral-residual"`` for ``ks1d``, ``"identity"`` for
+        ``ks2d``).
     method:
-        Name of an explainer from :data:`EXPLAINERS` (or :data:`EXPLAINERS_2D`
-        for ``backend="ks2d"``), or a pre-built explainer object exposing
-        ``explain(reference, test, preference)``.  ``None`` (the default)
-        resolves per backend: ``"moche"`` for scalar streams,
-        ``"greedy-ks2d"`` for 2-D ones (MOCHE's cumulative-vector machinery
-        is 1-D only, so explicitly requesting it on a 2-D stream is an
-        error, not a silent substitution).
+        Name of an explainer from the backend's table, or a pre-built
+        explainer object exposing ``explain(reference, test, preference)``.
+        ``None`` (the default) resolves to the backend's default
+        (``"moche"`` for ``ks1d``, ``"greedy-ks2d"`` for ``ks2d``; the
+        backends reject cross-flavour methods rather than silently
+        substituting).
     top_k, seed:
         Passed to the explainer factory / preference builder.
     backend:
-        ``"ks1d"`` (default) for scalar streams tested with the one-dimensional
-        KS test, or ``"ks2d"`` for streams of ``(x, y)`` pairs tested with the
-        Fasano-Franceschini test and explained greedily.
+        Name of a registered :class:`~repro.backends.base.StreamBackend`
+        plugin.  Built-ins: ``"ks1d"`` (default) for scalar streams and
+        ``"ks2d"`` for streams of ``(x, y)`` pairs.
     """
 
     window_size: int = 200
@@ -166,51 +122,26 @@ class StreamConfig:
         validate_alpha(self.alpha)
         if self.window_size < 2:
             raise ValidationError("window_size must be at least 2")
-        if self.detector not in DETECTORS:
-            raise ValidationError(f"detector must be one of {DETECTORS}")
         if self.stride < 1:
             raise ValidationError("stride must be at least 1")
-        if self.backend not in BACKENDS:
-            raise ValidationError(f"backend must be one of {BACKENDS}")
-        # The sentinel defaults resolve per backend, so an *explicit* 1-D
-        # method/preference on a 2-D stream can be rejected instead of
+        # Resolving the backend name is itself a validation step: an
+        # unknown name fails here, listing what is registered.
+        plugin = get_backend(self.backend)
+        # The sentinel defaults resolve per backend, so an *explicit*
+        # cross-backend method/preference can be rejected instead of
         # silently substituted.
-        defaults = BACKEND_DEFAULTS[self.backend]
         if self.method is None:
-            object.__setattr__(self, "method", defaults["method"])
+            object.__setattr__(self, "method", plugin.default_method)
         if self.preference is None:
-            object.__setattr__(self, "preference", defaults["preference"])
-        if self.backend == "ks2d":
-            self._validate_ks2d()
-            return
-        if isinstance(self.preference, str) and self.preference not in PREFERENCE_BUILDERS:
-            raise ValidationError(
-                f"unknown preference builder {self.preference!r} "
-                f"(have {sorted(PREFERENCE_BUILDERS)})"
-            )
-        if isinstance(self.method, str) and self.method not in EXPLAINERS:
-            raise ValidationError(
-                f"unknown explanation method {self.method!r} (have {sorted(EXPLAINERS)})"
-            )
-
-    def _validate_ks2d(self) -> None:
-        """Validate a 2-D stream config."""
-        if self.detector == "incremental":
-            raise ValidationError(
-                "backend='ks2d' supports only the 'windowed' detector"
-            )
-        if isinstance(self.method, str) and self.method not in EXPLAINERS_2D:
-            raise ValidationError(
-                f"unknown 2-D explanation method {self.method!r} "
-                f"(have {sorted(EXPLAINERS_2D)})"
-            )
-        if isinstance(self.preference, str) and self.preference != "identity":
-            raise ValidationError(
-                "backend='ks2d' supports only the 'identity' preference "
-                "or a custom builder"
-            )
+            object.__setattr__(self, "preference", plugin.default_preference)
+        plugin.validate_config(self)
 
     # ------------------------------------------------------------------
+    @property
+    def plugin(self) -> StreamBackend:
+        """The registered backend plugin this config resolves against."""
+        return get_backend(self.backend)
+
     @property
     def cacheable(self) -> bool:
         """Whether results under this config can live in the shared caches.
@@ -261,44 +192,18 @@ class StreamConfig:
 
     # ------------------------------------------------------------------
     def build_detector(self, ks_runner=None):
-        """Instantiate this stream's drift detector."""
-        if self.backend == "ks2d":
-            return KS2DDriftDetector(
-                window_size=self.window_size,
-                alpha=self.alpha,
-                slide_on_alarm=self.slide_on_alarm,
-            )
-        if self.detector == "incremental":
-            return IncrementalKSDetector(
-                window_size=self.window_size,
-                alpha=self.alpha,
-                stride=self.stride,
-                slide_on_alarm=self.slide_on_alarm,
-                seed=self.seed,
-            )
-        return KSDriftDetector(
-            window_size=self.window_size,
-            alpha=self.alpha,
-            slide_on_alarm=self.slide_on_alarm,
-            ks_runner=ks_runner,
-        )
+        """Instantiate this stream's drift detector (via its backend)."""
+        return self.plugin.build_detector(self, ks_runner=ks_runner)
 
     def build_explainer(self):
         """Instantiate (or pass through) this stream's explainer."""
-        if not isinstance(self.method, str):
-            return self.method
-        table = EXPLAINERS_2D if self.backend == "ks2d" else EXPLAINERS
-        return table[self.method](self.alpha, self.top_k, self.seed)
+        return self.plugin.build_explainer(self)
 
     def build_preference(self, reference: np.ndarray, test: np.ndarray) -> PreferenceList:
         """Build the preference list for one alarming window."""
         if not isinstance(self.preference, str):
             return self.preference(reference, test)
-        if self.backend == "ks2d":
-            # 2-D windows are (w, 2) arrays: rank the w points, not the 2w
-            # coordinates the 1-D builders would see.
-            return PreferenceList.identity(int(np.asarray(test).shape[0]))
-        return build_preference_list(self.preference, reference, test, self.seed)
+        return self.plugin.build_preference(self, reference, test)
 
     def with_overrides(self, **overrides) -> "StreamConfig":
         """A copy of this config with the given fields replaced.
@@ -310,10 +215,10 @@ class StreamConfig:
         """
         new_backend = overrides.get("backend", self.backend)
         if new_backend != self.backend:
-            defaults = BACKEND_DEFAULTS[self.backend]
-            if "method" not in overrides and self.method == defaults["method"]:
+            old = self.plugin
+            if "method" not in overrides and self.method == old.default_method:
                 overrides["method"] = None
-            if "preference" not in overrides and self.preference == defaults["preference"]:
+            if "preference" not in overrides and self.preference == old.default_preference:
                 overrides["preference"] = None
         return replace(self, **overrides)
 
@@ -382,18 +287,20 @@ class StreamRegistry:
         discarded); ``None`` keeps every alarm.  ``build_runtime=False``
         skips constructing the detector and explainer — used when the
         stream's runtime lives elsewhere (a process shard) and the local
-        state only does accounting.
+        state only does accounting.  Config problems surface as
+        :class:`~repro.exceptions.ValidationError` naming the stream.
         """
         if not stream_id:
             raise ValidationError("stream_id must be a non-empty string")
         config = config or StreamConfig()
-        state = StreamState(
-            stream_id=stream_id,
-            config=config,
-            detector=config.build_detector(ks_runner=ks_runner) if build_runtime else None,
-            explainer=config.build_explainer() if build_runtime else None,
-            alarms=deque(maxlen=max_alarms),
-        )
+        with attribute_stream(stream_id):
+            state = StreamState(
+                stream_id=stream_id,
+                config=config,
+                detector=config.build_detector(ks_runner=ks_runner) if build_runtime else None,
+                explainer=config.build_explainer() if build_runtime else None,
+                alarms=deque(maxlen=max_alarms),
+            )
         with self._lock:
             if stream_id in self._streams:
                 raise ValidationError(f"stream {stream_id!r} is already registered")
@@ -434,7 +341,11 @@ class StreamRegistry:
         """
         with self._lock:
             states = sorted(self._streams.items())
-        return {stream_id: state.config.to_dict() for stream_id, state in states}
+        snapshot: dict[str, dict] = {}
+        for stream_id, state in states:
+            with attribute_stream(stream_id):
+                snapshot[stream_id] = state.config.to_dict()
+        return snapshot
 
     @classmethod
     def from_snapshot(
@@ -443,9 +354,11 @@ class StreamRegistry:
         """Rebuild a registry (fresh detector state) from :meth:`snapshot`."""
         registry = cls()
         for stream_id, payload in snapshot.items():
+            with attribute_stream(stream_id):
+                config = StreamConfig.from_dict(payload)
             registry.register(
                 stream_id,
-                StreamConfig.from_dict(payload),
+                config,
                 ks_runner=ks_runner,
                 max_alarms=max_alarms,
             )

@@ -107,6 +107,33 @@ class StreamReport:
         }
 
 
+def canonical_report_dict(payload: dict) -> dict:
+    """Canonicalise a ``ServiceReport.to_dict()``-shaped payload.
+
+    Module-level (rather than a method) so parity checks can compare
+    reports that only exist as JSON on disk — e.g. the warm-restart smoke
+    comparing a killed-and-restarted ``repro serve --output`` file against
+    an uninterrupted one — without reconstructing report objects.  Strips
+    wall-clock times, cache bookkeeping and executor statistics; see
+    :meth:`ServiceReport.canonical_dict`.
+    """
+    streams = []
+    for stream in payload.get("streams", []):
+        stream = dict(stream)
+        stream.pop("cache_hits", None)
+        alarms = [dict(alarm) for alarm in stream.get("alarms", [])]
+        for alarm in alarms:
+            alarm.pop("from_cache", None)
+            if alarm.get("explanation"):
+                alarm["explanation"] = dict(alarm["explanation"])
+                alarm["explanation"].pop("runtime_seconds", None)
+        # A canonical view must not depend on how the report was built.
+        alarms.sort(key=lambda alarm: alarm["position"])
+        stream["alarms"] = alarms
+        streams.append(stream)
+    return {"streams": streams}
+
+
 @dataclass
 class ServiceReport:
     """Aggregate result of a service run across all registered streams.
@@ -160,19 +187,7 @@ class ServiceReport:
         bookkeeping and executor statistics, so two runs compare equal iff
         they explained the same drifts the same way.
         """
-        streams = []
-        for stream in self.streams:
-            payload = stream.to_dict()
-            payload.pop("cache_hits", None)
-            for alarm in payload["alarms"]:
-                alarm.pop("from_cache", None)
-                if alarm.get("explanation"):
-                    alarm["explanation"].pop("runtime_seconds", None)
-            # report() already orders per-stream alarms by position, but a
-            # canonical view must not depend on how the report was built.
-            payload["alarms"].sort(key=lambda alarm: alarm["position"])
-            streams.append(payload)
-        return {"streams": streams}
+        return canonical_report_dict(self.to_dict())
 
     def to_dict(self) -> dict:
         return {

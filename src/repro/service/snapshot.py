@@ -1,0 +1,108 @@
+"""Service snapshots: everything a warm restart needs, in one object.
+
+:meth:`repro.service.ExplanationService.snapshot` captures a quiescent
+(drained) service into a :class:`ServiceSnapshot`:
+
+* ``configs`` — the registry snapshot (``stream_id -> StreamConfig dict``);
+* ``detector_states`` — per-stream detector ``state_dict`` snapshots,
+  obtained through the stream's backend plugin (and, under the process
+  executor, collected from the shard workers over the wire);
+* ``accounting`` — per-stream counters *and the retained alarm log*, so a
+  restarted service reports the whole run, not just the post-restart tail;
+* ``caches`` — the shared-cache contents (parent caches pooled with the
+  per-shard worker caches), so a warm restart starts hot.
+
+Everything inside is picklable by construction — configs serialise through
+:meth:`~repro.service.registry.StreamConfig.to_dict`, detector states
+through the backend protocol, and alarms/explanations are the same objects
+that already cross shard process boundaries.  Snapshots are written with
+:mod:`pickle` via an atomic replace, so a reader never observes a torn
+file even if the writer is killed mid-write — which is exactly the
+scenario warm restarts exist for.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ValidationError
+
+PathLike = Union[str, Path]
+
+#: Schema version of pickled snapshots; bumped on incompatible changes.
+SNAPSHOT_VERSION = 1
+
+#: Default snapshot file name inside a ``--snapshot-dir``.
+SNAPSHOT_FILENAME = "service-snapshot.pkl"
+
+
+@dataclass
+class ServiceSnapshot:
+    """A self-contained, picklable snapshot of one explanation service."""
+
+    configs: dict[str, dict] = field(default_factory=dict)
+    detector_states: dict[str, dict] = field(default_factory=dict)
+    accounting: dict[str, dict] = field(default_factory=dict)
+    caches: dict[str, list] = field(default_factory=dict)
+    version: int = SNAPSHOT_VERSION
+
+    # ------------------------------------------------------------------
+    def stream_ids(self) -> list[str]:
+        return sorted(self.configs)
+
+    def resume_offsets(self) -> dict[str, int]:
+        """Observations each stream had already consumed at snapshot time.
+
+        This is what a replay driver (``repro serve --snapshot-dir``) skips
+        on restart so no observation is re-detected or lost.
+        """
+        return {
+            stream_id: int(self.accounting.get(stream_id, {}).get("observations", 0))
+            for stream_id in self.configs
+        }
+
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Atomically write this snapshot to ``path`` (pickle format).
+
+        The bytes land in a sibling temp file first and are moved into
+        place with :func:`os.replace`, so a concurrent (or subsequent,
+        post-kill) reader sees either the previous snapshot or this one —
+        never a torn write.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(self, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ServiceSnapshot":
+        """Read a :meth:`save`-written snapshot back."""
+        path = Path(path)
+        try:
+            with open(path, "rb") as handle:
+                snapshot = pickle.load(handle)
+        except FileNotFoundError:
+            raise ValidationError(f"no service snapshot at {path}") from None
+        except (pickle.UnpicklingError, EOFError) as exc:
+            raise ValidationError(
+                f"service snapshot {path} is corrupt: {exc!r}"
+            ) from exc
+        if not isinstance(snapshot, cls):
+            raise ValidationError(
+                f"{path} does not hold a ServiceSnapshot "
+                f"(got {type(snapshot).__name__})"
+            )
+        if snapshot.version != SNAPSHOT_VERSION:
+            raise ValidationError(
+                f"snapshot version {snapshot.version} is not supported "
+                f"(this build reads version {SNAPSHOT_VERSION})"
+            )
+        return snapshot

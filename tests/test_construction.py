@@ -128,3 +128,70 @@ class TestConstruction:
             indices = construct_most_comprehensible(problem, size, preference.order)
             sizes.add(indices.size)
         assert sizes == {size}
+
+
+class TestJitScan:
+    """The optional numba scan: env gating, graceful fallback, parity."""
+
+    def test_jit_scan_matches_vectorized(self, small_failed_problem):
+        # Runs the compiled kernel when numba is installed and the silent
+        # vectorized fallback otherwise; the contract (identical output)
+        # holds either way.
+        problem = small_failed_problem
+        size = explanation_size(problem).size
+        order = PreferenceList.random(problem.m, seed=7).order
+        jit = construct_most_comprehensible(problem, size, order, scan="jit")
+        vectorized = construct_most_comprehensible(
+            problem, size, order, scan="vectorized"
+        )
+        assert np.array_equal(jit, vectorized)
+
+    def test_repro_jit_env_gates_the_default_scan(self, monkeypatch):
+        from repro.core.construction import default_scan, jit_available
+
+        monkeypatch.delenv("REPRO_JIT", raising=False)
+        assert default_scan() == "vectorized"
+        monkeypatch.setenv("REPRO_JIT", "1")
+        expected = "jit" if jit_available() else "vectorized"
+        assert default_scan() == expected
+        monkeypatch.setenv("REPRO_JIT", "0")
+        assert default_scan() == "vectorized"
+
+    def test_default_scan_resolves_when_scan_is_omitted(
+        self, small_failed_problem, monkeypatch
+    ):
+        # REPRO_JIT=1 must be safe whether or not numba is installed.
+        monkeypatch.setenv("REPRO_JIT", "1")
+        problem = small_failed_problem
+        size = explanation_size(problem).size
+        order = PreferenceList.identity(problem.m).order
+        explicit = construct_most_comprehensible(
+            problem, size, order, scan="vectorized"
+        )
+        defaulted = construct_most_comprehensible(problem, size, order)
+        assert np.array_equal(explicit, defaulted)
+
+    @pytest.mark.skipif(
+        not __import__("repro.core.construction", fromlist=["jit_available"]).jit_available(),
+        reason="numba is not installed",
+    )
+    def test_jit_kernel_parity_on_random_problems(self):
+        rng = np.random.default_rng(11)
+        for trial in range(10):
+            n = int(rng.integers(50, 150))
+            m = int(rng.integers(50, 150))
+            reference = rng.normal(size=n)
+            test = np.concatenate(
+                [rng.normal(size=m - m // 4), rng.uniform(2.5, 5.0, size=m // 4)]
+            )
+            try:
+                problem = ExplanationProblem(reference, test, alpha=0.05)
+            except Exception:
+                continue
+            size = explanation_size(problem).size
+            order = rng.permutation(m)
+            jit = construct_most_comprehensible(problem, size, order, scan="jit")
+            vectorized = construct_most_comprehensible(
+                problem, size, order, scan="vectorized"
+            )
+            assert np.array_equal(jit, vectorized), f"trial {trial} diverged"

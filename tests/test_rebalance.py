@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -431,3 +432,55 @@ class TestAutoscaler:
             scaler = Autoscaler(service.executor, QueueDepthPolicy())
             assert scaler.tick() is None
             assert scaler.decisions == []
+
+    def test_background_tick_thread_drives_the_pool(self):
+        executor = _FakeShardedExecutor(shards=1)
+        executor.outstanding = 100  # saturated: scale up every tick
+        scaler = Autoscaler(
+            executor,
+            QueueDepthPolicy(
+                min_shards=1, max_shards=3, scale_up_at=0.8, scale_down_at=0.1,
+                cooldown_ticks=0,
+            ),
+        )
+        scaler.start(interval=0.005)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and executor.shards < 3:
+            time.sleep(0.005)
+        scaler.stop()
+        assert executor.shards == 3
+        assert scaler.error is None
+        assert [d.target for d in scaler.decisions][:2] == [2, 3]
+        # Idempotent stop; restartable afterwards.
+        scaler.stop()
+        scaler.start(interval=0.005)
+        scaler.stop()
+
+    def test_background_thread_rejects_double_start_and_bad_interval(self):
+        scaler = Autoscaler(_FakeShardedExecutor(), QueueDepthPolicy())
+        with pytest.raises(ValidationError):
+            scaler.start(interval=0.0)
+        scaler.start(interval=60.0)
+        try:
+            with pytest.raises(ValidationError):
+                scaler.start(interval=60.0)
+        finally:
+            scaler.stop()
+
+    def test_background_thread_records_tick_errors_and_exits(self):
+        class ExplodingExecutor(_FakeShardedExecutor):
+            def resize(self, shards: int) -> int:
+                raise ValidationError("closed underneath the autoscaler")
+
+        executor = ExplodingExecutor(shards=1)
+        executor.outstanding = 100
+        scaler = Autoscaler(
+            executor,
+            QueueDepthPolicy(min_shards=1, max_shards=3, cooldown_ticks=0),
+        )
+        scaler.start(interval=0.005)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and scaler.error is None:
+            time.sleep(0.005)
+        scaler.stop()
+        assert isinstance(scaler.error, ValidationError)
