@@ -10,7 +10,6 @@ I_a is skewed towards senior age groups.
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import save_result
 from repro.datasets.covid import AGE_GROUPS

@@ -13,7 +13,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.datasets.synthetic import drifting_series
 from repro.drift import ExplainedDriftMonitor

@@ -88,6 +88,7 @@ from repro.multidim import (
     ks2d_test,
 )
 from repro.service import (
+    ChunkResult,
     ExplanationService,
     MicroBatcher,
     ServiceAlarm,
@@ -97,7 +98,7 @@ from repro.service import (
     StreamConfig,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # core
@@ -129,6 +130,7 @@ __all__ = [
     "get_backend",
     "register_backend",
     # service
+    "ChunkResult",
     "ExplanationService",
     "MicroBatcher",
     "ServiceAlarm",

@@ -1,0 +1,106 @@
+"""Thread-to-event-loop bridging for the asyncio front-end.
+
+The serving stack below :mod:`repro.aio` is thread-based: chunk
+completions fire on explanation workers or the shard reply collector,
+alarm listeners run wherever an alarm was resolved.  Everything here moves
+those signals onto an event loop without blocking the delivering thread:
+
+* :func:`resolve_future_threadsafe` — resolve an :class:`asyncio.Future`
+  from a foreign thread via ``loop.call_soon_threadsafe``, tolerating a
+  future the consumer already cancelled and a loop that is shutting down;
+* :class:`AsyncAlarmStream` — an async-iterable view of the service's
+  alarm feed, fed from arbitrary threads and closed with a sentinel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+
+def resolve_future_threadsafe(
+    loop: asyncio.AbstractEventLoop, future: asyncio.Future, value: Any
+) -> None:
+    """Resolve ``future`` with ``value`` from any thread, exactly once.
+
+    Safe against the two teardown races a naive
+    ``loop.call_soon_threadsafe(future.set_result, value)`` loses:
+
+    * the awaiter cancelled the future first — ``set_result`` would raise
+      ``InvalidStateError`` inside the loop callback, so the state is
+      checked on the loop thread itself;
+    * the loop already closed — ``call_soon_threadsafe`` raises
+      ``RuntimeError``; there is no consumer left to resolve, so the value
+      is dropped instead of killing the delivering worker thread.
+    """
+
+    def _apply() -> None:
+        if not future.done():
+            future.set_result(value)
+
+    try:
+        loop.call_soon_threadsafe(_apply)
+    except RuntimeError:
+        # The loop is closed (interpreter or task teardown); nothing is
+        # awaiting anymore.
+        pass
+
+
+class AsyncAlarmStream:
+    """Async iterator over service alarms, fed from foreign threads.
+
+    Create one with :meth:`repro.aio.AsyncExplanationService.alarms`; it
+    registers itself as an alarm listener and yields every
+    :class:`~repro.service.results.ServiceAlarm` the service resolves from
+    that point on.  Iteration ends when the stream (or the service) is
+    closed.  The internal queue is unbounded: alarms are small, and a slow
+    consumer must never block the serving threads that feed it.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+        self._detach: Optional[Any] = None  # set by the owning service
+
+    # ------------------------------------------------------------------
+    # Producer side (any thread)
+    # ------------------------------------------------------------------
+    def push(self, alarm: Any) -> None:
+        """Enqueue one alarm from whatever thread resolved it."""
+        try:
+            self._loop.call_soon_threadsafe(self._queue.put_nowait, alarm)
+        except RuntimeError:
+            pass  # loop closed mid-shutdown: the stream is over anyway
+
+    def close(self) -> None:
+        """End the iteration (idempotent; callable from any thread)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._detach is not None:
+            self._detach(self)
+        try:
+            self._loop.call_soon_threadsafe(self._queue.put_nowait, self._SENTINEL)
+        except RuntimeError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Consumer side (the event loop)
+    # ------------------------------------------------------------------
+    def __aiter__(self) -> "AsyncAlarmStream":
+        return self
+
+    async def __anext__(self) -> Any:
+        if self._closed and self._queue.empty():
+            raise StopAsyncIteration
+        item = await self._queue.get()
+        if item is self._SENTINEL:
+            raise StopAsyncIteration
+        return item
+
+    async def aclose(self) -> None:
+        """Detach from the service and end the iteration."""
+        self.close()

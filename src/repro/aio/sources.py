@@ -1,0 +1,281 @@
+"""Pluggable asyncio ingest sources and the newline-JSON wire format.
+
+A *source* adapts one kind of external feed — a TCP socket, a growing
+file, a message queue you write yourself — onto the service's event
+protocol.  The contract is one coroutine::
+
+    class MySource:
+        name = "mine"
+
+        async def run(self, handler):   # handler(event: dict) -> dict | None
+            ...                          # call handler once per event; a
+                                         # returned dict is the reply (write
+                                         # it back if the transport can)
+
+        def stop(self):                  # make run() return promptly
+            ...
+
+Events are plain dictionaries (the parsed form of the newline-delimited
+JSON wire format, see the README's *Async ingestion* section)::
+
+    {"stream": "sensor-1", "values": [1.5, 2.0, ...]}      # ingest (default)
+    {"op": "register", "stream": "s", "config": {...}}     # explicit config
+    {"op": "drain"}                                        # barrier + ack
+    {"op": "report"}                                       # full report back
+    {"op": "shutdown"}                                     # stop serving
+
+Two sources are built in: :class:`TCPServerSource` (a newline-JSON TCP
+server — the ``repro serve --listen`` transport) and
+:class:`FileTailSource` (replay or follow a JSONL file, or stdin).
+Third-party sources register under a name with :func:`register_source`
+and become constructable through :func:`make_source`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+from functools import partial
+from typing import Awaitable, Callable, Optional
+
+from repro.exceptions import ValidationError
+
+#: ``handler(event) -> reply | None``; the driver side of a source.
+EventHandler = Callable[[dict], Awaitable[Optional[dict]]]
+
+
+def encode_event(event: dict) -> bytes:
+    """One event as a newline-terminated JSON line (the wire format)."""
+    return json.dumps(event).encode("utf-8") + b"\n"
+
+
+def decode_event(line: bytes) -> dict:
+    """Parse one wire line into an event dict, validating the envelope."""
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"malformed JSON event: {exc}") from exc
+    if not isinstance(event, dict):
+        raise ValidationError("event must be a JSON object")
+    return event
+
+
+async def handle_event_line(handler: EventHandler, line: bytes) -> Optional[dict]:
+    """One wire line through the handler; failures become error replies.
+
+    Shared by every source: a bad event (malformed JSON, unknown stream, a
+    raising handler) must answer *that producer* and keep the source
+    serving everyone else — one misbehaving feed cannot take the ingest
+    tier down, and the two built-in transports cannot drift in how they
+    report errors.
+    """
+    try:
+        event = decode_event(line)
+    except ValidationError as exc:
+        return {"error": str(exc)}
+    try:
+        return await handler(event)
+    except Exception as exc:
+        return {"error": f"{type(exc).__name__}: {exc}"}
+
+
+class TCPServerSource:
+    """Serve newline-JSON events from TCP clients (``--listen`` transport).
+
+    Each connected client is read line by line; every event is handed to
+    the driver's handler *sequentially per connection*, so one client's
+    chunks for a stream arrive in order.  Replies (for ``drain`` /
+    ``report`` / errors) are written back on the same connection, one JSON
+    line each.  ``port=0`` binds an ephemeral port; the chosen address is
+    exposed as :attr:`bound_address` and through ``on_bound``.
+    """
+
+    name = "tcp"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_bound: Optional[Callable[[tuple], None]] = None,
+        shutdown_grace: float = 2.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.on_bound = on_bound
+        self.shutdown_grace = float(shutdown_grace)
+        self.bound_address: Optional[tuple] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._clients: set[asyncio.Task] = set()
+
+    def stop(self) -> None:
+        """Stop accepting and wind down client connections (any task)."""
+        if self._stop is not None:
+            self._stop.set()
+
+    async def run(self, handler: EventHandler) -> None:
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            partial(self._serve_client, handler), self.host, self.port
+        )
+        self.bound_address = server.sockets[0].getsockname()[:2]
+        if self.on_bound is not None:
+            self.on_bound(self.bound_address)
+        try:
+            await self._stop.wait()
+        finally:
+            # Shutdown order matters, and `async with server` would get it
+            # wrong: on Python >= 3.12.1 its closing wait_closed() also
+            # waits for every client handler, so an idle client parked in
+            # readline() would pin the shutdown before the force-EOF code
+            # below could ever run.  Instead: stop accepting, give
+            # in-flight handlers a moment to flush replies (the shutdown
+            # ack rides one of them), force EOF on stragglers, then wait
+            # out the rest.  That last wait is unbounded on purpose: a
+            # handler may still be suspended on service backpressure with
+            # a chunk already read off the wire, and returning before it
+            # resolves would silently drop that chunk from the final
+            # drain/report.  The force-closed transports guarantee no
+            # *new* events arrive, and a wedged service surfaces its own
+            # error through the handler, so the wait terminates.
+            server.close()
+            if self._clients:
+                _, pending = await asyncio.wait(self._clients, timeout=self.shutdown_grace)
+                for writer in list(self._writers):
+                    writer.close()
+                if pending:
+                    await asyncio.wait(pending)
+            await server.wait_closed()
+
+    async def _serve_client(
+        self,
+        handler: EventHandler,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._clients.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                reply = await handle_event_line(handler, line)
+                if reply is not None:
+                    writer.write(encode_event(reply))
+                    await writer.drain()
+                if self._stop is not None and self._stop.is_set():
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # the client went away; its streams die with it
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._clients.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
+class FileTailSource:
+    """Replay (or follow) newline-JSON events from a file or stdin.
+
+    With ``follow=False`` (default) the file is replayed once and ``run``
+    returns at EOF — a deterministic ingest driver for tests and batch
+    replays.  With ``follow=True`` the source keeps polling for appended
+    lines, ``tail -f`` style, until :meth:`stop` is called.  ``path="-"``
+    reads stdin (always replay-once).  Replies have no back-channel; pass
+    ``on_reply`` to observe them (defaults to dropping).
+    """
+
+    name = "tail"
+
+    def __init__(
+        self,
+        path: str,
+        follow: bool = False,
+        poll_interval: float = 0.2,
+        on_reply: Optional[Callable[[dict], None]] = None,
+    ) -> None:
+        self.path = str(path)
+        self.follow = bool(follow)
+        self.poll_interval = float(poll_interval)
+        self.on_reply = on_reply
+        self._stopped = threading.Event()
+
+    def stop(self) -> None:
+        self._stopped.set()
+
+    async def run(self, handler: EventHandler) -> None:
+        loop = asyncio.get_running_loop()
+        if self.path == "-":
+            stream = sys.stdin.buffer
+            close = False
+        else:
+            stream = open(self.path, "rb")
+            close = True
+        try:
+            while not self._stopped.is_set():
+                # Blocking reads stay off the loop: a tailed file on slow
+                # storage (or a quiet stdin pipe) must not freeze serving.
+                line = await loop.run_in_executor(None, stream.readline)
+                if not line:
+                    if self.follow and self.path != "-":
+                        await asyncio.sleep(self.poll_interval)
+                        continue
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                reply = await handle_event_line(handler, line)
+                if reply is not None and self.on_reply is not None:
+                    self.on_reply(reply)
+        finally:
+            if close:
+                stream.close()
+
+
+# ----------------------------------------------------------------------
+# Source registry (third-party sources plug in by name)
+# ----------------------------------------------------------------------
+_SOURCES: dict[str, Callable[..., object]] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_source(name: str, factory: Callable[..., object]) -> None:
+    """Register a source factory under a name (``make_source(name, ...)``).
+
+    ``factory(**options)`` must return an object with the source contract
+    (``async run(handler)`` and ``stop()``).  Re-registering a name
+    replaces it, so tests and applications can shadow the built-ins.
+    """
+    with _REGISTRY_LOCK:
+        _SOURCES[str(name)] = factory
+
+
+def source_names() -> list[str]:
+    """The registered source names, sorted."""
+    with _REGISTRY_LOCK:
+        return sorted(_SOURCES)
+
+
+def make_source(name: str, **options):
+    """Build a registered source by name, forwarding its options."""
+    with _REGISTRY_LOCK:
+        factory = _SOURCES.get(name)
+    if factory is None:
+        raise ValidationError(f"unknown ingest source {name!r} (have {source_names()})")
+    return factory(**options)
+
+
+register_source(TCPServerSource.name, TCPServerSource)
+register_source(FileTailSource.name, FileTailSource)

@@ -22,7 +22,12 @@ The CLI exposes the library's main workflows without writing any Python:
     with every explained alarm.  With ``--snapshot-dir`` the service state
     (detector windows, alarm logs, cache contents) is checkpointed after
     every replay round and a re-run *warm-restarts* from the checkpoint,
-    resuming the replay byte-identically across a process kill.
+    resuming the replay byte-identically across a process kill.  With
+    ``--listen HOST:PORT`` there is no replay at all: the service is fed
+    live over TCP (newline-delimited JSON events, see
+    :mod:`repro.aio.sources`) until a client sends ``{"op": "shutdown"}``;
+    checkpointing then runs *inside* the service on a timer
+    (``--snapshot-interval``) instead of per replay round.
 
 ``repro experiments``
     Regenerate the paper's tables and figures at a reduced scale.
@@ -34,6 +39,7 @@ Installed as the ``repro`` console script; also runnable via
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -134,9 +140,61 @@ def _stream_ids(paths: Sequence[str]) -> list[str]:
     return ids
 
 
+def _parse_listen(value: str) -> tuple[str, int]:
+    """``HOST:PORT`` -> ``(host, port)``; port 0 binds an ephemeral port."""
+    host, sep, port_text = value.rpartition(":")
+    if not sep or not host:
+        raise ReproError(f"--listen expects HOST:PORT (got {value!r})")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ReproError(f"--listen port must be an integer (got {port_text!r})")
+    if not 0 <= port <= 65535:
+        raise ReproError(f"--listen port {port} is out of range")
+    return host, port
+
+
+async def _serve_listen(
+    service, host: str, port: int, snapshot_path, snapshot_interval, autoscaler=None
+):
+    """Run the TCP ingest front-end until a client requests shutdown."""
+    from repro.aio import AsyncExplanationService, serve_listen
+
+    aio = AsyncExplanationService(service)
+    try:
+        if snapshot_path is not None:
+            # The service checkpoints itself on a timer (bounded staleness)
+            # instead of relying on replay rounds it does not have here.
+            aio.start_snapshot_task(snapshot_path, snapshot_interval)
+
+        def announce(address: tuple) -> None:
+            print(f"listening on {address[0]}:{address[1]}", flush=True)
+
+        report = await serve_listen(aio, host, port, on_bound=announce)
+        if snapshot_path is not None:
+            # Final checkpoint: a restart after a clean shutdown resumes
+            # from the full run, not from the last timer tick.
+            await aio.snapshot_now()
+        return report
+    finally:
+        if autoscaler is not None:
+            # Stopped before the service closes, so a late tick cannot
+            # resize a dead executor and read as a spurious failure.
+            autoscaler.stop()
+        await aio.close()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.chunk < 1:
         raise ReproError("--chunk must be at least 1")
+    listen = _parse_listen(args.listen) if args.listen is not None else None
+    if listen is None and not args.series:
+        raise ReproError("serve needs series files to replay, or --listen HOST:PORT")
+    if listen is not None and args.series:
+        raise ReproError(
+            "--listen serves live TCP ingestion; replaying series files "
+            "with it is ambiguous (drop the files or the flag)"
+        )
     # Flags that only configure one backend are rejected with the others
     # instead of being silently dropped.
     thread_flags = {
@@ -165,10 +223,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--autoscale-interval requires --min-shards/--max-shards"
         )
     if args.snapshot_every is not None:
+        if listen is not None:
+            raise ReproError(
+                "--snapshot-every counts replay rounds; with --listen use "
+                "--snapshot-interval seconds instead"
+            )
         if args.snapshot_dir is None:
             raise ReproError("--snapshot-every requires --snapshot-dir")
         if args.snapshot_every < 1:
             raise ReproError("--snapshot-every must be at least 1")
+    if args.snapshot_interval is not None:
+        if listen is None:
+            raise ReproError("--snapshot-interval requires --listen")
+        if args.snapshot_dir is None:
+            raise ReproError("--snapshot-interval requires --snapshot-dir")
+        if args.snapshot_interval <= 0:
+            raise ReproError("--snapshot-interval must be positive")
     series = [load_series_csv(path, value_column=args.column) for path in args.series]
     stream_ids = _stream_ids(args.series)
     config = StreamConfig(
@@ -231,28 +301,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         resume: dict[str, int] = {}
         if snapshot_path is not None and snapshot_path.exists():
             snapshot = ServiceSnapshot.load(snapshot_path)
-            expected = set(stream_ids)
-            if set(snapshot.stream_ids()) != expected:
-                raise ReproError(
-                    f"snapshot {snapshot_path} holds streams "
-                    f"{snapshot.stream_ids()} but the replay defines "
-                    f"{sorted(expected)}; refusing to mix runs"
+            if listen is None:
+                expected = set(stream_ids)
+                if set(snapshot.stream_ids()) != expected:
+                    raise ReproError(
+                        f"snapshot {snapshot_path} holds streams "
+                        f"{snapshot.stream_ids()} but the replay defines "
+                        f"{sorted(expected)}; refusing to mix runs"
+                    )
+                # A restore rebuilds the streams from the *snapshot's*
+                # configs; silently ignoring different flags on the restart
+                # invocation would print a report the user thinks reflects
+                # them.  With --listen both the stream set and the
+                # per-stream configs are the clients' (a register op may
+                # carry overrides), so neither is cross-checked against the
+                # CLI flags — the snapshot is authoritative.
+                expected_config = config.to_dict()
+                mismatched = sorted(
+                    stream_id
+                    for stream_id, payload in snapshot.configs.items()
+                    if payload != expected_config
                 )
-            # A restore rebuilds the streams from the *snapshot's* configs;
-            # silently ignoring different flags on the restart invocation
-            # would print a report the user thinks reflects them.
-            expected_config = config.to_dict()
-            mismatched = sorted(
-                stream_id
-                for stream_id, payload in snapshot.configs.items()
-                if payload != expected_config
-            )
-            if mismatched:
-                raise ReproError(
-                    f"snapshot {snapshot_path} was written with different "
-                    f"stream configs (streams {mismatched}); rerun with the "
-                    "original flags or point --snapshot-dir elsewhere"
-                )
+                if mismatched:
+                    raise ReproError(
+                        f"snapshot {snapshot_path} was written with different "
+                        f"stream configs (streams {mismatched}); rerun with the "
+                        "original flags or point --snapshot-dir elsewhere"
+                    )
             service.restore(snapshot)
             resume = snapshot.resume_offsets()
             print(
@@ -260,38 +335,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{snapshot_path} "
                 f"({sum(resume.values())} observations already served)"
             )
-        else:
+        elif listen is None:
             for stream_id in stream_ids:
                 service.register(stream_id)
-        # Replay the files in interleaved chunks so the service sees the
-        # fleet concurrently, the way a live multiplexed feed would.  On a
-        # warm restart each stream skips the observations the snapshot
-        # already accounts for, so nothing is re-detected or lost.
-        longest = max(values.size for values in series)
-        rounds = 0
-        dirty = False
-        for start in range(0, longest, args.chunk):
-            for stream_id, values in zip(stream_ids, series):
-                end = min(start + args.chunk, values.size)
-                begin = max(start, resume.get(stream_id, 0))
-                if end > begin:
-                    service.submit(stream_id, values[begin:end])
-                    dirty = True
-            rounds += 1
-            # Catch-up rounds a warm restart skips entirely submit nothing;
-            # checkpointing them would re-capture an unchanged fleet once
-            # per round (drain + wire capture + pickle) for no new state.
-            if (
-                snapshot_path is not None
-                and dirty
-                and rounds % snapshot_every == 0
-            ):
+        if listen is not None:
+            host, port = listen
+            interval = (
+                args.snapshot_interval if args.snapshot_interval is not None else 30.0
+            )
+            report = asyncio.run(
+                _serve_listen(
+                    service,
+                    host,
+                    port,
+                    snapshot_path,
+                    interval,
+                    autoscaler=autoscaler,
+                )
+            )
+        else:
+            # Replay the files in interleaved chunks so the service sees the
+            # fleet concurrently, the way a live multiplexed feed would.  On a
+            # warm restart each stream skips the observations the snapshot
+            # already accounts for, so nothing is re-detected or lost.
+            longest = max(values.size for values in series)
+            rounds = 0
+            dirty = False
+            for start in range(0, longest, args.chunk):
+                for stream_id, values in zip(stream_ids, series):
+                    end = min(start + args.chunk, values.size)
+                    begin = max(start, resume.get(stream_id, 0))
+                    if end > begin:
+                        service.submit(stream_id, values[begin:end])
+                        dirty = True
+                rounds += 1
+                # Catch-up rounds a warm restart skips entirely submit
+                # nothing; checkpointing them would re-capture an unchanged
+                # fleet once per round (drain + wire capture + pickle) for
+                # no new state.
+                if (
+                    snapshot_path is not None
+                    and dirty
+                    and rounds % snapshot_every == 0
+                ):
+                    service.snapshot().save(snapshot_path)
+                    dirty = False
+            if snapshot_path is not None and dirty:
+                # Final checkpoint: a re-run against a completed snapshot is
+                # a pure no-op replay that reprints the same report.
                 service.snapshot().save(snapshot_path)
-                dirty = False
-        if snapshot_path is not None and dirty:
-            # Final checkpoint: a re-run against a completed snapshot is a
-            # pure no-op replay that reprints the same report.
-            service.snapshot().save(snapshot_path)
         if autoscaler is not None:
             if not autoscaler.stop():
                 print(
@@ -307,7 +399,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 )
             for decision in autoscaler.decisions:
                 print(decision.render())
-        report = service.report()
+        if listen is None:
+            report = service.report()
     print(report.render(alarms=not args.summary_only))
     if args.output:
         path = save_service_report(report, args.output)
@@ -378,8 +471,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser = subparsers.add_parser(
         "serve", help="replay series files through the multi-stream explanation service"
     )
-    serve_parser.add_argument("series", nargs="+",
-                              help="one file per stream with its time series")
+    serve_parser.add_argument("series", nargs="*",
+                              help="one file per stream with its time series "
+                                   "(omit with --listen)")
+    serve_parser.add_argument("--listen", metavar="HOST:PORT", default=None,
+                              help="serve live TCP ingestion (newline-JSON "
+                                   "events) instead of replaying files; "
+                                   "port 0 binds an ephemeral port and the "
+                                   "chosen one is printed")
     add_common(serve_parser)
     serve_parser.add_argument("--window", type=int, default=200,
                               help="sliding window size (default 200)")
@@ -434,6 +533,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--snapshot-every", type=int, default=None,
                               help="replay rounds between checkpoints "
                                    "(with --snapshot-dir; default 1)")
+    serve_parser.add_argument("--snapshot-interval", type=float, default=None,
+                              help="seconds between in-service checkpoints "
+                                   "(with --listen and --snapshot-dir; "
+                                   "default 30)")
     serve_parser.add_argument("--chunk", type=int, default=256,
                               help="observations per interleaved replay chunk")
     serve_parser.add_argument("--summary-only", action="store_true",

@@ -110,9 +110,31 @@ class Executor(abc.ABC):
         """Run one explanation job (detection-local executors)."""
         raise NotImplementedError(f"executor {self.name!r} does not dispatch jobs")
 
-    def ingest(self, state, values: np.ndarray) -> None:
-        """Route one coerced chunk (stream-owning executors)."""
+    def ingest(self, state, values: np.ndarray, completion=None) -> None:
+        """Route one coerced chunk (stream-owning executors).
+
+        ``completion``, when given, is ``completion(reply, lost)`` — invoked
+        exactly once per chunk, on an internal thread, after the chunk's
+        :class:`~repro.cluster.wire.IngestReply` has been folded into the
+        service report (``lost=False``) or after the chunk was abandoned
+        because its shard died or the executor closed (``reply=None``,
+        ``lost=True``).  Completion callbacks must not call back into the
+        service or executor synchronously; hand off to your own thread or
+        event loop (:mod:`repro.aio` bridges them onto asyncio futures).
+        """
         raise NotImplementedError(f"executor {self.name!r} does not ingest chunks")
+
+    def has_capacity(self) -> bool:
+        """Non-blocking probe: would submitting one more chunk block?
+
+        ``True`` means the backpressure bound currently has room (advisory —
+        a concurrent producer may take the last slot; a stream that is
+        mid-migration can still block briefly).  The asyncio front-end
+        awaits on this signal so a slow backend suspends the producing
+        coroutine instead of parking an event-loop thread inside a blocking
+        ``submit()``.  Executors without a backpressure bound return True.
+        """
+        return True
 
     # ------------------------------------------------------------------
     # Elastic operation

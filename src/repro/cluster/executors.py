@@ -110,6 +110,9 @@ class ThreadExecutor(Executor):
     def dispatch(self, job) -> None:
         self._batcher.submit(job)
 
+    def has_capacity(self) -> bool:
+        return self._batcher is not None and self._batcher.has_capacity()
+
     def drain(self, timeout: Optional[float] = None) -> bool:
         return self._batcher.drain(timeout=timeout)
 

@@ -143,6 +143,7 @@ class ProcessShardExecutor(Executor):
         self._shards = {shard_id: _Shard(shard_id) for shard_id in shard_ids}
         self._cv = threading.Condition()
         self._outstanding: dict[int, str] = {}  # seq -> shard id
+        self._completions: dict[int, object] = {}  # seq -> completion callable
         self._deferred = DeferredErrors()
         self._seq = 0
         self._ingests = 0
@@ -268,6 +269,11 @@ class ProcessShardExecutor(Executor):
         with self._cv:
             self._lost_chunks += len(self._outstanding)
             self._outstanding.clear()
+            abandoned = list(self._completions.values())
+            self._completions.clear()
+        for completion in abandoned:
+            # Chunks the shutdown discarded still resolve their futures.
+            self._safe_complete(completion, None, True)
         if pending_error is not None:
             raise pending_error
         self._raise_deferred()
@@ -301,7 +307,7 @@ class ProcessShardExecutor(Executor):
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def ingest(self, state, values: np.ndarray) -> None:
+    def ingest(self, state, values: np.ndarray, completion=None) -> None:
         # The lifecycle lock keeps the whole enqueue atomic with respect to
         # crash handling: without it, a concurrent respawn could abandon
         # this seq as lost (and swap the command queue) between the
@@ -324,6 +330,12 @@ class ProcessShardExecutor(Executor):
                             self._seq += 1
                             seq = self._seq
                             self._outstanding[seq] = shard.shard_id
+                            if completion is not None:
+                                # Registered atomically with the in-flight
+                                # record, before the chunk can possibly be
+                                # acknowledged, so the reply path can never
+                                # race past an unregistered completion.
+                                self._completions[seq] = completion
                             self._ingests += 1
                             shard.commands.put(
                                 IngestChunk(
@@ -418,8 +430,28 @@ class ProcessShardExecutor(Executor):
             for seq in lost:
                 del self._outstanding[seq]
             self._lost_chunks += len(lost)
+            completions = [
+                self._completions.pop(seq) for seq in lost if seq in self._completions
+            ]
             if lost:
                 self._cv.notify_all()
+        # Invoked outside the condition lock: the engine's completion
+        # wrapper resolves futures/callbacks and must not nest under _cv.
+        for completion in completions:
+            self._safe_complete(completion, None, True)
+
+    def _pop_completion(self, seq: int):
+        with self._cv:
+            return self._completions.pop(seq, None)
+
+    def _safe_complete(self, completion, reply, lost: bool) -> None:
+        """Invoke one chunk-completion callback, deferring its errors."""
+        if completion is None:
+            return
+        try:
+            completion(reply, lost)
+        except Exception as exc:
+            self._defer(exc)
 
     def crash_shard(self, shard_id: str, wait_seconds: float = 30.0) -> None:
         """Test hook: hard-kill one shard process and wait for it to die."""
@@ -937,12 +969,18 @@ class ProcessShardExecutor(Executor):
 
     def _handle_reply(self, reply) -> None:
         if isinstance(reply, IngestReply):
+            # The completion is popped first (exactly-once even if recording
+            # throws) and invoked last, after the reply has been folded into
+            # the service report — an awaiting producer observes its own
+            # chunk's alarms.
+            completion = self._pop_completion(reply.seq)
             try:
                 self.hooks.record_reply(reply)
             except Exception as exc:
                 self._defer(exc)
             finally:
                 self._ack(reply.seq, served=True)
+                self._safe_complete(completion, reply, False)
         elif isinstance(reply, MigrateOutDone):
             with self._cv:
                 record = self._migrations.get(reply.epoch)
@@ -969,7 +1007,9 @@ class ProcessShardExecutor(Executor):
                 )
             )
             if reply.seq is not None:
+                # The failure consumed the chunk without serving it.
                 self._ack(reply.seq)
+                self._safe_complete(self._pop_completion(reply.seq), None, True)
             if reply.command in (
                 "MigrateOut",
                 "MigrateIn",
@@ -1003,6 +1043,12 @@ class ProcessShardExecutor(Executor):
 
     def _raise_deferred(self) -> None:
         self._deferred.raise_first("shard backend failure")
+
+    def has_capacity(self) -> bool:
+        with self._cv:
+            if self._closed:
+                return False
+            return len(self._outstanding) < self.capacity
 
     # ------------------------------------------------------------------
     # Drain / stats

@@ -20,7 +20,7 @@ optional extension; the core MOCHE algorithm never needs it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 import numpy as np

@@ -10,7 +10,6 @@ test set after removal).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
 
 import numpy as np
 

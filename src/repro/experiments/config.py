@@ -9,7 +9,7 @@ defined here so the scale is explicit and adjustable in one place.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import ValidationError
 

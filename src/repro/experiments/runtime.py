@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-import numpy as np
 
 from repro.core.preference import PreferenceList
 from repro.datasets.synthetic import contaminated_pair

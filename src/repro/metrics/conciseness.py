@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-import numpy as np
 
 from repro.core.explanation import Explanation
 from repro.exceptions import ValidationError

@@ -30,7 +30,7 @@ from repro.service.batching import (
     MicroBatcher,
 )
 from repro.service.cache import CacheStats, LRUCache, SharedCaches, array_digest
-from repro.service.engine import ExplanationService
+from repro.service.engine import ChunkResult, ExplanationService
 from repro.backends import backend_names
 from repro.service.registry import (
     EXPLAINERS,
@@ -47,6 +47,7 @@ from repro.service.snapshot import ServiceSnapshot
 __all__ = [
     "BatcherStats",
     "CacheStats",
+    "ChunkResult",
     "EXPLAINERS",
     "EXPLAINERS_2D",
     "ExplanationJob",

@@ -11,10 +11,18 @@ so the explanation is computed once and fanned out to every waiting job.
 Backpressure is explicit.  When the queue is full, ``policy="block"`` makes
 ``submit`` wait for space (lossless, slows the producer down) while
 ``policy="drop-oldest"`` evicts the oldest pending job (bounded staleness,
-never blocks detection).  Evicted jobs' outcomes are delivered on the
-worker threads, never on the submitting thread: a user callback is thereby
-free to re-enter ``submit()`` (e.g. to requeue or escalate a dropped job)
-without recursing into itself or deadlocking against ``drain()``.
+never blocks detection).
+
+Outcome delivery is uniform: *every* outcome — executed, failed, evicted
+under backpressure, or discarded by a ``close(drain=False)`` — is delivered
+on a worker thread through the same path, exactly once, and a callback that
+raises is recorded and re-raised by the next ``drain()``/``close()``
+(wrapped in :class:`~repro.exceptions.ServiceBackendError`) no matter which
+kind of outcome it was handling.  A user callback is thereby free to
+re-enter ``submit()`` (e.g. to requeue or escalate a dropped job) without
+recursing into itself or deadlocking against ``drain()``, and a
+future-resolving callback (see :mod:`repro.aio`) can rely on one delivery
+contract instead of three.
 """
 
 from __future__ import annotations
@@ -52,6 +60,10 @@ class ExplanationJob:
     reference_digest, test_digest:
         Content digests of the windows, computed once at dispatch time so
         downstream caches do not re-hash the arrays.
+    chunk:
+        Optional chunk-completion handle: the engine attaches one when the
+        submitter asked to be told when every alarm of its chunk is
+        resolved (the awaitable-submit path of :mod:`repro.aio`).
     """
 
     stream_id: str
@@ -63,6 +75,7 @@ class ExplanationJob:
     reference_digest: Optional[bytes] = None
     test_digest: Optional[bytes] = None
     context: Any = None
+    chunk: Any = None
 
 
 @dataclass
@@ -168,6 +181,20 @@ class MicroBatcher:
         with self._cv:
             return len(self._queue)
 
+    def has_capacity(self) -> bool:
+        """True when :meth:`submit` would return without blocking.
+
+        Under ``drop-oldest`` submission never blocks (a full queue evicts);
+        under ``block`` this is a non-blocking probe of queue space.  The
+        answer is advisory — a concurrent producer may take the last slot —
+        but it lets an asynchronous front-end await capacity instead of
+        parking a thread inside ``submit()``.
+        """
+        with self._cv:
+            if self._closed:
+                return False
+            return self.policy == "drop-oldest" or len(self._queue) < self.capacity
+
     def submit(self, job: ExplanationJob) -> bool:
         """Enqueue a job, applying the backpressure policy when full.
 
@@ -214,7 +241,7 @@ class MicroBatcher:
 
     def _raise_deferred_errors(self) -> None:
         """Re-raise the first recorded callback error, if any."""
-        self._deferred.raise_first("outcome callback failed on a worker thread")
+        self._deferred.raise_first("outcome callback failed")
 
     def _wait_drained(self, timeout: Optional[float]) -> bool:
         """Wait for the queue and all in-flight batches to empty out."""
@@ -238,9 +265,13 @@ class MicroBatcher:
 
         With ``drain=True`` (default) all pending work is executed first;
         with ``drain=False`` the pending queue is discarded and every
-        unclaimed job is reported through ``on_outcome`` as dropped.
-        Deferred outcome-callback errors are re-raised after the workers have
-        been joined (the pool is shut down either way).
+        unclaimed job is reported through ``on_outcome`` as dropped — on a
+        worker thread, through the same delivery path every other outcome
+        takes, so the exception-propagation and threading contract does not
+        depend on *when* an outcome was resolved.  Deferred outcome-callback
+        errors are re-raised after the workers have been joined (the pool is
+        shut down either way).  ``timeout`` bounds each shutdown phase
+        (drain, delivery flush, per-worker join) individually.
         """
         if drain:
             self._wait_drained(timeout)
@@ -248,21 +279,35 @@ class MicroBatcher:
             self._closed = True
             discarded = list(self._queue)
             self._queue.clear()
-            # Undelivered drop outcomes are flushed here too: the workers
-            # may already be past their last wakeup on a drain=False close.
-            flushed = list(self._pending_drops)
-            self._pending_drops.clear()
             self.stats.dropped += len(discarded)
+            # Discarded jobs join the pending-drop queue and are delivered
+            # by the workers exactly like a drop-oldest eviction: one
+            # delivery path, one exception contract.  (Delivering them here
+            # used to run user callbacks on the closing thread, where a
+            # raising callback was tagged as a worker-thread failure and a
+            # re-entrant callback met different locking than usual.)
+            for job in discarded:
+                self._in_flight += 1
+                self._pending_drops.append(JobOutcome(job=job, dropped=True))
             self._cv.notify_all()
-        for outcome in flushed:
+            # Wait for the workers to deliver everything still in flight,
+            # then reclaim whatever they could not get to (e.g. every worker
+            # wedged inside the handler past a finite timeout) so no outcome
+            # is ever lost — reclaimed items left the shared deque under the
+            # lock, so a late worker cannot deliver them a second time.
+            self._cv.wait_for(
+                lambda: self._in_flight == 0 and not self._pending_drops,
+                timeout=timeout,
+            )
+            leftovers = list(self._pending_drops)
+            self._pending_drops.clear()
+        for outcome in leftovers:
             try:
                 self._deliver(outcome)
             finally:
                 with self._cv:
                     self._in_flight -= 1
                     self._cv.notify_all()
-        for job in discarded:
-            self._deliver(JobOutcome(job=job, dropped=True))
         for worker in self._workers:
             worker.join(timeout=timeout)
         self._raise_deferred_errors()

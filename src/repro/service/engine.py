@@ -31,9 +31,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Iterable, Optional, Union
-
-import numpy as np
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Union
 
 from repro.cluster.base import Executor, ExecutorHooks, make_executor
 from repro.cluster.runtime import (
@@ -62,6 +61,86 @@ from repro.service.registry import (
 )
 from repro.service.results import ServiceAlarm, ServiceReport, StreamReport
 from repro.service.snapshot import ServiceSnapshot
+from repro.utils.deferred import DeferredErrors
+
+
+@dataclass
+class ChunkResult:
+    """Resolution of one submitted chunk: what the service did with it.
+
+    Delivered through ``submit(..., on_complete=...)`` exactly once per
+    chunk, after every alarm the chunk raised has been explained, failed or
+    dropped — and after all of them are visible in the service report.
+
+    Attributes
+    ----------
+    stream_id:
+        The stream the chunk was submitted to.
+    observations:
+        Observations the service accounted for this chunk (0 when lost).
+    alarms:
+        Snapshots of the resolved alarms this chunk raised, in the order
+        they were recorded.
+    lost:
+        True when the chunk was abandoned before being served — its shard
+        crashed, or the service closed with the chunk still in flight.
+    """
+
+    stream_id: str
+    observations: int = 0
+    alarms: list[ServiceAlarm] = field(default_factory=list)
+    lost: bool = False
+
+
+class _ChunkHandle:
+    """Tracks one detection-local chunk until its alarms all resolve.
+
+    Armed with the alarm count while the submitting thread still holds the
+    stream lock (so no worker can outrun the expectation), then resolved by
+    whichever thread records the chunk's last alarm outcome.  The
+    completion callback's errors are deferred, never raised into a worker.
+    """
+
+    __slots__ = ("stream_id", "observations", "_on_complete", "_defer",
+                 "_lock", "_remaining", "_alarms", "_armed", "_fired")
+
+    def __init__(self, stream_id: str, on_complete: Callable, defer: Callable) -> None:
+        self.stream_id = stream_id
+        self.observations = 0
+        self._on_complete = on_complete
+        self._defer = defer
+        self._lock = threading.Lock()
+        self._remaining = 0
+        self._alarms: list[ServiceAlarm] = []
+        self._armed = False
+        self._fired = False
+
+    def arm(self, expected_alarms: int, observations: int) -> None:
+        with self._lock:
+            self._remaining = expected_alarms
+            self.observations = observations
+            self._armed = True
+
+    def alarm_done(self, alarm: ServiceAlarm) -> None:
+        with self._lock:
+            self._alarms.append(alarm)
+            self._remaining -= 1
+        self.maybe_fire()
+
+    def maybe_fire(self) -> None:
+        with self._lock:
+            if self._fired or not self._armed or self._remaining > 0:
+                return
+            self._fired = True
+            result = ChunkResult(
+                stream_id=self.stream_id,
+                observations=self.observations,
+                alarms=list(self._alarms),
+            )
+        try:
+            self._on_complete(result)
+        except Exception as exc:
+            self._defer(exc)
 
 
 class ExplanationService:
@@ -121,6 +200,9 @@ class ExplanationService:
         self.caches = caches or SharedCaches()
         self._registry = StreamRegistry()
         self._results_lock = threading.Lock()
+        self._listener_lock = threading.Lock()
+        self._alarm_listeners: list[Callable[[ServiceAlarm], None]] = []
+        self._deferred = DeferredErrors()
         self._started = time.perf_counter()
         self._closed = False
         if isinstance(executor, str):
@@ -349,7 +431,12 @@ class ExplanationService:
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def submit(self, stream_id: str, observations: Iterable) -> int:
+    def submit(
+        self,
+        stream_id: str,
+        observations: Iterable,
+        on_complete: Optional[Callable[[ChunkResult], None]] = None,
+    ) -> int:
         """Feed observations into a stream, dispatching alarms as they fire.
 
         With the in-process executors, detection runs synchronously on the
@@ -358,6 +445,16 @@ class ExplanationService:
         in place (``inline``).  With the ``process`` executor the chunk is
         routed to the owning shard and ``0`` is returned — alarms surface in
         :meth:`report` after the shard acknowledges the chunk.
+
+        ``on_complete``, when given, is invoked with a :class:`ChunkResult`
+        exactly once — after every alarm this chunk raised has been
+        resolved (explained, failed or dropped) and folded into the report,
+        or after the chunk was lost to a shard fault or shutdown.  It runs
+        on an arbitrary internal thread and must not call back into the
+        service synchronously; exceptions it raises are re-raised by the
+        next :meth:`drain`/:meth:`close`.  This is the completion hook the
+        asyncio front-end (:mod:`repro.aio`) bridges onto awaitable
+        futures.
         """
         if self._closed:
             # One uniform check for every backend: a closed service must
@@ -369,17 +466,51 @@ class ExplanationService:
             # Observation counts come back with the shard acknowledgement
             # (_record_reply), so a chunk the executor rejects — or loses to
             # a crash — never inflates the report.
-            self._executor.ingest(state, values)
+            completion = None
+            if on_complete is not None:
+                completion = self._make_chunk_completion(stream_id, on_complete)
+            self._executor.ingest(state, values, completion)
             return 0
+        handle = None
+        if on_complete is not None:
+            handle = _ChunkHandle(stream_id, on_complete, self._deferred.add)
         with state.lock:
             alarms = run_detection(state.detector, state.config, values)
             state.alarms_raised += len(alarms)
+            count = observation_count(values, state.config)
+            if handle is not None:
+                # Armed under the stream lock, before any dispatch, so a
+                # fast worker cannot resolve the chunk's alarms ahead of
+                # the expectation.
+                handle.arm(len(alarms), count)
             for alarm in alarms:
-                self._dispatch(state, alarm)
-            state.observations += observation_count(values, state.config)
+                self._dispatch(state, alarm, handle)
+            state.observations += count
+        if handle is not None:
+            # Resolves chunks that raised no alarms; a chunk with alarms
+            # fires from whichever thread records the last outcome.
+            handle.maybe_fire()
         return len(alarms)
 
-    def _dispatch(self, state: StreamState, alarm) -> None:
+    def _make_chunk_completion(
+        self, stream_id: str, on_complete: Callable[[ChunkResult], None]
+    ) -> Callable:
+        """Adapt ``on_complete`` to the executor's ``(reply, lost)`` contract."""
+
+        def completion(reply, lost: bool) -> None:
+            if lost or reply is None:
+                result = ChunkResult(stream_id=stream_id, lost=True)
+            else:
+                result = ChunkResult(
+                    stream_id=stream_id,
+                    observations=reply.observations,
+                    alarms=[self._alarm_from_record(record) for record in reply.alarms],
+                )
+            on_complete(result)
+
+        return completion
+
+    def _dispatch(self, state: StreamState, alarm, handle=None) -> None:
         config = state.config
         reference_digest = test_digest = None
         if config.cacheable or isinstance(config.preference, str):
@@ -401,6 +532,7 @@ class ExplanationService:
                 reference_digest=reference_digest,
                 test_digest=test_digest,
                 context=state,
+                chunk=handle,
             )
         )
 
@@ -455,6 +587,23 @@ class ExplanationService:
             alarm.from_cache = from_cache or outcome.coalesced
         with self._results_lock:
             self._fold_alarm(state, alarm)
+        self._notify_alarm(alarm)
+        if job.chunk is not None:
+            # Strictly after folding + listeners: when the chunk's future
+            # resolves, its alarms are already visible everywhere.
+            job.chunk.alarm_done(alarm)
+
+    @staticmethod
+    def _alarm_from_record(record) -> ServiceAlarm:
+        """A shard-reply alarm record as a service alarm."""
+        return ServiceAlarm(
+            stream_id=record.stream_id,
+            position=record.position,
+            result=record.result,
+            explanation=record.explanation,
+            error=record.error,
+            from_cache=record.from_cache,
+        )
 
     def _record_reply(self, reply: IngestReply) -> None:
         """Fold one shard acknowledgement into the per-stream accounting."""
@@ -464,34 +613,84 @@ class ExplanationService:
             # The stream was removed while this chunk was in flight; its
             # accounting went with it.
             return
+        alarms = [self._alarm_from_record(record) for record in reply.alarms]
         with self._results_lock:
             state.observations += reply.observations
             state.remote_tests_run = (state.remote_tests_run or 0) + reply.tests_run_delta
             state.alarms_raised += reply.alarms_raised_delta
-            for record in reply.alarms:
-                self._fold_alarm(
-                    state,
-                    ServiceAlarm(
-                        stream_id=record.stream_id,
-                        position=record.position,
-                        result=record.result,
-                        explanation=record.explanation,
-                        error=record.error,
-                        from_cache=record.from_cache,
-                    ),
-                )
+            for alarm in alarms:
+                self._fold_alarm(state, alarm)
+        for alarm in alarms:
+            self._notify_alarm(alarm)
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def add_alarm_listener(self, listener: Callable[[ServiceAlarm], None]) -> None:
+        """Call ``listener(alarm)`` for every alarm as it is resolved.
+
+        Listeners run on arbitrary internal threads (explanation workers,
+        the shard reply collector), after the alarm has been folded into
+        the report, and must not call back into the service synchronously.
+        Exceptions they raise are recorded and re-raised by the next
+        :meth:`drain`/:meth:`close` instead of killing the delivering
+        thread.  This is the feed :mod:`repro.aio` turns into async-iterable
+        alarm streams.
+        """
+        with self._listener_lock:
+            self._alarm_listeners.append(listener)
+
+    def remove_alarm_listener(self, listener: Callable[[ServiceAlarm], None]) -> None:
+        """Detach a listener added with :meth:`add_alarm_listener`."""
+        with self._listener_lock:
+            try:
+                self._alarm_listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _notify_alarm(self, alarm: ServiceAlarm) -> None:
+        with self._listener_lock:
+            listeners = list(self._alarm_listeners)
+        for listener in listeners:
+            try:
+                listener(alarm)
+            except Exception as exc:
+                # A broken listener must not kill a worker thread or starve
+                # a chunk completion queued behind it.
+                self._deferred.add(exc)
 
     # ------------------------------------------------------------------
     # Lifecycle and results
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called.
+
+        Submissions to a closed service raise; pollers (like the asyncio
+        front-end's backpressure await, whose capacity probe reads False
+        forever after a close) check this instead of spinning.
+        """
+        return self._closed
+
+    def has_capacity(self) -> bool:
+        """Non-blocking probe of the executor's backpressure bound.
+
+        ``True`` when a :meth:`submit` right now would not block waiting
+        for queue space (advisory; see
+        :meth:`repro.cluster.base.Executor.has_capacity`).
+        """
+        return self._executor.has_capacity()
+
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Wait until every submitted chunk and queued alarm is resolved.
 
         Raises :class:`~repro.exceptions.ServiceBackendError` if the backend
-        recorded a deferred failure (a raising outcome callback, a shard
-        worker protocol error) since the last drain/close.
+        recorded a deferred failure (a raising outcome callback or alarm
+        listener, a shard worker protocol error) since the last drain/close.
         """
-        return self._executor.drain(timeout=timeout)
+        drained = self._executor.drain(timeout=timeout)
+        self._deferred.raise_first("service callback failed")
+        return drained
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Drain (by default) and stop the executor backend.
@@ -502,6 +701,7 @@ class ExplanationService:
         if not self._closed:
             self._closed = True
             self._executor.close(drain=drain, timeout=timeout)
+            self._deferred.raise_first("service callback failed")
 
     def __enter__(self) -> "ExplanationService":
         return self

@@ -38,6 +38,19 @@ from repro.core.ks import validate_alpha
 from repro.core.preference import PreferenceList
 from repro.exceptions import ValidationError
 
+__all__ = [
+    "DETECTORS",
+    "EXPLAINERS",
+    "EXPLAINERS_2D",
+    "PREFERENCE_BUILDERS",
+    "CustomPreferenceBuilder",
+    "StreamConfig",
+    "StreamRegistry",
+    "StreamState",
+    "attribute_stream",
+    "build_preference_list",
+]
+
 #: Custom preference builders map ``(reference, test)`` to a PreferenceList.
 CustomPreferenceBuilder = Callable[[np.ndarray, np.ndarray], PreferenceList]
 

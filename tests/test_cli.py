@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -233,6 +232,36 @@ class TestServeCommand:
     def test_serve_rejects_unknown_policy(self, fleet_files):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", fleet_files[0], "--policy", "nope"])
+
+    def test_serve_requires_series_or_listen(self, capsys):
+        code = main(["serve"])
+        assert code == 3
+        assert "--listen" in capsys.readouterr().err
+
+    def test_serve_rejects_series_with_listen(self, fleet_files, capsys):
+        code = main(["serve", fleet_files[0], "--listen", "127.0.0.1:0"])
+        assert code == 3
+        assert "--listen" in capsys.readouterr().err
+
+    def test_serve_rejects_malformed_listen_address(self, capsys):
+        code = main(["serve", "--listen", "no-port-here"])
+        assert code == 3
+        assert "HOST:PORT" in capsys.readouterr().err
+        code = main(["serve", "--listen", "127.0.0.1:notaport"])
+        assert code == 3
+        assert "port" in capsys.readouterr().err
+
+    def test_serve_rejects_mismatched_snapshot_cadence_flags(self, tmp_path, capsys):
+        # Round-based cadence is a replay concept; listen mode is timed.
+        code = main(["serve", "--listen", "127.0.0.1:0",
+                     "--snapshot-dir", str(tmp_path), "--snapshot-every", "2"])
+        assert code == 3
+        assert "--snapshot-interval" in capsys.readouterr().err
+        # ... and the timed cadence needs listen mode plus a directory.
+        code = main(["serve", "--listen", "127.0.0.1:0",
+                     "--snapshot-interval", "5"])
+        assert code == 3
+        assert "--snapshot-dir" in capsys.readouterr().err
 
 
 class TestExperimentsCommand:

@@ -183,7 +183,10 @@ class TestCaseStudy:
         # Age-preference explanation is skewed to seniors compared with I_p.
         age_i_a = result.preference_histograms()["I_a"]
         age_i_p = result.preference_histograms()["I_p"]
-        mean_age = lambda hist: np.average(np.arange(1, 11), weights=np.maximum(hist, 1e-9))
+
+        def mean_age(hist):
+            return np.average(np.arange(1, 11), weights=np.maximum(hist, 1e-9))
+
         assert mean_age(age_i_a) >= mean_age(age_i_p)
         report = format_case_study(result)
         assert "Figure 1b" in report and "Figure 4d" in report

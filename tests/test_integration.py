@@ -21,7 +21,7 @@ from repro.datasets.covid import generate_covid_like_dataset
 from repro.datasets.nab import generate_family
 from repro.datasets.sliding_window import failed_window_pairs
 from repro.drift.monitor import ExplainedDriftMonitor
-from repro.io.export import explanation_to_dict, save_explanation
+from repro.io.export import save_explanation
 from repro.metrics.conciseness import is_smallest_explanation
 from repro.metrics.effectiveness import explanation_rmse
 from repro.outliers.spectral_residual import SpectralResidual

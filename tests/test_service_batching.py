@@ -292,6 +292,116 @@ class TestLifecycle:
         # The failure was consumed by the raise; close() shuts down cleanly.
         batcher.close()
 
+    def test_close_discard_outcomes_delivered_on_worker_threads(self):
+        """Discarded-at-close outcomes use the normal worker delivery path.
+
+        They used to be delivered on the thread calling ``close()``, so the
+        threading (and exception-propagation) contract of an outcome
+        callback depended on *when* its job was resolved — exactly what a
+        future-resolving callback must not have to care about.
+        """
+        release = threading.Event()
+        threads: dict[int, str] = {}
+        lock = threading.Lock()
+
+        def on_outcome(outcome: JobOutcome) -> None:
+            with lock:
+                threads[outcome.job.position] = threading.current_thread().name
+
+        batcher = MicroBatcher(
+            lambda job: release.wait(timeout=10),
+            on_outcome,
+            workers=1,
+            max_batch=1,
+            capacity=16,
+        )
+        batcher.submit(make_job(position=0))  # claimed by the worker
+        time.sleep(0.1)
+        for position in range(1, 5):
+            batcher.submit(make_job(position=position))
+        # Unpark the worker shortly *after* close() starts discarding, so
+        # the discarded outcomes demonstrably ride the worker loop.
+        threading.Timer(0.2, release.set).start()
+        batcher.close(drain=False)
+        assert sorted(threads) == [0, 1, 2, 3, 4]  # exactly once each
+        closer = threading.current_thread().name
+        assert all(name != closer for name in threads.values())
+        assert all(name.startswith("repro-worker") for name in threads.values())
+
+    def test_callback_errors_propagate_uniformly_across_delivery_paths(self):
+        """A raising callback is wrapped the same way on every path.
+
+        Worker-thread delivery, drop-oldest eviction and close-time discard
+        must all surface as a deferred ``ServiceBackendError`` from the next
+        ``drain()``/``close()`` — never synchronously from ``submit()`` or
+        from the middle of ``close()``.
+        """
+
+        def bad_outcome(outcome):
+            raise RuntimeError(f"boom-{outcome.job.position}")
+
+        # Path 1: normal worker-thread delivery.
+        batcher = MicroBatcher(lambda job: "ok", bad_outcome, workers=1)
+        batcher.submit(make_job(position=0))
+        with pytest.raises(ServiceBackendError, match="outcome callback"):
+            batcher.drain(timeout=30)
+        batcher.close()
+
+        # Path 2: drop-oldest eviction (delivered on a worker).
+        release = threading.Event()
+        batcher = MicroBatcher(
+            lambda job: release.wait(timeout=10),
+            bad_outcome,
+            workers=1,
+            max_batch=1,
+            capacity=1,
+            policy="drop-oldest",
+        )
+        for position in range(4):
+            batcher.submit(make_job(position=position))  # must never raise
+        release.set()
+        with pytest.raises(ServiceBackendError, match="outcome callback"):
+            batcher.close()
+
+        # Path 3: close-time discard of the pending queue.
+        release = threading.Event()
+        batcher = MicroBatcher(
+            lambda job: release.wait(timeout=10),
+            bad_outcome,
+            workers=1,
+            max_batch=1,
+            capacity=16,
+        )
+        for position in range(4):
+            batcher.submit(make_job(position=position))
+        release.set()
+        with pytest.raises(ServiceBackendError, match="outcome callback"):
+            batcher.close(drain=False)
+
+    def test_every_job_gets_exactly_one_outcome_across_drop_and_close(self):
+        """Exactly-once outcome delivery under eviction pressure + discard."""
+        release = threading.Event()
+        seen: list[int] = []
+        lock = threading.Lock()
+
+        def on_outcome(outcome: JobOutcome) -> None:
+            with lock:
+                seen.append(outcome.job.position)
+
+        batcher = MicroBatcher(
+            lambda job: release.wait(timeout=10),
+            on_outcome,
+            workers=2,
+            max_batch=2,
+            capacity=3,
+            policy="drop-oldest",
+        )
+        for position in range(20):
+            batcher.submit(make_job(position=position))
+        release.set()
+        batcher.close(drain=False)
+        assert sorted(seen) == list(range(20))
+
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValidationError):
             MicroBatcher(lambda job: None, workers=0)
