@@ -1,0 +1,273 @@
+"""Metrics smoke — scrape a live ``repro serve --listen --metrics`` child.
+
+End-to-end check of the observability surface, the way an operator would
+deploy it: start a real ``repro serve --listen HOST:PORT --metrics
+HOST:PORT`` child process, feed it drifting streams over the newline-JSON
+wire, scrape ``/metrics`` over plain HTTP mid-flight and again after a
+drain, and assert the exposition
+
+* parses as Prometheus text format 0.0.4;
+* carries all five ``repro_stage_latency_seconds`` stage series;
+* carries the throughput/cache/executor series with sane values
+  (observations match what was sent, alarms were raised and explained).
+
+The ``stats`` wire op is exercised on the same connection (live autoscale
+signals without draining the pipeline).
+
+Run it directly (the CI smoke job does)::
+
+    PYTHONPATH=src python benchmarks/bench_metrics_smoke.py --quick
+
+Results are written machine-readably to
+``benchmarks/results/BENCH_metrics.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.metrics import STAGES, STAGE_METRIC
+from repro.obs.prometheus import parse_exposition
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_metrics.json"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+FULL = {"streams": 8, "segments": 4, "segment": 400, "window": 150, "chunk": 200}
+QUICK = {"streams": 4, "segments": 3, "segment": 250, "window": 100, "chunk": 125}
+
+LISTEN_RE = re.compile(r"listening on (\S+):(\d+)")
+METRICS_RE = re.compile(r"metrics on (\S+):(\d+)")
+
+#: Core non-stage series every scrape must carry.
+CORE_SERIES = (
+    "repro_observations_total",
+    "repro_alarms_raised_total",
+    "repro_alarms_explained_total",
+    "repro_streams",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+)
+
+
+def build_fleet(streams: int, segments: int, segment: int) -> dict[str, np.ndarray]:
+    """``streams`` unique regime-switching feeds."""
+    fleet: dict[str, np.ndarray] = {}
+    for index in range(streams):
+        rng = np.random.default_rng(index)
+        parts = [
+            rng.normal(3.0 if part % 2 else 0.0, 1.0, size=segment)
+            for part in range(segments)
+        ]
+        fleet[f"stream-{index:02d}"] = np.concatenate(parts)
+    return fleet
+
+
+async def _http_get(host: str, port: int, path: str = "/metrics") -> tuple[str, str]:
+    """One HTTP/1.1 GET; returns (status line, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode())
+        await writer.drain()
+        payload = await asyncio.wait_for(reader.read(), timeout=30)
+    finally:
+        writer.close()
+    head, _, body = payload.decode().partition("\r\n\r\n")
+    return head.split("\r\n")[0], body
+
+
+async def _drive(
+    host: str, port: int, metrics_host: str, metrics_port: int, fleet, chunk: int
+) -> dict:
+    """Feed the fleet, scraping mid-flight and after the drain."""
+    reader, writer = await asyncio.open_connection(host, port)
+    longest = max(values.size for values in fleet.values())
+    starts = list(range(0, longest, chunk))
+    scraped_mid = None
+    for index, start in enumerate(starts):
+        for stream_id, values in fleet.items():
+            piece = values[start:start + chunk]
+            if piece.size:
+                writer.write(
+                    (json.dumps({"stream": stream_id, "values": piece.tolist()}) + "\n").encode()
+                )
+                await writer.drain()
+        if scraped_mid is None and index >= len(starts) // 2:
+            # Mid-flight scrape: must succeed while chunks are in the air.
+            status, body = await _http_get(metrics_host, metrics_port)
+            assert status == "HTTP/1.1 200 OK", status
+            scraped_mid = parse_exposition(body)
+    writer.write(b'{"op": "drain"}\n')
+    await writer.drain()
+    ack = json.loads(await reader.readline())
+    if not ack.get("ok"):
+        raise RuntimeError(f"drain not acknowledged: {ack}")
+
+    status, body = await _http_get(metrics_host, metrics_port)
+    assert status == "HTTP/1.1 200 OK", status
+    final = parse_exposition(body)
+
+    status, _ = await _http_get(metrics_host, metrics_port, path="/nope")
+    assert status == "HTTP/1.1 404 Not Found", status
+
+    writer.write(b'{"op": "stats"}\n')
+    await writer.drain()
+    stats_reply = json.loads(await reader.readline())
+    if not stats_reply.get("ok"):
+        raise RuntimeError(f"stats not acknowledged: {stats_reply}")
+
+    writer.write(b'{"op": "shutdown"}\n')
+    await writer.drain()
+    ack = json.loads(await reader.readline())
+    if not ack.get("ok"):
+        raise RuntimeError(f"shutdown not acknowledged: {ack}")
+    writer.close()
+    return {"mid": scraped_mid, "final": final, "stats": stats_reply["stats"]}
+
+
+def run_child(fleet: dict[str, np.ndarray], window: int, chunk: int) -> dict:
+    """Start the serve child, drive it, and return the scrape results."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--metrics",
+            "127.0.0.1:0",
+            "--window",
+            str(window),
+            "--summary-only",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        metrics_addr = listen_addr = None
+        while metrics_addr is None or listen_addr is None:
+            line = child.stdout.readline()
+            if not line:
+                raise RuntimeError("child exited before announcing its ports")
+            if match := METRICS_RE.search(line):
+                metrics_addr = (match.group(1), int(match.group(2)))
+            if match := LISTEN_RE.search(line):
+                listen_addr = (match.group(1), int(match.group(2)))
+        started = time.perf_counter()
+        result = asyncio.run(
+            _drive(*listen_addr, *metrics_addr, fleet, chunk)
+        )
+        result["seconds"] = time.perf_counter() - started
+        _, stderr = child.communicate(timeout=120)
+        if child.returncode != 0:
+            raise RuntimeError(f"child exited with {child.returncode}:\n{stderr}")
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait()
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the machine-readable JSON")
+    args = parser.parse_args(argv)
+
+    scale = QUICK if args.quick else FULL
+    fleet = build_fleet(scale["streams"], scale["segments"], scale["segment"])
+    observations = sum(values.size for values in fleet.values())
+
+    result = run_child(fleet, scale["window"], scale["chunk"])
+    final = result["final"]
+
+    failures: list[str] = []
+    count_series = f"{STAGE_METRIC}_count"
+    for scrape_name in ("mid", "final"):
+        scrape = result[scrape_name]
+        if count_series not in scrape:
+            failures.append(f"{scrape_name}: no {count_series} series")
+            continue
+        stages = {dict(labels).get("stage") for labels in scrape[count_series]}
+        missing = set(STAGES) - stages
+        if missing:
+            failures.append(f"{scrape_name}: missing stage series {sorted(missing)}")
+    for series in CORE_SERIES:
+        if series not in final:
+            failures.append(f"final: missing {series}")
+
+    served = sum(final.get("repro_observations_total", {}).values())
+    if served != observations:
+        failures.append(
+            f"final: repro_observations_total {served} != sent {observations}"
+        )
+    alarms = sum(final.get("repro_alarms_raised_total", {}).values())
+    explained = sum(final.get("repro_alarms_explained_total", {}).values())
+    if not alarms:
+        failures.append("final: the fleet never alarmed; nothing was measured")
+    if explained != alarms:
+        failures.append(f"final: {alarms} alarms but {explained} explained")
+    stage_counts = {
+        dict(labels)["stage"]: value
+        for labels, value in final.get(count_series, {}).items()
+    }
+    for stage in ("ingest_enqueue", "detect", "explain"):
+        if not stage_counts.get(stage):
+            failures.append(f"final: stage {stage!r} has no samples")
+    stats = result["stats"]
+    if "p95_latency" not in stats or "shard_skew" not in stats:
+        failures.append(f"stats op is missing autoscale signals: {sorted(stats)}")
+
+    payload = {
+        "benchmark": "metrics_smoke",
+        "quick": args.quick,
+        "streams": scale["streams"],
+        "observations": observations,
+        "replay_seconds": round(result["seconds"], 4),
+        "alarms": alarms,
+        "explained": explained,
+        "stage_sample_counts": stage_counts,
+        "families_scraped": len(final),
+        "stats_op": {
+            key: stats.get(key)
+            for key in ("latency_stage", "latency_samples", "p95_latency",
+                        "p99_latency", "shard_skew")
+        },
+        "failures": failures,
+        "ok": not failures,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"scraped {len(final)} families; stage samples: {stage_counts}")
+    print(f"alarms {alarms} (explained {explained}); "
+          f"stats op: {payload['stats_op']}")
+    print(f"written to {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("metrics smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

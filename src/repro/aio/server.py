@@ -68,6 +68,14 @@ class AsyncIngestServer:
         if op == "report":
             report = await self.service.report()
             return {"ok": True, "report": canonical_report_dict(report.to_dict())}
+        if op == "metrics":
+            # The Prometheus text exposition, inside a JSON envelope for
+            # wire clients; HTTP scrapers use the /metrics listener.
+            return {"ok": True, "metrics": await self.service.metrics_text()}
+        if op == "stats":
+            # Live executor stats + autoscale signals; unlike `report`
+            # this does not drain, so it is safe to poll mid-ingest.
+            return {"ok": True, "stats": await self.service.stats()}
         if op == "shutdown":
             # Ack first, then stop: the source flushes this reply while it
             # winds the connections down.

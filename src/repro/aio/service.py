@@ -203,6 +203,23 @@ class AsyncExplanationService:
         """Drain and build the service report, off-loop."""
         return await self._call(self._service.report)
 
+    async def metrics_text(self) -> str:
+        """Render the Prometheus exposition of the service's metrics.
+
+        Non-draining (see :meth:`ExplanationService.scrape_metrics`): a
+        scrape observes the pipeline, it never stalls it.
+        """
+        return await self._call(self._service.scrape_metrics)
+
+    async def stats(self) -> dict:
+        """Executor stats merged with the latency autoscale signals."""
+        def collect() -> dict:
+            stats = dict(self._service.stats())
+            stats.update(self._service.autoscale_signals())
+            return stats
+
+        return await self._call(collect)
+
     async def snapshot_now(self) -> ServiceSnapshot:
         """Capture one service snapshot (drains first), off-loop.
 

@@ -46,7 +46,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.cluster.autoscale import Autoscaler, QueueDepthPolicy
+from repro.cluster.autoscale import Autoscaler, LatencyPolicy, QueueDepthPolicy
 from repro.cluster.base import EXECUTOR_NAMES
 from repro.core.ks import ks_test
 from repro.core.preference import PreferenceList
@@ -140,32 +140,54 @@ def _stream_ids(paths: Sequence[str]) -> list[str]:
     return ids
 
 
-def _parse_listen(value: str) -> tuple[str, int]:
+def _parse_listen(value: str, flag: str = "--listen") -> tuple[str, int]:
     """``HOST:PORT`` -> ``(host, port)``; port 0 binds an ephemeral port."""
     host, sep, port_text = value.rpartition(":")
     if not sep or not host:
-        raise ReproError(f"--listen expects HOST:PORT (got {value!r})")
+        raise ReproError(f"{flag} expects HOST:PORT (got {value!r})")
     try:
         port = int(port_text)
     except ValueError:
-        raise ReproError(f"--listen port must be an integer (got {port_text!r})")
+        raise ReproError(f"{flag} port must be an integer (got {port_text!r})")
     if not 0 <= port <= 65535:
-        raise ReproError(f"--listen port {port} is out of range")
+        raise ReproError(f"{flag} port {port} is out of range")
     return host, port
 
 
 async def _serve_listen(
-    service, host: str, port: int, snapshot_path, snapshot_interval, autoscaler=None
+    service,
+    host: str,
+    port: int,
+    snapshot_path,
+    snapshot_interval,
+    autoscaler=None,
+    metrics_bind=None,
 ):
     """Run the TCP ingest front-end until a client requests shutdown."""
     from repro.aio import AsyncExplanationService, serve_listen
 
     aio = AsyncExplanationService(service)
+    metrics_server = None
     try:
         if snapshot_path is not None:
             # The service checkpoints itself on a timer (bounded staleness)
             # instead of relying on replay rounds it does not have here.
             aio.start_snapshot_task(snapshot_path, snapshot_interval)
+        if metrics_bind is not None:
+            from repro.obs import start_metrics_server
+
+            def announce_metrics(address: tuple) -> None:
+                print(f"metrics on {address[0]}:{address[1]}", flush=True)
+
+            # Scrapes render through the dedicated ingest thread
+            # (`metrics_text`) so a worker stats round-trip never stalls
+            # the event loop mid-ingest.
+            metrics_server = await start_metrics_server(
+                aio.metrics_text,
+                metrics_bind[0],
+                metrics_bind[1],
+                on_bound=announce_metrics,
+            )
 
         def announce(address: tuple) -> None:
             print(f"listening on {address[0]}:{address[1]}", flush=True)
@@ -177,6 +199,9 @@ async def _serve_listen(
             await aio.snapshot_now()
         return report
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
+            await metrics_server.wait_closed()
         if autoscaler is not None:
             # Stopped before the service closes, so a late tick cannot
             # resize a dead executor and read as a spurious failure.
@@ -188,6 +213,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.chunk < 1:
         raise ReproError("--chunk must be at least 1")
     listen = _parse_listen(args.listen) if args.listen is not None else None
+    metrics_bind = (
+        _parse_listen(args.metrics, flag="--metrics")
+        if args.metrics is not None
+        else None
+    )
+    if metrics_bind is not None and listen is None:
+        raise ReproError(
+            "--metrics serves HTTP scrapes from the live ingest loop; "
+            "it requires --listen"
+        )
+    if args.cache_ttl is not None and args.cache_ttl <= 0:
+        raise ReproError("--cache-ttl must be positive")
     if listen is None and not args.series:
         raise ReproError("serve needs series files to replay, or --listen HOST:PORT")
     if listen is not None and args.series:
@@ -222,6 +259,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError(
             "--autoscale-interval requires --min-shards/--max-shards"
         )
+    if args.autoscale_policy is not None and not autoscale:
+        raise ReproError(
+            "--autoscale-policy requires --min-shards/--max-shards"
+        )
+    if args.target_p95 is not None:
+        if args.autoscale_policy != "latency":
+            raise ReproError("--target-p95 requires --autoscale-policy latency")
+        if args.target_p95 <= 0:
+            raise ReproError("--target-p95 must be positive (seconds)")
     if args.snapshot_every is not None:
         if listen is not None:
             raise ReproError(
@@ -263,6 +309,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # queue-depth policy elastically resizes it between the bounds as
         # the replay load develops.
         shards = shards if shards is not None else args.min_shards
+    # Metrics instrument the service when anything consumes them: an HTTP
+    # scrape endpoint, or the latency autoscaler (it decides on the p95 of
+    # the merged stage histograms).
+    metrics_enabled = metrics_bind is not None or args.autoscale_policy == "latency"
     overrides = {
         name: value
         for name, value in (
@@ -271,6 +321,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ("queue_capacity", args.queue_capacity),
             ("policy", args.policy),
             ("shards", shards),
+            ("cache_ttl", args.cache_ttl),
+            ("metrics", metrics_enabled or None),
         )
         if value is not None
     }
@@ -285,12 +337,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ) as service:
         autoscaler = None
         if autoscale:
-            autoscaler = Autoscaler(
-                service.executor,
-                QueueDepthPolicy(
-                    min_shards=args.min_shards, max_shards=args.max_shards
-                ),
-            )
+            if args.autoscale_policy == "latency":
+                policy_kwargs = {}
+                if args.target_p95 is not None:
+                    # Keep the scale-down watermark a decade under the
+                    # target so sub-50ms targets stay constructible.
+                    policy_kwargs["target_p95"] = args.target_p95
+                    policy_kwargs["scale_down_p95"] = args.target_p95 / 10.0
+                policy = LatencyPolicy(
+                    min_shards=args.min_shards,
+                    max_shards=args.max_shards,
+                    **policy_kwargs,
+                )
+                autoscaler = Autoscaler(
+                    service.executor, policy, signals=service.autoscale_signals
+                )
+            else:
+                autoscaler = Autoscaler(
+                    service.executor,
+                    QueueDepthPolicy(
+                        min_shards=args.min_shards, max_shards=args.max_shards
+                    ),
+                )
             # A daemon tick thread drives the pool, so it stays elastic
             # even while the replay loop is blocked on backpressure.
             autoscaler.start(
@@ -351,6 +419,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     snapshot_path,
                     interval,
                     autoscaler=autoscaler,
+                    metrics_bind=metrics_bind,
                 )
             )
         else:
@@ -525,6 +594,26 @@ def build_parser() -> argparse.ArgumentParser:
                               help="seconds between background autoscaler "
                                    "ticks (with --min-shards/--max-shards; "
                                    "default 0.25)")
+    serve_parser.add_argument("--autoscale-policy",
+                              choices=("queue-depth", "latency"), default=None,
+                              help="autoscaling signal: queue-depth "
+                                   "(backpressure gauge; default) or latency "
+                                   "(p95 explanation latency and shard load "
+                                   "skew from the stage histograms; enables "
+                                   "metrics on the service)")
+    serve_parser.add_argument("--target-p95", type=float, default=None,
+                              help="explanation-latency p95 in seconds at or "
+                                   "above which the latency policy adds a "
+                                   "shard (default 0.5)")
+    serve_parser.add_argument("--metrics", metavar="HOST:PORT", default=None,
+                              help="with --listen: also serve a Prometheus "
+                                   "/metrics HTTP endpoint on this address "
+                                   "(port 0 binds an ephemeral port and the "
+                                   "chosen one is printed); enables stage-"
+                                   "latency telemetry on the service")
+    serve_parser.add_argument("--cache-ttl", type=float, default=None,
+                              help="age out shared-cache entries after this "
+                                   "many seconds (default: never expire)")
     serve_parser.add_argument("--snapshot-dir", default=None,
                               help="checkpoint the service state into this "
                                    "directory after every replay round and "

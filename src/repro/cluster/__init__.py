@@ -23,7 +23,12 @@ path, also used in-process by the engine), :mod:`~repro.cluster.worker`
 (the shard process main loop).
 """
 
-from repro.cluster.autoscale import Autoscaler, AutoscaleDecision, QueueDepthPolicy
+from repro.cluster.autoscale import (
+    Autoscaler,
+    AutoscaleDecision,
+    LatencyPolicy,
+    QueueDepthPolicy,
+)
 from repro.cluster.base import EXECUTOR_NAMES, Executor, ExecutorHooks, make_executor
 from repro.cluster.executors import InlineExecutor, ThreadExecutor
 from repro.cluster.partition import HashRing, stable_hash
@@ -72,6 +77,7 @@ __all__ = [
     "MigrateOut",
     "MigrateOutDone",
     "ProcessShardExecutor",
+    "LatencyPolicy",
     "QueueDepthPolicy",
     "RegisterStream",
     "RemoveStream",

@@ -1,25 +1,34 @@
-"""Queue-depth-driven elastic autoscaling for the sharded executor.
+"""Elastic autoscaling policies for the sharded executor.
 
 :meth:`ProcessShardExecutor.resize` is the mechanism; this module is the
-policy.  The signal is the executor's own backpressure gauge — the fraction
-of the bounded in-flight chunk capacity currently outstanding — because it
-is exactly what a producer experiences: near 1.0 the producers are about to
-block, near 0.0 the pool is idle.
+policy.  Two signals are available:
+
+* **Queue depth** (:class:`QueueDepthPolicy`) — the executor's own
+  backpressure gauge, the fraction of the bounded in-flight chunk capacity
+  currently outstanding: near 1.0 the producers are about to block, near
+  0.0 the pool is idle.
+* **Tail latency** (:class:`LatencyPolicy`) — the p95 of the ``explain``
+  (or ``wire_roundtrip``) stage histogram from :mod:`repro.obs`, plus
+  per-shard load skew.  A fleet can be *slow without being deep*: a few
+  hot streams hashed onto one shard keep the queue shallow while that
+  shard's explanations crawl — queue depth alone never fires, tail
+  latency does.
 
 The split is deliberate:
 
-* :class:`QueueDepthPolicy` is a pure decision function (depth, shard
-  count) → target shard count, with hysteresis (distinct scale-up and
-  scale-down watermarks) and a cooldown so one burst cannot thrash the pool
-  through repeated spawn/migrate cycles.  Being pure, it is testable
-  without a single worker process.
-* :class:`Autoscaler` is the driver: ``tick()`` reads the executor's stats,
-  asks the policy, and applies the decision through the ``Executor`` seam
-  (``resize()``), recording every decision for the operator.  Tick it from
-  any loop, or — the usual deployment — call :meth:`Autoscaler.start` to
-  drive it from a daemon background thread on a fixed interval, so the
-  pool stays elastic even when nothing is ingesting
-  (``repro serve --min-shards/--max-shards`` runs it this way).
+* Policies are pure decision functions (signals → target shard count) with
+  hysteresis (distinct scale-up and scale-down watermarks) and a cooldown
+  so one burst cannot thrash the pool through repeated spawn/migrate
+  cycles.  Being pure, they are testable without a single worker process.
+* :class:`Autoscaler` is the driver: ``tick()`` reads the executor's stats
+  (merged with an optional ``signals`` provider, e.g.
+  ``ExplanationService.autoscale_signals``), asks the policy, and applies
+  the decision through the ``Executor`` seam (``resize()``), recording
+  every decision for the operator.  Tick it from any loop, or — the usual
+  deployment — call :meth:`Autoscaler.start` to drive it from a daemon
+  background thread on a fixed interval, so the pool stays elastic even
+  when nothing is ingesting (``repro serve --min-shards/--max-shards``
+  runs it this way).
 
 Executors without a queue-depth gauge (inline/thread) simply never trigger
 a decision, so an autoscaler can be attached unconditionally.
@@ -40,16 +49,18 @@ class AutoscaleDecision:
 
     shards: int  #: shard count before the step
     target: int  #: shard count requested
-    depth: float  #: queue depth (outstanding / capacity) that triggered it
+    depth: float  #: queue depth (outstanding / capacity) at decision time
+    reason: str = ""  #: policy's own account of why it moved
 
     @property
     def direction(self) -> str:
         return "up" if self.target > self.shards else "down"
 
     def render(self) -> str:
+        why = self.reason or f"queue depth {self.depth:.2f}"
         return (
             f"autoscale {self.direction}: {self.shards} -> {self.target} shards "
-            f"(queue depth {self.depth:.2f})"
+            f"({why})"
         )
 
 
@@ -116,12 +127,149 @@ class QueueDepthPolicy:
         return None
 
 
-class Autoscaler:
-    """Drives ``Executor.resize`` from the executor's own queue-depth gauge."""
+class LatencyPolicy:
+    """Hysteresis policy driven by tail latency and per-shard load skew.
 
-    def __init__(self, executor, policy: Optional[QueueDepthPolicy] = None) -> None:
+    Consumes the signal dictionary produced by
+    :meth:`repro.service.engine.ExplanationService.autoscale_signals`
+    (merged into the executor stats by :class:`Autoscaler`):
+
+    ``p95_latency`` / ``p99_latency``
+        Seconds, from the merged stage histograms — the ``explain`` stage
+        when it has samples, else ``wire_roundtrip``.
+    ``latency_samples``
+        Observation count behind those quantiles; decisions are held until
+        at least ``min_samples`` so one slow cold-start explanation cannot
+        trigger a resize.
+    ``shard_skew``
+        max/mean of per-shard ingest counts; ``>= skew_threshold`` means
+        the hash placement left one shard doing most of the work, and an
+        extra shard re-spreads the streams.
+
+    This catches the case queue depth cannot: a pool that is *slow without
+    being deep* — a shallow queue whose few outstanding chunks each take
+    ages because one shard is saturated.
+
+    Parameters
+    ----------
+    min_shards, max_shards:
+        Inclusive bounds the pool may scale between.
+    target_p95:
+        Explanation p95 (seconds) at or above which one shard is added.
+    scale_down_p95:
+        p95 at or below which one shard is removed (the fleet is fast and
+        the extra shard only costs memory and cold caches).
+    skew_threshold:
+        ``shard_skew`` at or above which one shard is added regardless of
+        latency.
+    min_samples:
+        Minimum histogram observations before latency is trusted.
+    cooldown_ticks:
+        Observations to ignore after a step.
+    """
+
+    def __init__(
+        self,
+        min_shards: int = 1,
+        max_shards: int = 4,
+        target_p95: float = 0.5,
+        scale_down_p95: float = 0.05,
+        skew_threshold: float = 3.0,
+        min_samples: int = 8,
+        cooldown_ticks: int = 2,
+    ) -> None:
+        if min_shards < 1:
+            raise ValidationError("min_shards must be at least 1")
+        if max_shards < min_shards:
+            raise ValidationError("max_shards must be >= min_shards")
+        if not 0.0 <= scale_down_p95 < target_p95:
+            raise ValidationError(
+                "latency watermarks must satisfy 0 <= scale_down_p95 < target_p95"
+            )
+        if skew_threshold <= 1.0:
+            raise ValidationError("skew_threshold must be greater than 1")
+        if min_samples < 1:
+            raise ValidationError("min_samples must be at least 1")
+        if cooldown_ticks < 0:
+            raise ValidationError("cooldown_ticks must be non-negative")
+        self.min_shards = int(min_shards)
+        self.max_shards = int(max_shards)
+        self.target_p95 = float(target_p95)
+        self.scale_down_p95 = float(scale_down_p95)
+        self.skew_threshold = float(skew_threshold)
+        self.min_samples = int(min_samples)
+        self.cooldown_ticks = int(cooldown_ticks)
+        self._cooldown = 0
+        #: Why the last non-None decision was taken (for the operator).
+        self.last_reason = ""
+
+    def decide_signals(self, signals: dict) -> Optional[int]:
+        """Target shard count for one observation, or ``None`` to hold.
+
+        Like :meth:`QueueDepthPolicy.decide`, every decision moves one
+        shard at a time and starts a cooldown.
+        """
+        shards = signals.get("shards")
+        if shards is None:
+            return None
+        shards = int(shards)
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        p95 = signals.get("p95_latency")
+        samples = int(signals.get("latency_samples") or 0)
+        skew = signals.get("shard_skew")
+        latency_known = p95 is not None and samples >= self.min_samples
+        if shards < self.max_shards:
+            if latency_known and p95 >= self.target_p95:
+                stage = signals.get("latency_stage", "explain")
+                self.last_reason = (
+                    f"{stage} p95 {1000 * p95:.1f} ms >= "
+                    f"{1000 * self.target_p95:.1f} ms over {samples} samples"
+                )
+                self._cooldown = self.cooldown_ticks
+                return shards + 1
+            if skew is not None and skew >= self.skew_threshold:
+                self.last_reason = (
+                    f"shard load skew {skew:.2f} >= {self.skew_threshold:.2f}"
+                )
+                self._cooldown = self.cooldown_ticks
+                return shards + 1
+        if (
+            shards > self.min_shards
+            and latency_known
+            and p95 <= self.scale_down_p95
+            and (skew is None or skew < self.skew_threshold)
+        ):
+            self.last_reason = (
+                f"p95 {1000 * p95:.1f} ms <= {1000 * self.scale_down_p95:.1f} ms"
+            )
+            self._cooldown = self.cooldown_ticks
+            return shards - 1
+        return None
+
+
+class Autoscaler:
+    """Drives ``Executor.resize`` from executor stats and optional signals.
+
+    ``policy`` may be a :class:`QueueDepthPolicy` (legacy
+    ``decide(outstanding, capacity, shards)`` contract) or any object with
+    ``decide_signals(signals) -> Optional[int]`` such as
+    :class:`LatencyPolicy`.  ``signals`` is an optional zero-argument
+    callable — typically
+    ``ExplanationService.autoscale_signals`` — whose dictionary is merged
+    over the executor stats before each decision.
+    """
+
+    def __init__(
+        self,
+        executor,
+        policy: Optional[QueueDepthPolicy] = None,
+        signals=None,
+    ) -> None:
         self._executor = executor
         self.policy = policy or QueueDepthPolicy()
+        self._signals = signals
         self.decisions: list[AutoscaleDecision] = []
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
@@ -199,13 +347,24 @@ class Autoscaler:
         shards = stats.get("shards")
         if outstanding is None or capacity is None or shards is None:
             return None
-        target = self.policy.decide(int(outstanding), int(capacity), int(shards))
+        if self._signals is not None:
+            try:
+                stats = {**stats, **(self._signals() or {})}
+            except Exception:
+                # A metrics hiccup must never take down the scaling loop;
+                # fall back to the bare executor stats for this tick.
+                pass
+        if hasattr(self.policy, "decide_signals"):
+            target = self.policy.decide_signals(stats)
+        else:
+            target = self.policy.decide(int(outstanding), int(capacity), int(shards))
         if target is None:
             return None
         decision = AutoscaleDecision(
             shards=int(shards),
             target=int(target),
             depth=int(outstanding) / int(capacity) if capacity else 0.0,
+            reason=getattr(self.policy, "last_reason", ""),
         )
         self._executor.resize(target)
         self.decisions.append(decision)

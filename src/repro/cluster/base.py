@@ -53,12 +53,18 @@ class ExecutorHooks:
     snapshot:
         ``snapshot() -> {stream_id: config_dict}``; the registry snapshot a
         respawned shard re-registers its streams from.
+    metrics:
+        The service's :class:`~repro.obs.metrics.MetricsRegistry`, or
+        ``None`` when telemetry is disabled.  Executors use it to observe
+        their own stages (batch wait, wire round-trip) and to decide
+        whether shard workers should run instrumented.
     """
 
     explain: Callable
     record: Callable
     record_reply: Callable
     snapshot: Callable[[], dict]
+    metrics: Optional[object] = None
 
 
 class Executor(abc.ABC):
@@ -160,6 +166,15 @@ class Executor(abc.ABC):
         in-process executors), so the service report needs no merge.  The
         process backend returns the summed per-shard
         :meth:`~repro.service.cache.SharedCaches.stats_dict` counters.
+        """
+        return None
+
+    def metrics_state(self) -> Optional[dict]:
+        """Worker-side metrics, as a mergeable registry ``state_dict``.
+
+        ``None`` means every stage was observed in the parent registry (the
+        in-process executors).  The process backend returns the merged
+        per-shard payloads it collected alongside :meth:`cache_stats`.
         """
         return None
 

@@ -103,6 +103,7 @@ class ThreadExecutor(Executor):
         self._batcher = MicroBatcher(
             handler=self.hooks.explain,
             on_outcome=self.hooks.record,
+            metrics=self.hooks.metrics,
             **self._options,
         )
 

@@ -21,12 +21,14 @@ A :class:`ShardRuntime` has no threads and no queues; the worker main loop
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Hashable, Optional
 
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry, stage_histogram
 from repro.service.cache import SharedCaches, array_digest
 from repro.service.registry import StreamConfig, attribute_stream
 from repro.cluster.wire import AlarmRecord, IngestReply
@@ -141,10 +143,24 @@ class ShardRuntime:
     detection and explanation both run here, so a fleet sharded over N
     processes uses N cores end to end instead of serialising the pure-Python
     MOCHE hot path behind one GIL.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) makes the
+    runtime observe its ``detect`` and ``explain`` stage latencies;
+    ``metric_labels`` (e.g. ``{"shard": "shard-0"}``) tags the series so
+    per-shard histograms stay distinguishable after the parent merges them.
     """
 
-    def __init__(self, caches: Optional[SharedCaches] = None):
+    def __init__(
+        self,
+        caches: Optional[SharedCaches] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[dict] = None,
+    ):
         self.caches = caches or SharedCaches()
+        self.metrics = metrics
+        labels = metric_labels or {}
+        self._m_detect = stage_histogram(metrics, "detect", **labels)
+        self._m_explain = stage_histogram(metrics, "explain", **labels)
         self._streams: dict[str, _ShardStream] = {}
 
     # ------------------------------------------------------------------
@@ -250,7 +266,12 @@ class ShardRuntime:
             raise ValidationError(f"unknown stream {stream_id!r}") from None
         chunk = coerce_observations(values, stream.config)
         tests_before = getattr(stream.detector, "tests_run", 0)
-        alarms = run_detection(stream.detector, stream.config, chunk)
+        if self._m_detect is not None:
+            detect_started = time.perf_counter()
+            alarms = run_detection(stream.detector, stream.config, chunk)
+            self._m_detect.observe(time.perf_counter() - detect_started)
+        else:
+            alarms = run_detection(stream.detector, stream.config, chunk)
         records = [self._explain(stream, stream_id, alarm) for alarm in alarms]
         return IngestReply(
             seq=seq,
@@ -263,6 +284,7 @@ class ShardRuntime:
 
     def _explain(self, stream: _ShardStream, stream_id: str, alarm) -> AlarmRecord:
         """Resolve one alarm into a record, capturing explainer errors per alarm."""
+        explain_started = time.perf_counter() if self._m_explain is not None else None
         try:
             explanation, from_cache = explain_alarm(
                 stream.config,
@@ -271,6 +293,8 @@ class ShardRuntime:
                 alarm.reference,
                 alarm.test,
             )
+            if explain_started is not None:
+                self._m_explain.observe(time.perf_counter() - explain_started)
         except Exception as exc:
             return AlarmRecord(
                 stream_id=stream_id,

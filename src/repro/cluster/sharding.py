@@ -68,6 +68,7 @@ from repro.cluster.wire import (
 )
 from repro.cluster.worker import shard_worker_main
 from repro.exceptions import ServiceBackendError, ValidationError
+from repro.obs.metrics import merge_metric_states, stage_histogram
 from repro.service.cache import merge_cache_contents, merge_stats_dicts
 from repro.utils.deferred import DeferredErrors
 
@@ -170,12 +171,24 @@ class ProcessShardExecutor(Executor):
         self._retired = 0
         self._state_lost: set[str] = set()
         self._worker_cache_stats: dict[str, dict] = {}
+        # Telemetry: per-shard metrics snapshots are cumulative, so the
+        # parent keeps the *latest* payload per shard id (latest-wins; a
+        # respawned shard restarts its counts) and merges them on demand.
+        self._metrics_on = False
+        self._m_wire = None  # parent-side wire_roundtrip histogram
+        self._ingest_started: dict[int, float] = {}  # seq -> enqueue stamp
+        self._shard_ingests: dict[str, int] = {}  # shard id -> chunks routed
+        self._worker_metrics: dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     # Startup / shutdown
     # ------------------------------------------------------------------
     def _start(self) -> None:
         self._bound = True
+        registry = self.hooks.metrics if self.hooks is not None else None
+        self._metrics_on = registry is not None and getattr(registry, "enabled", False)
+        if self._metrics_on:
+            self._m_wire = stage_histogram(registry, "wire_roundtrip")
         for shard in self._shards.values():
             self._spawn(shard)
         self._collector = threading.Thread(
@@ -199,7 +212,13 @@ class ProcessShardExecutor(Executor):
         reader, writer = self._ctx.Pipe(duplex=False)
         shard.process = self._ctx.Process(
             target=shard_worker_main,
-            args=(shard.shard_id, shard.commands, writer, self._cache_config),
+            args=(
+                shard.shard_id,
+                shard.commands,
+                writer,
+                self._cache_config,
+                self._metrics_on,
+            ),
             daemon=True,
         )
         shard.process.start()
@@ -337,9 +356,18 @@ class ProcessShardExecutor(Executor):
                                 # race past an unregistered completion.
                                 self._completions[seq] = completion
                             self._ingests += 1
+                            self._shard_ingests[shard.shard_id] = (
+                                self._shard_ingests.get(shard.shard_id, 0) + 1
+                            )
+                            stamp = time.monotonic() if self._metrics_on else None
+                            if stamp is not None:
+                                self._ingest_started[seq] = stamp
                             shard.commands.put(
                                 IngestChunk(
-                                    seq=seq, stream_id=state.stream_id, values=values
+                                    seq=seq,
+                                    stream_id=state.stream_id,
+                                    values=values,
+                                    enqueued_at=stamp,
                                 )
                             )
                             return
@@ -429,6 +457,7 @@ class ProcessShardExecutor(Executor):
             lost = [seq for seq, owner in self._outstanding.items() if owner == shard_id]
             for seq in lost:
                 del self._outstanding[seq]
+                self._ingest_started.pop(seq, None)
             self._lost_chunks += len(lost)
             completions = [
                 self._completions.pop(seq) for seq in lost if seq in self._completions
@@ -835,7 +864,24 @@ class ProcessShardExecutor(Executor):
                     *(reply.cache_stats for reply in replies.values())
                 )
                 self._worker_cache_stats = merged
+                for shard_id, reply in replies.items():
+                    metrics = getattr(reply, "metrics", None)
+                    if metrics:
+                        # Cumulative snapshots: latest per shard id wins.
+                        self._worker_metrics[shard_id] = metrics
                 return merged
+
+    def metrics_state(self) -> Optional[dict]:
+        """Latest per-shard metrics snapshots, merged into one payload.
+
+        Refreshed by :meth:`cache_stats` (the ``CollectStats`` round trip
+        carries both); returns ``None`` until a shard has reported.
+        """
+        with self._cv:
+            snapshots = list(self._worker_metrics.values())
+        if not snapshots:
+            return None
+        return merge_metric_states(snapshots).state_dict()
 
     # ------------------------------------------------------------------
     # Persistence (service snapshots / warm restarts)
@@ -1032,11 +1078,17 @@ class ProcessShardExecutor(Executor):
     def _ack(self, seq: int, served: bool = False) -> None:
         with self._cv:
             known = self._outstanding.pop(seq, None) is not None
+            started = self._ingest_started.pop(seq, None)
             if not known and served and self._lost_chunks > 0:
                 # The chunk was abandoned as lost when its shard died, but
                 # its reply had already made it out: it was fully served.
                 self._lost_chunks -= 1
             self._cv.notify_all()
+        if served and started is not None and self._m_wire is not None:
+            # Enqueue-to-acknowledgement: queue residency + detection +
+            # explanation + the reply's trip back, i.e. what a producer
+            # actually waits for under the process executor.
+            self._m_wire.observe(max(0.0, time.monotonic() - started))
 
     def _defer(self, error: Exception) -> None:
         self._deferred.add(error)
@@ -1081,6 +1133,7 @@ class ProcessShardExecutor(Executor):
                 "shards": self.shard_count,
                 "capacity": self.capacity,
                 "ingests": self._ingests,
+                "shard_ingests": dict(self._shard_ingests),
                 "outstanding": len(self._outstanding),
                 "restarts": self._restarts,
                 "retired_shards": self._retired,

@@ -70,11 +70,18 @@ class RemoveStream:
 
 @dataclass(frozen=True)
 class IngestChunk:
-    """One chunk of observations for one stream, tagged for acknowledgement."""
+    """One chunk of observations for one stream, tagged for acknowledgement.
+
+    ``enqueued_at`` is a ``time.monotonic()`` stamp taken when the parent
+    enqueued the chunk; monotonic clocks are system-wide on Linux, so the
+    worker subtracts it from its own clock to observe the micro-batch wait
+    (queue residency) of the chunk.  ``None`` when metrics are disabled.
+    """
 
     seq: int
     stream_id: str
     values: np.ndarray
+    enqueued_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -203,11 +210,19 @@ class MigrateInDone:
 
 @dataclass
 class ShardStatsReply:
-    """One worker's private cache statistics (``SharedCaches.stats_dict()``)."""
+    """One worker's private cache statistics and metrics snapshot.
+
+    ``cache_stats`` is a ``SharedCaches.stats_dict()`` payload; ``metrics``
+    is a ``MetricsRegistry.state_dict()`` payload (empty when the worker
+    runs with metrics disabled) that the parent merges into its own
+    registry — fixed-bucket histograms merge exactly, so per-shard stage
+    latencies combine into fleet-wide quantiles.
+    """
 
     shard_id: str
     epoch: int
     cache_stats: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
 
 
 @dataclass

@@ -16,8 +16,10 @@ reply and the worker keeps serving.  Only ``Shutdown`` (clean) and
 from __future__ import annotations
 
 import os
+import time
 
 from repro.cluster.runtime import ShardRuntime
+from repro.obs.metrics import MetricsRegistry, stage_histogram
 from repro.cluster.wire import (
     CaptureState,
     CollectStats,
@@ -39,7 +41,9 @@ from repro.cluster.wire import (
 from repro.service.cache import SharedCaches
 
 
-def shard_worker_main(shard_id: str, commands, replies, cache_config=None) -> None:
+def shard_worker_main(
+    shard_id: str, commands, replies, cache_config=None, metrics_enabled: bool = False
+) -> None:
     """Serve one shard until told to shut down.
 
     Parameters
@@ -56,6 +60,12 @@ def shard_worker_main(shard_id: str, commands, replies, cache_config=None) -> No
     cache_config:
         Optional keyword arguments for this shard's private
         :class:`~repro.service.cache.SharedCaches`.
+    metrics_enabled:
+        When True the worker keeps a private
+        :class:`~repro.obs.metrics.MetricsRegistry` (stage histograms
+        labelled with this shard's id) and ships its ``state_dict`` inside
+        every :class:`~repro.cluster.wire.ShardStatsReply`, where the
+        parent merges it into the service-wide registry.
     """
     try:
         # Third-party backends must exist on *this* side of the wire too:
@@ -72,7 +82,13 @@ def shard_worker_main(shard_id: str, commands, replies, cache_config=None) -> No
         replies.send(
             WorkerFailure(shard_id, f"backend entry-point loading failed: {exc!r}")
         )
-    runtime = ShardRuntime(caches=SharedCaches(**(cache_config or {})))
+    metrics = MetricsRegistry(enabled=True) if metrics_enabled else None
+    batch_wait = stage_histogram(metrics, "batch_wait", shard=shard_id)
+    runtime = ShardRuntime(
+        caches=SharedCaches(**(cache_config or {})),
+        metrics=metrics,
+        metric_labels={"shard": shard_id},
+    )
     while True:
         command = commands.get()
         try:
@@ -108,6 +124,7 @@ def shard_worker_main(shard_id: str, commands, replies, cache_config=None) -> No
                         shard_id=shard_id,
                         epoch=command.epoch,
                         cache_stats=runtime.caches.stats_dict(),
+                        metrics=metrics.state_dict() if metrics is not None else {},
                     )
                 )
             elif isinstance(command, CaptureState):
@@ -122,6 +139,10 @@ def shard_worker_main(shard_id: str, commands, replies, cache_config=None) -> No
             elif isinstance(command, SeedCaches):
                 runtime.caches.restore_contents(command.contents)
             elif isinstance(command, IngestChunk):
+                if batch_wait is not None and command.enqueued_at is not None:
+                    # Monotonic clocks are system-wide on Linux, so the
+                    # parent's enqueue stamp is comparable here.
+                    batch_wait.observe(max(0.0, time.monotonic() - command.enqueued_at))
                 if command.stream_id not in runtime:
                     # The stream was removed while this chunk was in
                     # flight; acknowledge it empty (the parent tolerates

@@ -1,0 +1,46 @@
+"""Self-observation for the explanation service.
+
+``repro.obs`` is the telemetry layer threaded through every executor:
+
+* :mod:`~repro.obs.metrics` — counters, gauges and fixed-bucket latency
+  histograms (p50/p95/p99) in a thread-safe, picklable
+  :class:`~repro.obs.metrics.MetricsRegistry` whose per-shard state
+  merges exactly across processes;
+* :mod:`~repro.obs.prometheus` — text exposition (format 0.0.4)
+  rendering and a strict parser for smoke tests;
+* :mod:`~repro.obs.exporter` — a dependency-free asyncio HTTP server
+  answering ``GET /metrics``.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    STAGE_METRIC,
+    STAGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_summary,
+    merge_metric_states,
+    register_stage_histograms,
+    stage_histogram,
+)
+from repro.obs.prometheus import parse_exposition, render_registry
+from repro.obs.exporter import start_metrics_server
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "STAGES",
+    "STAGE_METRIC",
+    "latency_summary",
+    "merge_metric_states",
+    "parse_exposition",
+    "register_stage_histograms",
+    "render_registry",
+    "stage_histogram",
+    "start_metrics_server",
+]

@@ -1,0 +1,112 @@
+"""Minimal asyncio HTTP exporter for ``GET /metrics``.
+
+The service already speaks newline-JSON over TCP (:mod:`repro.aio.server`);
+Prometheus speaks HTTP.  Rather than pull in an HTTP framework the image
+does not ship, this module implements the three-line subset of HTTP/1.1 a
+scraper needs: parse the request line, answer ``GET /metrics`` with the
+text exposition, 404 anything else, close the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Optional, Tuple
+
+from repro.obs.prometheus import CONTENT_TYPE
+
+__all__ = ["start_metrics_server"]
+
+RenderFn = Callable[[], "str | Awaitable[str]"]
+MAX_REQUEST_BYTES = 8192
+
+
+async def _read_request_head(reader: asyncio.StreamReader) -> str:
+    """Read up to the blank line terminating the request head."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > MAX_REQUEST_BYTES:
+        raise ValueError("request head too large")
+    return head.decode("latin-1", errors="replace")
+
+
+def _response(status: str, body: str, content_type: str = CONTENT_TYPE) -> bytes:
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + payload
+
+
+async def start_metrics_server(
+    render: RenderFn,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    on_bound: Optional[Callable[[Tuple[str, int]], Awaitable[None] | None]] = None,
+) -> asyncio.AbstractServer:
+    """Serve ``GET /metrics`` from ``render()`` until the server is closed.
+
+    ``render`` may be a plain callable (runs on the event loop thread, so
+    it must be quick — the registry snapshot is in-memory) or a coroutine
+    function (awaited per scrape — use this when rendering involves a
+    blocking wire round-trip, e.g.
+    :meth:`~repro.aio.service.AsyncExplanationService.metrics_text`).
+    ``on_bound`` receives the bound ``(host, port)`` — useful with
+    ``port=0`` in tests and the CLI.
+    """
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                head = await asyncio.wait_for(_read_request_head(reader), timeout=10.0)
+            except (
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+                ValueError,
+                asyncio.TimeoutError,
+            ):
+                writer.write(_response("400 Bad Request", "bad request\n", "text/plain"))
+                return
+            request_line = head.split("\r\n", 1)[0]
+            parts = request_line.split()
+            method = parts[0] if parts else ""
+            path = parts[1].split("?", 1)[0] if len(parts) > 1 else ""
+            if method not in ("GET", "HEAD"):
+                writer.write(
+                    _response("405 Method Not Allowed", "method not allowed\n", "text/plain")
+                )
+            elif path not in ("/metrics", "/"):
+                writer.write(_response("404 Not Found", "not found\n", "text/plain"))
+            else:
+                try:
+                    body = render()
+                    if asyncio.iscoroutine(body):
+                        body = await body
+                except Exception as exc:  # surface render bugs to the scraper
+                    writer.write(
+                        _response(
+                            "500 Internal Server Error", f"render failed: {exc}\n", "text/plain"
+                        )
+                    )
+                else:
+                    writer.write(_response("200 OK", body if method == "GET" else ""))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    server = await asyncio.start_server(handle, host, port, limit=MAX_REQUEST_BYTES)
+    if on_bound is not None:
+        bound = server.sockets[0].getsockname()[:2]
+        result = on_bound((bound[0], bound[1]))
+        if asyncio.iscoroutine(result):
+            await result
+    return server

@@ -1,0 +1,149 @@
+"""Prometheus text exposition (format 0.0.4) rendering and parsing.
+
+:func:`render_registry` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+into the classic ``# HELP`` / ``# TYPE`` / sample-line exposition that any
+Prometheus-compatible scraper ingests.  :func:`parse_exposition` is the
+inverse used by the smoke tests and the CI ``metrics-smoke`` job — it is a
+deliberately strict parser for *our* output, not a general client library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Tuple
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render_registry", "parse_exposition"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{key}="{_escape_label_value(value)}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_registry(registry: MetricsRegistry) -> str:
+    """Render every instrument in ``registry`` as Prometheus text format."""
+    families: Dict[str, List[object]] = {}
+    for instrument in registry.instruments():
+        families.setdefault(instrument.name, []).append(instrument)
+
+    lines: List[str] = []
+    for name in sorted(families):
+        instruments = families[name]
+        first = instruments[0]
+        if isinstance(first, Counter):
+            kind = "counter"
+        elif isinstance(first, Gauge):
+            kind = "gauge"
+        else:
+            kind = "histogram"
+        help_text = next((i.help for i in instruments if i.help), "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for instrument in sorted(instruments, key=lambda i: i.labels):
+            if isinstance(instrument, (Counter, Gauge)):
+                lines.append(
+                    f"{name}{_format_labels(instrument.labels)} "
+                    f"{_format_value(instrument.value)}"
+                )
+            else:
+                _render_histogram(lines, instrument)
+    return "\n".join(lines) + "\n"
+
+
+def _render_histogram(lines: List[str], histogram: Histogram) -> None:
+    counts = histogram.bucket_counts()
+    cumulative = 0
+    for bound, count in zip(histogram.bounds, counts):
+        cumulative += count
+        le = _format_labels(histogram.labels, f'le="{_format_value(bound)}"')
+        lines.append(f"{histogram.name}_bucket{le} {cumulative}")
+    cumulative += counts[-1]
+    le = _format_labels(histogram.labels, 'le="+Inf"')
+    lines.append(f"{histogram.name}_bucket{le} {cumulative}")
+    plain = _format_labels(histogram.labels)
+    lines.append(f"{histogram.name}_sum{plain} {_format_value(histogram.sum)}")
+    lines.append(f"{histogram.name}_count{plain} {cumulative}")
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse exposition text into ``{metric: {label-pairs: value}}``.
+
+    Handles the subset of the format :func:`render_registry` emits:
+    comment lines, bare samples, and label sets without escaped commas in
+    values (our label values are stage/shard identifiers).  Raises
+    ``ValueError`` on malformed sample lines so the smoke test actually
+    gates on a parseable scrape.
+    """
+    samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, labels, value = _parse_sample(line)
+        samples.setdefault(name, {})[labels] = value
+    return samples
+
+
+def _parse_sample(line: str) -> Tuple[str, Tuple[Tuple[str, str], ...], float]:
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        label_blob, _, value_part = rest.rpartition("}")
+        labels = _parse_labels(label_blob)
+    else:
+        name, _, value_part = line.partition(" ")
+        labels = ()
+    value_text = value_part.strip()
+    if not name or not value_text:
+        raise ValueError(f"malformed sample line: {line!r}")
+    if value_text == "+Inf":
+        value = math.inf
+    elif value_text == "-Inf":
+        value = -math.inf
+    else:
+        value = float(value_text)
+    return name.strip(), labels, value
+
+
+def _parse_labels(blob: str) -> Tuple[Tuple[str, str], ...]:
+    pairs: List[Tuple[str, str]] = []
+    for item in filter(None, blob.split(",")):
+        key, eq, value = item.partition("=")
+        if not eq or not (value.startswith('"') and value.endswith('"')):
+            raise ValueError(f"malformed label: {item!r}")
+        unescaped = value[1:-1].replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+        pairs.append((key.strip(), unescaped))
+    return tuple(sorted(pairs))
+
+
+def registry_from_states(*states: Mapping) -> MetricsRegistry:
+    """Convenience: merged registry from raw ``state_dict`` payloads."""
+    registry = MetricsRegistry(enabled=True)
+    for state in states:
+        if state:
+            registry.merge_state(state)
+    return registry

@@ -28,6 +28,7 @@ contract instead of three.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional
@@ -36,6 +37,7 @@ import numpy as np
 
 from repro.core.ks import KSTestResult
 from repro.exceptions import ValidationError
+from repro.obs.metrics import stage_histogram
 from repro.utils.deferred import DeferredErrors
 
 POLICIES = ("block", "drop-oldest")
@@ -64,6 +66,10 @@ class ExplanationJob:
         Optional chunk-completion handle: the engine attaches one when the
         submitter asked to be told when every alarm of its chunk is
         resolved (the awaitable-submit path of :mod:`repro.aio`).
+    enqueued_at:
+        ``time.perf_counter()`` stamp set by the batcher on submission when
+        metrics are enabled; the claiming worker observes the difference as
+        the job's micro-batch wait.  ``None`` when telemetry is off.
     """
 
     stream_id: str
@@ -76,6 +82,7 @@ class ExplanationJob:
     test_digest: Optional[bytes] = None
     context: Any = None
     chunk: Any = None
+    enqueued_at: Optional[float] = None
 
 
 @dataclass
@@ -136,6 +143,10 @@ class MicroBatcher:
         Bound of the pending-job queue.
     policy:
         ``"block"`` or ``"drop-oldest"`` (see module docstring).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when given
+        (and enabled) each claimed job's queue residency is observed on the
+        ``batch_wait`` stage histogram.
     """
 
     def __init__(
@@ -146,6 +157,7 @@ class MicroBatcher:
         max_batch: int = 8,
         capacity: int = 64,
         policy: str = "block",
+        metrics=None,
     ):
         if workers < 1:
             raise ValidationError("workers must be at least 1")
@@ -161,6 +173,7 @@ class MicroBatcher:
         self.capacity = int(capacity)
         self.policy = policy
         self.stats = BatcherStats()
+        self._m_batch_wait = stage_histogram(metrics, "batch_wait")
         self._queue: deque[ExplanationJob] = deque()
         self._pending_drops: deque[JobOutcome] = deque()
         self._cv = threading.Condition()
@@ -222,6 +235,8 @@ class MicroBatcher:
                 # submit() on a still-full queue recurses without bound.
                 self._in_flight += 1
                 self._pending_drops.append(JobOutcome(job=dropped, dropped=True))
+            if self._m_batch_wait is not None:
+                job.enqueued_at = time.perf_counter()
             self._queue.append(job)
             self.stats.submitted += 1
             self._cv.notify_all()
@@ -335,6 +350,11 @@ class MicroBatcher:
                     self._in_flight += len(batch)
                     self.stats.batches += 1
                     self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+                    if self._m_batch_wait is not None:
+                        claimed = time.perf_counter()
+                        for job in batch:
+                            if job.enqueued_at is not None:
+                                self._m_batch_wait.observe(claimed - job.enqueued_at)
                 if batch or drops:
                     # Claiming jobs frees queue space: wake blocked producers.
                     self._cv.notify_all()

@@ -23,10 +23,12 @@ distinct array objects.
 from __future__ import annotations
 
 import hashlib
+import sys
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Optional
 
 import numpy as np
 
@@ -42,11 +44,13 @@ from repro.core.ks import (
 
 @dataclass
 class CacheStats:
-    """Hit / miss / eviction counters of one cache."""
+    """Hit / miss / eviction / lifecycle counters of one cache."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    expired: int = 0
+    rejected: int = 0
 
     @property
     def lookups(self) -> int:
@@ -63,8 +67,26 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "expired": self.expired,
+            "rejected": self.rejected,
             "hit_rate": self.hit_rate,
         }
+
+
+def entry_weight(value: Any) -> int:
+    """Approximate in-memory size of a cache value, in bytes.
+
+    Arrays report their buffer size (``nbytes``); everything else falls
+    back to ``sys.getsizeof``, which is shallow but monotone enough for an
+    admission threshold.
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    try:
+        return int(sys.getsizeof(value))
+    except TypeError:
+        return 0
 
 
 class LRUCache:
@@ -76,12 +98,36 @@ class LRUCache:
         Maximum number of entries; inserting beyond it evicts the least
         recently used entry.  A capacity of 0 disables the cache (every
         lookup misses, nothing is stored).
+    ttl:
+        Optional time-to-live in seconds.  Entries older than ``ttl`` are
+        expired *lazily* — a lookup that finds a stale entry drops it,
+        counts it under ``stats.expired`` and misses.  ``None`` (default)
+        keeps entries forever, with zero per-entry overhead.
+    max_entry_bytes:
+        Optional size-aware admission threshold.  Values whose
+        :func:`entry_weight` exceeds it are not stored (counted under
+        ``stats.rejected``); lookups for them simply miss.
+    clock:
+        Monotonic time source, injectable for deterministic TTL tests.
     """
 
-    def __init__(self, capacity: int = 128):
+    def __init__(
+        self,
+        capacity: int = 128,
+        ttl: Optional[float] = None,
+        max_entry_bytes: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to disable)")
+        if max_entry_bytes is not None and max_entry_bytes <= 0:
+            raise ValueError("max_entry_bytes must be positive (or None to disable)")
         self.capacity = int(capacity)
+        self.ttl = ttl
+        self.max_entry_bytes = max_entry_bytes
+        self._clock = clock
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
@@ -95,23 +141,47 @@ class LRUCache:
             return key in self._entries
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        """Look up ``key``, marking it most recently used on a hit."""
+        """Look up ``key``, marking it most recently used on a hit.
+
+        With a TTL configured, a stale entry is dropped on access and the
+        lookup counts as a miss (plus an ``expired`` tick).
+        """
         with self._lock:
             if key in self._entries:
+                stored = self._entries[key]
+                if self.ttl is not None:
+                    value, deadline = stored
+                    if self._clock() >= deadline:
+                        del self._entries[key]
+                        self.stats.expired += 1
+                        self.stats.misses += 1
+                        return default
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return value
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
-                return self._entries[key]
+                return stored
             self.stats.misses += 1
             return default
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert or refresh an entry, evicting the LRU entry if needed."""
+        """Insert or refresh an entry, evicting the LRU entry if needed.
+
+        Oversized values (per ``max_entry_bytes``) are rejected rather than
+        allowed to wash multiple small entries out of the cache.
+        """
         if self.capacity == 0:
             return
+        if self.max_entry_bytes is not None and entry_weight(value) > self.max_entry_bytes:
+            with self._lock:
+                self.stats.rejected += 1
+            return
+        stored = value if self.ttl is None else (value, self._clock() + self.ttl)
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = value
+            self._entries[key] = stored
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
@@ -138,9 +208,20 @@ class LRUCache:
         which entries the next eviction would pick.  Statistics are *not*
         part of the snapshot — a restored cache starts hot in contents but
         fresh in counters, so hit rates describe the new run.
+
+        With a TTL configured the payload is unwrapped (plain values, no
+        deadlines — monotonic deadlines do not survive a process restart)
+        and already-stale entries are skipped.
         """
         with self._lock:
-            return list(self._entries.items())
+            if self.ttl is None:
+                return list(self._entries.items())
+            now = self._clock()
+            return [
+                (key, value)
+                for key, (value, deadline) in self._entries.items()
+                if now < deadline
+            ]
 
     def load_items(self, items) -> None:
         """Insert ``(key, value)`` pairs (oldest first) through :meth:`put`.
@@ -161,10 +242,11 @@ def merge_stats_dicts(*stats_dicts: dict) -> dict[str, dict]:
     one).
     """
     merged: dict[str, dict] = {}
+    counters = ("hits", "misses", "evictions", "expired", "rejected")
     for stats_dict in stats_dicts:
         for name, payload in (stats_dict or {}).items():
-            slot = merged.setdefault(name, {"hits": 0, "misses": 0, "evictions": 0})
-            for counter in ("hits", "misses", "evictions"):
+            slot = merged.setdefault(name, {counter: 0 for counter in counters})
+            for counter in counters:
                 slot[counter] += int(payload.get(counter, 0))
     for slot in merged.values():
         lookups = slot["hits"] + slot["misses"]
@@ -222,6 +304,13 @@ class SharedCaches:
     explanations:
         Capacity of the finished-explanation cache (keyed by method,
         preference, significance level and the window digests).
+    ttl:
+        Optional time-to-live (seconds) applied to every cache — stale
+        entries expire lazily on access (see :class:`LRUCache`).
+    max_entry_bytes:
+        Optional size-aware admission threshold (bytes) applied to the
+        array-valued caches (sorted references, preferences, explanations);
+        the scalar critical-value cache is always admitted.
     """
 
     def __init__(
@@ -230,11 +319,14 @@ class SharedCaches:
         critical_values: int = 256,
         preferences: int = 256,
         explanations: int = 256,
+        ttl: Optional[float] = None,
+        max_entry_bytes: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
-        self.sorted_references = LRUCache(sorted_references)
-        self.critical_values = LRUCache(critical_values)
-        self.preferences = LRUCache(preferences)
-        self.explanations = LRUCache(explanations)
+        self.sorted_references = LRUCache(sorted_references, ttl, max_entry_bytes, clock)
+        self.critical_values = LRUCache(critical_values, ttl, None, clock)
+        self.preferences = LRUCache(preferences, ttl, max_entry_bytes, clock)
+        self.explanations = LRUCache(explanations, ttl, max_entry_bytes, clock)
 
     # ------------------------------------------------------------------
     def sorted_reference(self, reference: np.ndarray) -> np.ndarray:

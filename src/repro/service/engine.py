@@ -45,6 +45,13 @@ from repro.cluster.runtime import (
 from repro.cluster.wire import IngestReply
 from repro.core.explanation import Explanation
 from repro.exceptions import ServiceBackendError, ValidationError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    latency_summary,
+    register_stage_histograms,
+    stage_histogram,
+)
+from repro.obs.prometheus import render_registry
 from repro.service.batching import ExplanationJob, JobOutcome
 from repro.service.cache import (
     SharedCaches,
@@ -180,6 +187,21 @@ class ExplanationService:
         (default ``"spawn"``).  The CLI cross-validates these flag/executor
         combinations; the library constructor simply ignores options the
         chosen backend does not take.
+    metrics:
+        Enable stage-latency telemetry: a
+        :class:`~repro.obs.metrics.MetricsRegistry` instruments the five
+        pipeline stages (ingest enqueue, micro-batch wait, detection,
+        explanation, wire round-trip), shard workers run instrumented and
+        their histograms merge into :meth:`report` /
+        :meth:`scrape_metrics`.  Off by default; disabled, the hot path
+        pays one ``None`` check per stage.
+    cache_ttl:
+        Optional time-to-live (seconds) for the shared caches (and the
+        per-shard worker caches under the process executor).
+    cache_max_entry_bytes:
+        Optional size-aware admission bound (bytes) for the array-valued
+        shared caches.  Both knobs are ignored when an explicit ``caches``
+        bundle is passed — the bundle carries its own lifecycle settings.
     """
 
     def __init__(
@@ -194,10 +216,28 @@ class ExplanationService:
         executor: Union[str, Executor] = "thread",
         shards: int = 2,
         mp_context: Optional[str] = None,
+        metrics: bool = False,
+        cache_ttl: Optional[float] = None,
+        cache_max_entry_bytes: Optional[int] = None,
     ):
         self.default_config = default_config or StreamConfig()
         self.max_alarms_per_stream = max_alarms_per_stream
-        self.caches = caches or SharedCaches()
+        self._cache_lifecycle = {
+            key: value
+            for key, value in (
+                ("ttl", cache_ttl),
+                ("max_entry_bytes", cache_max_entry_bytes),
+            )
+            if value is not None
+        }
+        self.caches = caches or SharedCaches(**self._cache_lifecycle)
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry(enabled=True) if metrics else None
+        )
+        register_stage_histograms(self.metrics)
+        self._m_ingest = stage_histogram(self.metrics, "ingest_enqueue")
+        self._m_detect = stage_histogram(self.metrics, "detect")
+        self._m_explain = stage_histogram(self.metrics, "explain")
         self._registry = StreamRegistry()
         self._results_lock = threading.Lock()
         self._listener_lock = threading.Lock()
@@ -209,7 +249,14 @@ class ExplanationService:
             executor = make_executor(
                 executor,
                 **self._executor_options(
-                    executor, workers, max_batch, queue_capacity, policy, shards, mp_context
+                    executor,
+                    workers,
+                    max_batch,
+                    queue_capacity,
+                    policy,
+                    shards,
+                    mp_context,
+                    self._cache_lifecycle,
                 ),
             )
         self._executor = executor.bind(
@@ -218,12 +265,14 @@ class ExplanationService:
                 record=self._record_outcome,
                 record_reply=self._record_reply,
                 snapshot=self._registry.snapshot,
+                metrics=self.metrics,
             )
         )
 
     @staticmethod
     def _executor_options(
-        name: str, workers, max_batch, capacity, policy, shards, mp_context
+        name: str, workers, max_batch, capacity, policy, shards, mp_context,
+        cache_lifecycle=None,
     ) -> dict:
         """The constructor options each named executor understands."""
         if name == "thread":
@@ -234,7 +283,12 @@ class ExplanationService:
                 "policy": policy,
             }
         if name == "process":
-            return {"shards": shards, "mp_context": mp_context, "capacity": capacity}
+            options = {"shards": shards, "mp_context": mp_context, "capacity": capacity}
+            if cache_lifecycle:
+                # Each shard's private cache bundle inherits the parent's
+                # TTL / admission settings.
+                options["cache_config"] = dict(cache_lifecycle)
+            return options
         return {}
 
     @property
@@ -415,6 +469,10 @@ class ExplanationService:
                 state.alarms.extend(acct["alarms"])
                 if self._executor.owns_detection:
                     state.remote_tests_run = int(acct["tests_run"])
+        # The restored run's clock starts now: counting the wall-clock that
+        # passed before the restart (service construction, snapshot loading)
+        # against this run deflated every restored report's throughput.
+        self._started = time.perf_counter()
         return snapshot.stream_ids()
 
     def resize(self, shards: int) -> int:
@@ -469,13 +527,25 @@ class ExplanationService:
             completion = None
             if on_complete is not None:
                 completion = self._make_chunk_completion(stream_id, on_complete)
-            self._executor.ingest(state, values, completion)
+            if self._m_ingest is not None:
+                # Enqueue latency includes any backpressure wait: that is
+                # exactly the signal a producer (and the autoscaler) feels.
+                enqueue_started = time.perf_counter()
+                self._executor.ingest(state, values, completion)
+                self._m_ingest.observe(time.perf_counter() - enqueue_started)
+            else:
+                self._executor.ingest(state, values, completion)
             return 0
         handle = None
         if on_complete is not None:
             handle = _ChunkHandle(stream_id, on_complete, self._deferred.add)
         with state.lock:
-            alarms = run_detection(state.detector, state.config, values)
+            if self._m_detect is not None:
+                detect_started = time.perf_counter()
+                alarms = run_detection(state.detector, state.config, values)
+                self._m_detect.observe(time.perf_counter() - detect_started)
+            else:
+                alarms = run_detection(state.detector, state.config, values)
             state.alarms_raised += len(alarms)
             count = observation_count(values, state.config)
             if handle is not None:
@@ -483,8 +553,16 @@ class ExplanationService:
                 # fast worker cannot resolve the chunk's alarms ahead of
                 # the expectation.
                 handle.arm(len(alarms), count)
+            enqueue_started = (
+                time.perf_counter() if self._m_ingest is not None else None
+            )
             for alarm in alarms:
                 self._dispatch(state, alarm, handle)
+            if enqueue_started is not None:
+                # For the in-process executors "enqueue" is handing the
+                # chunk's jobs to the backend (under inline it includes the
+                # synchronous execution — there is no queue to hide behind).
+                self._m_ingest.observe(time.perf_counter() - enqueue_started)
             state.observations += count
         if handle is not None:
             # Resolves chunks that raised no alarms; a chunk with alarms
@@ -542,7 +620,8 @@ class ExplanationService:
     def _explain_job(self, job: ExplanationJob) -> tuple[Explanation, bool]:
         """Explain one alarm, consulting the shared caches."""
         state: StreamState = job.context
-        return explain_alarm(
+        explain_started = time.perf_counter() if self._m_explain is not None else None
+        result = explain_alarm(
             state.config,
             state.explainer,
             self.caches,
@@ -551,6 +630,9 @@ class ExplanationService:
             reference_digest=job.reference_digest,
             test_digest=job.test_digest,
         )
+        if explain_started is not None:
+            self._m_explain.observe(time.perf_counter() - explain_started)
+        return result
 
     @staticmethod
     def _fold_alarm(state: StreamState, alarm: ServiceAlarm) -> None:
@@ -769,8 +851,130 @@ class ExplanationService:
             cache_hit_rate=hit_rate,
             restarts=int(stats.get("restarts", 0)),
             state_lost=list(stats.get("state_lost_streams", [])),
+            # cache_stats() above already refreshed the worker metrics
+            # snapshots (they ride the same CollectStats round trip).
+            latency=self.latency_summary(refresh_workers=False),
         )
 
     def stats(self) -> dict:
         """Executor counters as a plain dictionary."""
         return self._executor.stats()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _merged_metrics(self, refresh_workers: bool = True) -> Optional[MetricsRegistry]:
+        """Parent registry merged with the latest worker metrics, or None.
+
+        ``refresh_workers`` triggers a live ``CollectStats`` round trip on
+        a stream-owning executor (skipped when the caller just did one);
+        the merge itself always uses whatever snapshots the parent holds.
+        """
+        if self.metrics is None:
+            return None
+        if refresh_workers and self._executor.owns_detection and not self._closed:
+            try:
+                self._executor.cache_stats()
+            except Exception:
+                pass  # telemetry is best-effort; stale beats raising
+        return self.metrics.merged(self._executor.metrics_state() or {})
+
+    def latency_summary(self, refresh_workers: bool = True) -> dict:
+        """Per-stage latency quantiles, worker histograms merged in.
+
+        ``{stage: {count, sum, mean, p50, p95, p99}}`` for the five
+        pipeline stages; empty when the service runs without metrics.
+        """
+        merged = self._merged_metrics(refresh_workers)
+        return latency_summary(merged) if merged is not None else {}
+
+    def scrape_metrics(self) -> str:
+        """The service's metrics in Prometheus text exposition format.
+
+        Non-draining — this is the live ``/metrics`` scrape path, so it
+        must never block on in-flight work.  Stage histograms (per-shard
+        series included), cache counters, stream totals and executor
+        gauges are all rendered from one merged registry.
+        """
+        if self.metrics is None:
+            return "# metrics are disabled on this service\n"
+        cache_stats = self.caches.stats_dict()
+        worker_stats = None
+        if not self._closed:
+            try:
+                # One CollectStats round trip refreshes both the worker
+                # cache counters and the worker metrics snapshots.
+                worker_stats = self._executor.cache_stats()
+            except Exception:
+                worker_stats = None
+        if worker_stats:
+            cache_stats = merge_stats_dicts(cache_stats, worker_stats)
+        merged = self._merged_metrics(refresh_workers=False)
+        derived = MetricsRegistry(enabled=True)
+        with self._results_lock:
+            observations = sum(s.observations for s in self._registry.states())
+            alarms_raised = sum(s.alarms_raised for s in self._registry.states())
+            explained = sum(s.explained for s in self._registry.states())
+            stream_count = len(self._registry)
+        derived.counter(
+            "repro_observations_total", help="Observations ingested."
+        ).inc(observations)
+        derived.counter(
+            "repro_alarms_raised_total", help="Drift alarms raised."
+        ).inc(alarms_raised)
+        derived.counter(
+            "repro_alarms_explained_total", help="Alarms explained."
+        ).inc(explained)
+        derived.gauge("repro_streams", help="Registered streams.").set(stream_count)
+        for cache_name, payload in sorted(cache_stats.items()):
+            labels = {"cache": cache_name}
+            for counter in ("hits", "misses", "evictions", "expired", "rejected"):
+                derived.counter(
+                    f"repro_cache_{counter}_total",
+                    labels,
+                    help=f"Cache {counter} by cache name.",
+                ).inc(int(payload.get(counter, 0)))
+        stats = self.stats()
+        for key in ("shards", "outstanding", "capacity", "restarts"):
+            if key in stats:
+                derived.gauge(
+                    f"repro_executor_{key}", help=f"Executor {key}."
+                ).set(float(stats[key]))
+        for shard_id, count in sorted(stats.get("shard_ingests", {}).items()):
+            derived.counter(
+                "repro_shard_ingests_total",
+                {"shard": shard_id},
+                help="Chunks routed to each shard.",
+            ).inc(count)
+        merged.merge_state(derived.state_dict())
+        return render_registry(merged)
+
+    def autoscale_signals(self) -> dict:
+        """Latency + skew signals for a latency-driven autoscaler policy.
+
+        ``p95_latency``/``p99_latency`` come from the ``explain`` stage
+        histogram when it has samples, falling back to ``wire_roundtrip``
+        (the producer-visible latency under the process executor).
+        ``shard_skew`` is ``max/mean`` of per-shard routed-chunk counts
+        (1.0 = perfectly balanced; 0.0 when unknown).
+        """
+        summary = self.latency_summary()
+        stage, stage_summary = None, None
+        for candidate in ("explain", "wire_roundtrip"):
+            payload = summary.get(candidate)
+            if payload and payload.get("count"):
+                stage, stage_summary = candidate, payload
+                break
+        skew = 0.0
+        shard_ingests = self.stats().get("shard_ingests", {})
+        if shard_ingests:
+            counts = list(shard_ingests.values())
+            mean = sum(counts) / len(counts)
+            skew = (max(counts) / mean) if mean > 0 else 0.0
+        return {
+            "latency_stage": stage,
+            "latency_samples": int(stage_summary["count"]) if stage_summary else 0,
+            "p95_latency": stage_summary.get("p95") if stage_summary else None,
+            "p99_latency": stage_summary.get("p99") if stage_summary else None,
+            "shard_skew": skew,
+        }

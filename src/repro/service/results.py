@@ -144,7 +144,10 @@ class ServiceReport:
     ``state_lost`` make shard-fault data loss visible: a respawned (or
     retired) shard rebuilds its streams with *fresh* detector state, and
     the affected stream ids are listed instead of silently reading as a
-    clean run.
+    clean run.  ``latency`` (present when the service ran with metrics
+    enabled) maps each pipeline stage to its merged latency summary —
+    ``{count, sum, mean, p50, p95, p99}`` — with per-shard histograms
+    already folded in.
     """
 
     streams: list[StreamReport]
@@ -154,6 +157,7 @@ class ServiceReport:
     cache_hit_rate: float
     restarts: int = 0
     state_lost: list[str] = field(default_factory=list)
+    latency: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -207,6 +211,7 @@ class ServiceReport:
             },
             "caches": self.cache_stats,
             "batcher": self.batcher_stats,
+            "latency": self.latency,
         }
 
     def render(self, alarms: bool = True) -> str:
@@ -233,6 +238,18 @@ class ServiceReport:
                 f"shard faults       : {self.restarts} restart(s); "
                 f"detector state lost on: {lost}"
             )
+        if self.latency:
+            lines.append("stage latency      :")
+        for stage, summary in (self.latency or {}).items():
+            count = summary.get("count", 0)
+            if not count:
+                lines.append(f"  {stage}: no samples")
+                continue
+            quantiles = " / ".join(
+                f"{1000 * summary[q]:.2f}" if summary.get(q) is not None else "-"
+                for q in ("p50", "p95", "p99")
+            )
+            lines.append(f"  {stage}: p50/p95/p99 {quantiles} ms ({count} samples)")
         for stream in self.streams:
             lines.append(
                 f"  {stream.stream_id}: {stream.observations} obs, "
