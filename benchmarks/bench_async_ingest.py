@@ -41,6 +41,9 @@ import numpy as np
 from repro.service import ExplanationService, StreamConfig
 from repro.service.results import canonical_report_dict
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.conftest import save_bench_json  # noqa: E402
+
 DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_async.json"
 SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 
@@ -192,7 +195,6 @@ def main(argv=None) -> int:
     parity_ok = canonicals["in-process"] == canonicals["tcp"]
 
     payload = {
-        "benchmark": "async_ingest",
         "quick": args.quick,
         "streams": scale["streams"],
         "observations": observations,
@@ -201,8 +203,7 @@ def main(argv=None) -> int:
         "runs": runs,
         "parity_ok": parity_ok,
     }
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    save_bench_json("async_ingest", payload, args.output)
     print(f"\nparity: {'ok' if parity_ok else 'FAILED'}")
     print(f"written to {args.output}")
 

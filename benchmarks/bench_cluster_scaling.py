@@ -42,6 +42,9 @@ import numpy as np
 
 from repro.service import ExplanationService, StreamConfig
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.conftest import save_bench_json  # noqa: E402
+
 DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_cluster.json"
 SPEEDUP_THRESHOLD = 2.5
 #: Upper bound on the largest process pool's explain-stage p95 (seconds);
@@ -159,7 +162,6 @@ def main(argv=None) -> int:
         tail_p95 = (by_shards[max_shards]["latency"].get("explain") or {}).get("p95")
 
     payload = {
-        "benchmark": "cluster_scaling",
         "quick": args.quick,
         "cores_available": cores,
         "streams": scale["streams"],
@@ -173,8 +175,7 @@ def main(argv=None) -> int:
         "tail_p95_seconds": tail_p95,
         "tail_p95_limit": TAIL_P95_LIMIT,
     }
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    save_bench_json("cluster_scaling", payload, args.output)
     print(f"\nparity: {'ok' if parity_ok else 'FAILED'}   "
           f"process speedups vs 1 shard: {speedups}   "
           f"[{cores} core(s); threshold {SPEEDUP_THRESHOLD}x "

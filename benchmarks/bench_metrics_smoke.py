@@ -39,6 +39,9 @@ import numpy as np
 from repro.obs.metrics import STAGES, STAGE_METRIC
 from repro.obs.prometheus import parse_exposition
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.conftest import save_bench_json  # noqa: E402
+
 DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_metrics.json"
 SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 
@@ -237,7 +240,6 @@ def main(argv=None) -> int:
         failures.append(f"stats op is missing autoscale signals: {sorted(stats)}")
 
     payload = {
-        "benchmark": "metrics_smoke",
         "quick": args.quick,
         "streams": scale["streams"],
         "observations": observations,
@@ -254,8 +256,7 @@ def main(argv=None) -> int:
         "failures": failures,
         "ok": not failures,
     }
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    save_bench_json("metrics_smoke", payload, args.output)
     print(f"scraped {len(final)} families; stage samples: {stage_counts}")
     print(f"alarms {alarms} (explained {explained}); "
           f"stats op: {payload['stats_op']}")

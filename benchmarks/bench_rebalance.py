@@ -39,6 +39,9 @@ import numpy as np
 
 from repro.service import ExplanationService, StreamConfig
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.conftest import save_bench_json  # noqa: E402
+
 DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_rebalance.json"
 
 FULL = {"streams": 24, "segments": 5, "segment": 400, "window": 150, "chunk": 200}
@@ -160,7 +163,6 @@ def main(argv=None) -> int:
           f"pooled hit rate: {elastic_report.cache_hit_rate:.1%}")
 
     payload = {
-        "benchmark": "rebalance",
         "quick": args.quick,
         "streams": scale["streams"],
         "observations": observations,
@@ -176,8 +178,7 @@ def main(argv=None) -> int:
         "worker_cache_hits": worker_hits,
         "worker_cache_hits_fixed": fixed_hits,
     }
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    save_bench_json("rebalance", payload, args.output)
     print(f"written to {args.output}")
 
     if not parity_ok:

@@ -1,0 +1,336 @@
+"""Trace smoke — crash a live shard under ``repro serve --trace-dir``.
+
+End-to-end check of the tracing and flight-recorder surface, the way an
+operator would hit it on a bad day: start a real ``repro serve --listen
+HOST:PORT --executor process --trace-dir DIR`` child, feed it drifting
+streams over the newline-JSON wire, SIGKILL one of its shard processes
+mid-ingest, keep feeding, and assert that
+
+* the service survives (the shard respawns and the drain completes);
+* the ``trace`` wire op returns a structurally valid Chrome trace-event
+  payload with retained chunk traces;
+* the final report admits the restart instead of reading as a clean run;
+* after shutdown the trace directory holds a Perfetto-loadable
+  ``trace.json`` and a ``flight-crash-*.json`` flight-recorder dump whose
+  channels include the crash event.
+
+The ``/healthz`` endpoint is probed on the same run (the metrics listener
+serves it when the service wires a health callable).
+
+Run it directly (the CI smoke job does)::
+
+    PYTHONPATH=src python benchmarks/bench_trace_smoke.py --quick
+
+Results are written machine-readably to
+``benchmarks/results/BENCH_trace.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.recorder import FLIGHT_SCHEMA
+from repro.obs.trace import validate_chrome_trace
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.conftest import save_bench_json  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_trace.json"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+FULL = {"streams": 6, "segments": 4, "segment": 400, "window": 150, "chunk": 200}
+QUICK = {"streams": 4, "segments": 3, "segment": 250, "window": 100, "chunk": 125}
+
+LISTEN_RE = re.compile(r"listening on (\S+):(\d+)")
+METRICS_RE = re.compile(r"metrics on (\S+):(\d+)")
+
+
+def build_fleet(streams: int, segments: int, segment: int) -> dict[str, np.ndarray]:
+    """``streams`` unique regime-switching feeds."""
+    fleet: dict[str, np.ndarray] = {}
+    for index in range(streams):
+        rng = np.random.default_rng(index)
+        parts = [
+            rng.normal(3.0 if part % 2 else 0.0, 1.0, size=segment)
+            for part in range(segments)
+        ]
+        fleet[f"stream-{index:02d}"] = np.concatenate(parts)
+    return fleet
+
+
+def shard_pids(parent_pid: int) -> list[int]:
+    """The serve child's shard worker pids (Linux /proc walk).
+
+    Multiprocessing's resource tracker is also a child of the serve
+    process; killing it would poison the run, so it is filtered out by
+    cmdline.
+    """
+    pids: list[int] = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            stat = (entry / "stat").read_text()
+            cmdline = (entry / "cmdline").read_bytes()
+        except OSError:
+            continue  # raced with process exit
+        ppid = int(stat.rsplit(")", 1)[1].split()[1])
+        if ppid == parent_pid and b"resource_tracker" not in cmdline:
+            pids.append(int(entry.name))
+    return sorted(pids)
+
+
+def wait_for_shards(parent_pid: int, count: int, timeout: float = 30.0) -> list[int]:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        pids = shard_pids(parent_pid)
+        if len(pids) >= count:
+            return pids
+        time.sleep(0.05)
+    raise RuntimeError(f"serve child never spawned {count} shards (saw {pids})")
+
+
+async def _http_get(host: str, port: int, path: str) -> tuple[str, str]:
+    """One HTTP/1.1 GET; returns (status line, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode())
+        await writer.drain()
+        payload = await asyncio.wait_for(reader.read(), timeout=30)
+    finally:
+        writer.close()
+    head, _, body = payload.decode().partition("\r\n\r\n")
+    return head.split("\r\n")[0], body
+
+
+async def _drive(
+    listen_addr: tuple[str, int],
+    metrics_addr: tuple[str, int],
+    fleet: dict[str, np.ndarray],
+    chunk: int,
+    child_pid: int,
+    shards: int,
+) -> dict:
+    """Feed the fleet, killing one shard halfway through."""
+    reader, writer = await asyncio.open_connection(*listen_addr)
+
+    async def op(payload: dict) -> dict:
+        writer.write((json.dumps(payload) + "\n").encode())
+        await writer.drain()
+        reply = json.loads(await reader.readline())
+        if not reply.get("ok"):
+            raise RuntimeError(f"{payload.get('op')} not acknowledged: {reply}")
+        return reply
+
+    longest = max(values.size for values in fleet.values())
+    starts = list(range(0, longest, chunk))
+    killed_pid = None
+    for index, start in enumerate(starts):
+        for stream_id, values in fleet.items():
+            piece = values[start:start + chunk]
+            if piece.size:
+                writer.write(
+                    (json.dumps({"stream": stream_id, "values": piece.tolist()}) + "\n").encode()
+                )
+                await writer.drain()
+        if killed_pid is None and index >= len(starts) // 2:
+            # Mid-ingest shard murder: the service must notice, respawn
+            # and keep serving the remaining chunks.
+            victims = wait_for_shards(child_pid, shards)
+            killed_pid = victims[0]
+            os.kill(killed_pid, signal.SIGKILL)
+    await op({"op": "drain"})
+
+    health_status, health_body = await _http_get(*metrics_addr, "/healthz")
+    trace_payload = (await op({"op": "trace"}))["trace"]
+    stats = (await op({"op": "stats"}))["stats"]
+    report = (await op({"op": "report"}))["report"]
+    await op({"op": "shutdown"})
+    writer.close()
+    return {
+        "killed_pid": killed_pid,
+        "health_status": health_status,
+        "health_body": health_body,
+        "trace": trace_payload,
+        "stats": stats,
+        "report": report,
+    }
+
+
+def run_child(
+    fleet: dict[str, np.ndarray], window: int, chunk: int, shards: int, trace_dir: Path
+) -> dict:
+    """Start the serve child, drive it through a shard crash, return results."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--metrics",
+            "127.0.0.1:0",
+            "--executor",
+            "process",
+            "--shards",
+            str(shards),
+            "--trace-dir",
+            str(trace_dir),
+            "--trace-sample",
+            "1.0",
+            "--window",
+            str(window),
+            "--summary-only",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        metrics_addr = listen_addr = None
+        while metrics_addr is None or listen_addr is None:
+            line = child.stdout.readline()
+            if not line:
+                raise RuntimeError("child exited before announcing its ports")
+            if match := METRICS_RE.search(line):
+                metrics_addr = (match.group(1), int(match.group(2)))
+            if match := LISTEN_RE.search(line):
+                listen_addr = (match.group(1), int(match.group(2)))
+        started = time.perf_counter()
+        result = asyncio.run(
+            _drive(listen_addr, metrics_addr, fleet, chunk, child.pid, shards)
+        )
+        result["seconds"] = time.perf_counter() - started
+        _, stderr = child.communicate(timeout=120)
+        if child.returncode != 0:
+            raise RuntimeError(f"child exited with {child.returncode}:\n{stderr}")
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait()
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="process shards to serve with (default 2)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write the machine-readable JSON")
+    args = parser.parse_args(argv)
+
+    scale = QUICK if args.quick else FULL
+    fleet = build_fleet(scale["streams"], scale["segments"], scale["segment"])
+    observations = sum(values.size for values in fleet.values())
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-trace-smoke-") as tmp:
+        trace_dir = Path(tmp) / "telemetry"
+        result = run_child(
+            fleet, scale["window"], scale["chunk"], args.shards, trace_dir
+        )
+
+        # The live trace op must hand back a Perfetto-loadable payload.
+        wire_problems = validate_chrome_trace(result["trace"])
+        failures.extend(f"trace op: {problem}" for problem in wire_problems)
+        wire_traces = result["trace"].get("otherData", {}).get("traces", 0)
+        if not wire_problems and not wire_traces:
+            failures.append("trace op: no chunk traces retained at sample rate 1.0")
+
+        if result["health_status"] != "HTTP/1.1 200 OK":
+            failures.append(f"/healthz answered {result['health_status']}")
+        else:
+            health = json.loads(result["health_body"])
+            if health.get("status") != "ok":
+                failures.append(f"/healthz status {health.get('status')!r} != 'ok'")
+
+        restarts = result["stats"].get("restarts", 0)
+        if not restarts:
+            failures.append("stats admit no shard restart after the kill")
+        # The report op answers the canonical (executor-independent) view:
+        # per-stream counters, no wall clocks or executor internals.
+        alarms = sum(
+            stream.get("alarms_raised", 0)
+            for stream in result["report"].get("streams", [])
+        )
+        if not alarms:
+            failures.append("the fleet never alarmed; nothing was measured")
+
+        # Post-shutdown artefacts in the trace directory.
+        trace_file = trace_dir / "trace.json"
+        events = 0
+        if not trace_file.exists():
+            failures.append("serve --trace-dir left no trace.json behind")
+        else:
+            payload = json.loads(trace_file.read_text())
+            failures.extend(
+                f"trace.json: {problem}" for problem in validate_chrome_trace(payload)
+            )
+            events = len(payload.get("traceEvents", []))
+        crash_dumps = sorted(trace_dir.glob("flight-crash-*.json"))
+        if not crash_dumps:
+            failures.append("shard crash left no flight-crash-*.json recorder dump")
+        else:
+            dump = json.loads(crash_dumps[0].read_text())
+            if dump.get("schema") != FLIGHT_SCHEMA:
+                failures.append(f"flight dump schema {dump.get('schema')!r}")
+            dumped_events = {
+                event.get("event")
+                for channel in dump.get("channels", {}).values()
+                for event in channel
+            }
+            if "crash" not in dumped_events:
+                failures.append(f"flight dump has no crash event: {sorted(dumped_events)}")
+
+    payload = {
+        "quick": args.quick,
+        "streams": scale["streams"],
+        "shards": args.shards,
+        "observations_sent": observations,
+        "replay_seconds": round(result["seconds"], 4),
+        "killed_pid": result["killed_pid"],
+        "restarts": restarts,
+        "alarms": alarms,
+        "wire_traces": wire_traces,
+        "trace_events_on_disk": events,
+        "crash_dumps": [dump.name for dump in crash_dumps],
+        "failures": failures,
+        "ok": not failures,
+    }
+    save_bench_json("trace_smoke", payload, args.output)
+    print(f"killed shard pid {result['killed_pid']}; restarts {restarts}; "
+          f"alarms {alarms}")
+    print(f"{wire_traces} traces over the wire; {events} trace events on disk; "
+          f"dumps: {payload['crash_dumps']}")
+    print(f"written to {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("trace smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,9 @@ from repro.service import ExplanationService, StreamConfig
 from repro.service.results import canonical_report_dict
 from repro.service.snapshot import SNAPSHOT_FILENAME
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.conftest import save_bench_json  # noqa: E402
+
 DEFAULT_OUTPUT = Path(__file__).parent / "results" / "BENCH_warm_restart.json"
 
 FULL = {"streams": 8, "segments": 6, "segment": 400, "window": 150, "chunk": 120}
@@ -280,8 +283,7 @@ def main(argv=None) -> int:
             )
     print("library round trip:", results["library_round_trip"])
 
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    save_bench_json("warm_restart", results, args.output)
     print(f"results written to {args.output}")
     return 0
 

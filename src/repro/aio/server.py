@@ -76,6 +76,10 @@ class AsyncIngestServer:
             # Live executor stats + autoscale signals; unlike `report`
             # this does not drain, so it is safe to poll mid-ingest.
             return {"ok": True, "stats": await self.service.stats()}
+        if op == "trace":
+            # Chrome trace-event JSON of the retained chunk traces; empty
+            # (but still Perfetto-valid) when tracing is disabled.
+            return {"ok": True, "trace": await self.service.trace_json()}
         if op == "shutdown":
             # Ack first, then stop: the source flushes this reply while it
             # winds the connections down.

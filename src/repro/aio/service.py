@@ -220,6 +220,18 @@ class AsyncExplanationService:
 
         return await self._call(collect)
 
+    async def health(self) -> dict:
+        """Liveness summary (see :meth:`ExplanationService.health`)."""
+        return await self._call(self._service.health)
+
+    async def trace_json(self) -> dict:
+        """The Chrome trace-event export of the retained chunk traces.
+
+        Non-draining, like the metrics scrape: a trace pull observes the
+        pipeline without stalling it.  Valid-but-empty when tracing is off.
+        """
+        return await self._call(self._service.trace_export)
+
     async def snapshot_now(self) -> ServiceSnapshot:
         """Capture one service snapshot (drains first), off-loop.
 

@@ -29,6 +29,13 @@ The CLI exposes the library's main workflows without writing any Python:
     checkpointing then runs *inside* the service on a timer
     (``--snapshot-interval``) instead of per replay round.
 
+``repro trace``
+    Replay series files with per-chunk tracing on (full sampling by
+    default) and write the span timelines as Chrome trace-event JSON —
+    load the file at https://ui.perfetto.dev or ``chrome://tracing`` to
+    see each chunk's ``ingest_enqueue → batch_wait → detect → explain``
+    (and, under ``--executor process``, ``wire_roundtrip``) flame.
+
 ``repro experiments``
     Regenerate the paper's tables and figures at a reduced scale.
 
@@ -40,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -54,7 +62,12 @@ from repro.drift.monitor import ExplainedDriftMonitor
 from repro.exceptions import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.run_all import EXPERIMENT_IDS, render_all, run_all_experiments
-from repro.io.export import explanation_report, save_explanation, save_service_report
+from repro.io.export import (
+    explanation_report,
+    save_chrome_trace,
+    save_explanation,
+    save_service_report,
+)
 from repro.io.loaders import load_sample, load_series_csv
 from repro.service import ExplanationService, StreamConfig
 from repro.service.batching import POLICIES
@@ -186,6 +199,7 @@ async def _serve_listen(
                 aio.metrics_text,
                 metrics_bind[0],
                 metrics_bind[1],
+                health=aio.health,
                 on_bound=announce_metrics,
             )
 
@@ -225,6 +239,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.cache_ttl is not None and args.cache_ttl <= 0:
         raise ReproError("--cache-ttl must be positive")
+    if args.trace_sample is not None and not 0.0 <= args.trace_sample <= 1.0:
+        raise ReproError("--trace-sample must be between 0 and 1")
+    tracing_on = args.trace_dir is not None or args.trace_sample is not None
     if listen is None and not args.series:
         raise ReproError("serve needs series files to replay, or --listen HOST:PORT")
     if listen is not None and args.series:
@@ -323,6 +340,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ("shards", shards),
             ("cache_ttl", args.cache_ttl),
             ("metrics", metrics_enabled or None),
+            ("tracing", True if tracing_on else None),
+            ("trace_sample", args.trace_sample),
+            ("trace_dir", args.trace_dir),
         )
         if value is not None
     }
@@ -335,6 +355,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
         **overrides,
     ) as service:
+        if args.trace_dir is not None and hasattr(signal, "SIGUSR2"):
+            def _dump_telemetry(signum, frame):
+                # On-demand post-mortem: flush the flight recorder and the
+                # traces retained so far without stopping the service.
+                service.dump_flight_recorder("sigusr2")
+                save_chrome_trace(
+                    service.trace_export(),
+                    Path(args.trace_dir) / "trace-sigusr2.json",
+                )
+
+            signal.signal(signal.SIGUSR2, _dump_telemetry)
         autoscaler = None
         if autoscale:
             if args.autoscale_policy == "latency":
@@ -470,10 +501,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(decision.render())
         if listen is None:
             report = service.report()
+        if args.trace_dir is not None:
+            trace_path = save_chrome_trace(
+                service.trace_export(), Path(args.trace_dir) / "trace.json"
+            )
+            print(f"chunk traces written to {trace_path}", flush=True)
     print(report.render(alarms=not args.summary_only))
     if args.output:
         path = save_service_report(report, args.output)
         print(f"\nservice report written to {path}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.chunk < 1:
+        raise ReproError("--chunk must be at least 1")
+    if not 0.0 <= args.sample <= 1.0:
+        raise ReproError("--sample must be between 0 and 1")
+    if args.executor != "process" and args.shards is not None:
+        raise ReproError("--shards requires --executor process")
+    series = [load_series_csv(path, value_column=args.column) for path in args.series]
+    stream_ids = _stream_ids(args.series)
+    config = StreamConfig(window_size=args.window, alpha=args.alpha, seed=args.seed)
+    overrides = {"shards": args.shards} if args.shards is not None else {}
+    with ExplanationService(
+        default_config=config,
+        executor=args.executor,
+        tracing=True,
+        trace_sample=args.sample,
+        trace_seed=args.seed,
+        **overrides,
+    ) as service:
+        for stream_id in stream_ids:
+            service.register(stream_id)
+        longest = max(values.size for values in series)
+        for start in range(0, longest, args.chunk):
+            for stream_id, values in zip(stream_ids, series):
+                end = min(start + args.chunk, values.size)
+                if end > start:
+                    service.submit(stream_id, values[start:end])
+        service.drain()
+        payload = service.trace_export()
+        stats = service.tracer.stats()
+    path = save_chrome_trace(payload, args.output)
+    print(
+        f"{stats['started']} chunk(s) traced, {stats['retained']} retained "
+        f"(sample rate {stats['sample_rate']:g}); "
+        f"{len(payload['traceEvents'])} trace events written to {path}"
+    )
+    print("open it at https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -614,6 +690,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--cache-ttl", type=float, default=None,
                               help="age out shared-cache entries after this "
                                    "many seconds (default: never expire)")
+    serve_parser.add_argument("--trace-dir", default=None,
+                              help="enable per-chunk tracing and the flight "
+                                   "recorder; write trace.json (Chrome "
+                                   "trace-event JSON) and flight-recorder "
+                                   "dumps into this directory (SIGUSR2 "
+                                   "flushes both mid-run)")
+    serve_parser.add_argument("--trace-sample", type=float, default=None,
+                              help="fraction of chunks whose traces are "
+                                   "retained (0..1; default 0.1; implies "
+                                   "tracing even without --trace-dir)")
     serve_parser.add_argument("--snapshot-dir", default=None,
                               help="checkpoint the service state into this "
                                    "directory after every replay round and "
@@ -633,6 +719,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--output", default=None,
                               help="write the service report to this .json/.txt file")
     serve_parser.set_defaults(handler=_cmd_serve)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="replay series files with tracing on and export Perfetto JSON",
+    )
+    trace_parser.add_argument("series", nargs="+",
+                              help="one file per stream with its time series")
+    add_common(trace_parser)
+    trace_parser.add_argument("--window", type=int, default=200,
+                              help="sliding window size (default 200)")
+    trace_parser.add_argument("--executor", choices=EXECUTOR_NAMES, default="thread",
+                              help="execution backend to trace (default thread)")
+    trace_parser.add_argument("--shards", type=int, default=None,
+                              help="worker processes for --executor process "
+                                   "(default 2)")
+    trace_parser.add_argument("--sample", type=float, default=1.0,
+                              help="fraction of chunks whose traces are "
+                                   "retained (default 1.0: keep everything)")
+    trace_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    trace_parser.add_argument("--chunk", type=int, default=256,
+                              help="observations per interleaved replay chunk")
+    trace_parser.add_argument("--output", default="trace.json",
+                              help="write the Chrome trace-event JSON here "
+                                   "(default trace.json)")
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     experiments_parser = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

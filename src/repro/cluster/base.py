@@ -58,6 +58,15 @@ class ExecutorHooks:
         ``None`` when telemetry is disabled.  Executors use it to observe
         their own stages (batch wait, wire round-trip) and to decide
         whether shard workers should run instrumented.
+    tracer:
+        The service's :class:`~repro.obs.trace.Tracer`, or ``None`` when
+        tracing is disabled.  Stream-owning executors finish each chunk's
+        trace when its reply lands (re-parenting worker spans) and close
+        traces of abandoned chunks with a ``lost`` status.
+    recorder:
+        The service's :class:`~repro.obs.recorder.FlightRecorder`, or
+        ``None``.  Executors feed it per-shard lifecycle events and dump
+        it on shard crash or retirement.
     """
 
     explain: Callable
@@ -65,6 +74,8 @@ class ExecutorHooks:
     record_reply: Callable
     snapshot: Callable[[], dict]
     metrics: Optional[object] = None
+    tracer: Optional[object] = None
+    recorder: Optional[object] = None
 
 
 class Executor(abc.ABC):
@@ -116,8 +127,13 @@ class Executor(abc.ABC):
         """Run one explanation job (detection-local executors)."""
         raise NotImplementedError(f"executor {self.name!r} does not dispatch jobs")
 
-    def ingest(self, state, values: np.ndarray, completion=None) -> None:
+    def ingest(self, state, values: np.ndarray, completion=None, trace=None) -> None:
         """Route one coerced chunk (stream-owning executors).
+
+        ``trace``, when given, is the chunk's
+        :class:`~repro.obs.trace.ChunkTrace`: the executor opens a
+        ``wire_roundtrip`` span, ships its context on the wire message and
+        finishes the trace when the reply (or a loss) resolves the chunk.
 
         ``completion``, when given, is ``completion(reply, lost)`` — invoked
         exactly once per chunk, on an internal thread, after the chunk's

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.obs.metrics import MetricsRegistry, stage_histogram
+from repro.obs.trace import span_dict
 from repro.service.cache import SharedCaches, array_digest
 from repro.service.registry import StreamConfig, attribute_stream
 from repro.cluster.wire import AlarmRecord, IngestReply
@@ -258,21 +259,38 @@ class ShardRuntime:
                 stream.config.plugin.restore_detector(stream.detector, state)
 
     # ------------------------------------------------------------------
-    def ingest(self, stream_id: str, values, seq: int = 0) -> IngestReply:
-        """Run one chunk through detection + explanation, returning the reply."""
+    def ingest(
+        self, stream_id: str, values, seq: int = 0, trace=None, shard_id: Optional[str] = None
+    ) -> IngestReply:
+        """Run one chunk through detection + explanation, returning the reply.
+
+        When ``trace`` (a :class:`~repro.obs.trace.TraceContext`) is given,
+        ``detect`` and per-alarm ``explain`` span dicts ride back on the
+        reply — :func:`time.monotonic` stamps, comparable with the parent's
+        own spans — so the chunk's timeline survives the process boundary.
+        """
         try:
             stream = self._streams[stream_id]
         except KeyError:
             raise ValidationError(f"unknown stream {stream_id!r}") from None
         chunk = coerce_observations(values, stream.config)
         tests_before = getattr(stream.detector, "tests_run", 0)
-        if self._m_detect is not None:
+        spans: Optional[list] = [] if trace is not None else None
+        trace_attrs = {"shard": shard_id} if shard_id is not None else None
+        if self._m_detect is not None or spans is not None:
+            detect_mono = time.monotonic()
             detect_started = time.perf_counter()
             alarms = run_detection(stream.detector, stream.config, chunk)
-            self._m_detect.observe(time.perf_counter() - detect_started)
+            detect_elapsed = time.perf_counter() - detect_started
+            if self._m_detect is not None:
+                self._m_detect.observe(detect_elapsed)
+            if spans is not None:
+                spans.append(
+                    span_dict("detect", detect_mono, detect_elapsed, attrs=trace_attrs)
+                )
         else:
             alarms = run_detection(stream.detector, stream.config, chunk)
-        records = [self._explain(stream, stream_id, alarm) for alarm in alarms]
+        records = [self._explain(stream, stream_id, alarm, spans, trace_attrs) for alarm in alarms]
         return IngestReply(
             seq=seq,
             stream_id=stream_id,
@@ -280,11 +298,21 @@ class ShardRuntime:
             observations=observation_count(chunk, stream.config),
             tests_run_delta=getattr(stream.detector, "tests_run", 0) - tests_before,
             alarms_raised_delta=len(records),
+            spans=spans or [],
         )
 
-    def _explain(self, stream: _ShardStream, stream_id: str, alarm) -> AlarmRecord:
+    def _explain(
+        self,
+        stream: _ShardStream,
+        stream_id: str,
+        alarm,
+        spans: Optional[list] = None,
+        trace_attrs: Optional[dict] = None,
+    ) -> AlarmRecord:
         """Resolve one alarm into a record, capturing explainer errors per alarm."""
-        explain_started = time.perf_counter() if self._m_explain is not None else None
+        timed = self._m_explain is not None or spans is not None
+        explain_mono = time.monotonic() if timed else None
+        explain_started = time.perf_counter() if timed else None
         try:
             explanation, from_cache = explain_alarm(
                 stream.config,
@@ -294,8 +322,26 @@ class ShardRuntime:
                 alarm.test,
             )
             if explain_started is not None:
-                self._m_explain.observe(time.perf_counter() - explain_started)
+                explain_elapsed = time.perf_counter() - explain_started
+                if self._m_explain is not None:
+                    self._m_explain.observe(explain_elapsed)
+                if spans is not None:
+                    spans.append(
+                        span_dict(
+                            "explain", explain_mono, explain_elapsed, attrs=trace_attrs
+                        )
+                    )
         except Exception as exc:
+            if spans is not None:
+                spans.append(
+                    span_dict(
+                        "explain",
+                        explain_mono,
+                        time.perf_counter() - explain_started,
+                        status="error",
+                        attrs=trace_attrs,
+                    )
+                )
             return AlarmRecord(
                 stream_id=stream_id,
                 position=alarm.position,

@@ -145,6 +145,7 @@ class ProcessShardExecutor(Executor):
         self._cv = threading.Condition()
         self._outstanding: dict[int, str] = {}  # seq -> shard id
         self._completions: dict[int, object] = {}  # seq -> completion callable
+        self._chunk_traces: dict[int, tuple] = {}  # seq -> (ChunkTrace, wire span)
         self._deferred = DeferredErrors()
         self._seq = 0
         self._ingests = 0
@@ -176,6 +177,8 @@ class ProcessShardExecutor(Executor):
         # respawned shard restarts its counts) and merges them on demand.
         self._metrics_on = False
         self._m_wire = None  # parent-side wire_roundtrip histogram
+        self._tracer = None  # parent-side Tracer (hooks.tracer), or None
+        self._recorder = None  # parent-side FlightRecorder, or None
         self._ingest_started: dict[int, float] = {}  # seq -> enqueue stamp
         self._shard_ingests: dict[str, int] = {}  # shard id -> chunks routed
         self._worker_metrics: dict[str, dict] = {}
@@ -189,6 +192,8 @@ class ProcessShardExecutor(Executor):
         self._metrics_on = registry is not None and getattr(registry, "enabled", False)
         if self._metrics_on:
             self._m_wire = stage_histogram(registry, "wire_roundtrip")
+        self._tracer = getattr(self.hooks, "tracer", None) if self.hooks else None
+        self._recorder = getattr(self.hooks, "recorder", None) if self.hooks else None
         for shard in self._shards.values():
             self._spawn(shard)
         self._collector = threading.Thread(
@@ -241,6 +246,14 @@ class ProcessShardExecutor(Executor):
                 self._state_lost.update(owned)
         for stream_id in owned:
             shard.commands.put(RegisterStream(stream_id, snapshot[stream_id]))
+        if self._recorder is not None:
+            self._recorder.record(
+                shard.shard_id,
+                "respawn" if respawn else "spawn",
+                pid=shard.process.pid,
+                restarts=shard.restarts,
+                streams=len(owned),
+            )
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         if not self._bound or self._closed:
@@ -290,6 +303,10 @@ class ProcessShardExecutor(Executor):
             self._outstanding.clear()
             abandoned = list(self._completions.values())
             self._completions.clear()
+            orphan_traces = list(self._chunk_traces.values())
+            self._chunk_traces.clear()
+        for entry in orphan_traces:
+            self._finish_trace(entry, "lost", error="executor closed")
         for completion in abandoned:
             # Chunks the shutdown discarded still resolve their futures.
             self._safe_complete(completion, None, True)
@@ -326,7 +343,7 @@ class ProcessShardExecutor(Executor):
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def ingest(self, state, values: np.ndarray, completion=None) -> None:
+    def ingest(self, state, values: np.ndarray, completion=None, trace=None) -> None:
         # The lifecycle lock keeps the whole enqueue atomic with respect to
         # crash handling: without it, a concurrent respawn could abandon
         # this seq as lost (and swap the command queue) between the
@@ -359,15 +376,30 @@ class ProcessShardExecutor(Executor):
                             self._shard_ingests[shard.shard_id] = (
                                 self._shard_ingests.get(shard.shard_id, 0) + 1
                             )
-                            stamp = time.monotonic() if self._metrics_on else None
-                            if stamp is not None:
+                            stamp = (
+                                time.monotonic()
+                                if self._metrics_on or trace is not None
+                                else None
+                            )
+                            if stamp is not None and self._metrics_on:
                                 self._ingest_started[seq] = stamp
+                            context = None
+                            if trace is not None:
+                                # The wire span stays open until the reply
+                                # (or a loss) resolves this seq; the worker's
+                                # span dicts re-parent under it.
+                                wire_span = trace.start_span(
+                                    "wire_roundtrip", shard=shard.shard_id
+                                )
+                                self._chunk_traces[seq] = (trace, wire_span)
+                                context = trace.wire_context(wire_span)
                             shard.commands.put(
                                 IngestChunk(
                                     seq=seq,
                                     stream_id=state.stream_id,
                                     values=values,
                                     enqueued_at=stamp,
+                                    trace=context,
                                 )
                             )
                             return
@@ -422,6 +454,16 @@ class ProcessShardExecutor(Executor):
                 # The shard died: reap it, abandon its in-flight chunks and
                 # charge its restart budget before respawning.
                 shard.process.join(timeout=1)
+                if self._recorder is not None:
+                    self._recorder.record(
+                        shard.shard_id,
+                        "crash",
+                        exitcode=shard.process.exitcode,
+                        restarts=shard.restarts + 1,
+                    )
+                    # The recorder's whole purpose: persist the last events
+                    # leading up to this crash while they are still buffered.
+                    self._recorder.dump(f"crash-{shard.shard_id}")
                 self._abandon_outstanding(shard.shard_id)
                 shard.restarts += 1
                 with self._cv:
@@ -462,16 +504,45 @@ class ProcessShardExecutor(Executor):
             completions = [
                 self._completions.pop(seq) for seq in lost if seq in self._completions
             ]
+            traces = [
+                self._chunk_traces.pop(seq)
+                for seq in lost
+                if seq in self._chunk_traces
+            ]
             if lost:
                 self._cv.notify_all()
+        if lost and self._recorder is not None:
+            self._recorder.record(shard_id, "chunks_lost", count=len(lost))
         # Invoked outside the condition lock: the engine's completion
         # wrapper resolves futures/callbacks and must not nest under _cv.
+        for entry in traces:
+            self._finish_trace(entry, "lost", error=f"shard {shard_id} died")
         for completion in completions:
             self._safe_complete(completion, None, True)
 
     def _pop_completion(self, seq: int):
         with self._cv:
             return self._completions.pop(seq, None)
+
+    def _pop_trace(self, seq: int):
+        with self._cv:
+            return self._chunk_traces.pop(seq, None)
+
+    def _finish_trace(self, entry, status: str = "ok", error=None, spans=None) -> None:
+        """Resolve one chunk's trace: close the wire span, graft worker spans.
+
+        ``entry`` is the ``(ChunkTrace, wire span)`` pair stored at enqueue
+        (``None`` is a no-op, so callers can pass the pop result straight
+        through).  Lost chunks close with a non-``ok`` status instead of
+        leaking an open span.
+        """
+        if entry is None or self._tracer is None:
+            return
+        trace, wire_span = entry
+        wire_span.finish(status)
+        if spans:
+            trace.extend(spans, parent=wire_span)
+        self._tracer.finish_chunk(trace, status, error)
 
     def _safe_complete(self, completion, reply, lost: bool) -> None:
         """Invoke one chunk-completion callback, deferring its errors."""
@@ -499,6 +570,11 @@ class ProcessShardExecutor(Executor):
         ring owners fresh (``MigrateIn`` with ``state=None`` — the same
         install path a resize uses) and are recorded as ``state_lost``.
         """
+        if self._recorder is not None:
+            self._recorder.record(
+                shard.shard_id, "retired", restarts=shard.restarts
+            )
+            self._recorder.dump(f"retire-{shard.shard_id}")
         del self._shards[shard.shard_id]
         snapshot = self.hooks.snapshot() if self.hooks is not None else {}
         moved = sorted(
@@ -557,7 +633,12 @@ class ProcessShardExecutor(Executor):
             else:
                 self._shrink(shards, timeout)
             with self._cv:
-                return self.shard_count
+                new_count = self.shard_count
+            if self._recorder is not None:
+                self._recorder.record(
+                    None, "resize", requested=shards, shards=new_count
+                )
+            return new_count
 
     def _new_shard_ids(self, count: int) -> list[str]:
         """Fresh shard ids filling the lowest free indices (``shard-K``)."""
@@ -1025,6 +1106,7 @@ class ProcessShardExecutor(Executor):
             except Exception as exc:
                 self._defer(exc)
             finally:
+                self._finish_trace(self._pop_trace(reply.seq), spans=reply.spans)
                 self._ack(reply.seq, served=True)
                 self._safe_complete(completion, reply, False)
         elif isinstance(reply, MigrateOutDone):
@@ -1052,8 +1134,19 @@ class ProcessShardExecutor(Executor):
                     f"shard {reply.shard_id!r} reported: {reply.message}"
                 )
             )
+            if self._recorder is not None:
+                self._recorder.record(
+                    reply.shard_id,
+                    "worker_failure",
+                    message=reply.message,
+                    command=reply.command,
+                    seq=reply.seq,
+                )
             if reply.seq is not None:
                 # The failure consumed the chunk without serving it.
+                self._finish_trace(
+                    self._pop_trace(reply.seq), "error", error=reply.message
+                )
                 self._ack(reply.seq)
                 self._safe_complete(self._pop_completion(reply.seq), None, True)
             if reply.command in (

@@ -16,7 +16,9 @@ The protocol is deliberately small:
 * ``IngestChunk`` → ``IngestReply`` — one chunk of observations in, the
   alarms it raised (with explanations attached) plus counter deltas out;
   every chunk is acknowledged exactly once, which is what ``drain()``
-  counts;
+  counts; when tracing is on the chunk carries a
+  :class:`~repro.obs.trace.TraceContext` and the reply ships the
+  worker-side spans back for re-parenting;
 * ``MigrateOut`` → ``MigrateOutDone`` — live rebalancing: extract the named
   streams *with their detector state* (``state_dict()`` snapshots) so the
   parent can move them to their new ring owners;
@@ -75,13 +77,19 @@ class IngestChunk:
     ``enqueued_at`` is a ``time.monotonic()`` stamp taken when the parent
     enqueued the chunk; monotonic clocks are system-wide on Linux, so the
     worker subtracts it from its own clock to observe the micro-batch wait
-    (queue residency) of the chunk.  ``None`` when metrics are disabled.
+    (queue residency) of the chunk.  ``None`` when neither metrics nor
+    tracing is enabled.
+
+    ``trace`` is the chunk's :class:`~repro.obs.trace.TraceContext` when
+    tracing is enabled: the worker tags its span dicts with it so the
+    parent can re-parent them under the chunk's ``wire_roundtrip`` span.
     """
 
     seq: int
     stream_id: str
     values: np.ndarray
     enqueued_at: Optional[float] = None
+    trace: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -176,7 +184,14 @@ class AlarmRecord:
 
 @dataclass
 class IngestReply:
-    """Acknowledgement of one :class:`IngestChunk` with everything it produced."""
+    """Acknowledgement of one :class:`IngestChunk` with everything it produced.
+
+    ``spans`` carries the worker-side trace spans of the chunk
+    (:func:`repro.obs.trace.span_dict` payloads: ``batch_wait``,
+    ``detect``, ``explain``) when the chunk arrived with a trace context;
+    the parent re-parents them under its ``wire_roundtrip`` span so the
+    chunk's timeline is complete across the process boundary.
+    """
 
     seq: int
     stream_id: str
@@ -184,6 +199,7 @@ class IngestReply:
     observations: int = 0
     tests_run_delta: int = 0
     alarms_raised_delta: int = 0
+    spans: list = field(default_factory=list)
 
 
 @dataclass

@@ -20,6 +20,7 @@ import time
 
 from repro.cluster.runtime import ShardRuntime
 from repro.obs.metrics import MetricsRegistry, stage_histogram
+from repro.obs.trace import span_dict
 from repro.cluster.wire import (
     CaptureState,
     CollectStats,
@@ -139,19 +140,46 @@ def shard_worker_main(
             elif isinstance(command, SeedCaches):
                 runtime.caches.restore_contents(command.contents)
             elif isinstance(command, IngestChunk):
-                if batch_wait is not None and command.enqueued_at is not None:
+                trace_spans = None
+                if command.enqueued_at is not None:
                     # Monotonic clocks are system-wide on Linux, so the
                     # parent's enqueue stamp is comparable here.
-                    batch_wait.observe(max(0.0, time.monotonic() - command.enqueued_at))
+                    waited = max(0.0, time.monotonic() - command.enqueued_at)
+                    if batch_wait is not None:
+                        batch_wait.observe(waited)
+                    if command.trace is not None:
+                        trace_spans = [
+                            span_dict(
+                                "batch_wait",
+                                command.enqueued_at,
+                                waited,
+                                attrs={"shard": shard_id},
+                            )
+                        ]
+                elif command.trace is not None:
+                    trace_spans = []
                 if command.stream_id not in runtime:
                     # The stream was removed while this chunk was in
                     # flight; acknowledge it empty (the parent tolerates
                     # the same race on its side) rather than failing.
-                    replies.send(IngestReply(seq=command.seq, stream_id=command.stream_id))
-                else:
                     replies.send(
-                        runtime.ingest(command.stream_id, command.values, seq=command.seq)
+                        IngestReply(
+                            seq=command.seq,
+                            stream_id=command.stream_id,
+                            spans=trace_spans or [],
+                        )
                     )
+                else:
+                    reply = runtime.ingest(
+                        command.stream_id,
+                        command.values,
+                        seq=command.seq,
+                        trace=command.trace,
+                        shard_id=shard_id,
+                    )
+                    if trace_spans:
+                        reply.spans[:0] = trace_spans
+                    replies.send(reply)
             else:
                 replies.send(
                     WorkerFailure(shard_id, f"unknown command {command!r}")

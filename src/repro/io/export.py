@@ -28,6 +28,7 @@ __all__ = [
     "explanation_to_json",
     "ks2d_explanation_to_dict",
     "ks_result_to_dict",
+    "save_chrome_trace",
     "save_explanation",
     "save_service_report",
     "service_report_to_json",
@@ -92,6 +93,21 @@ def save_explanation(explanation: Explanation, path: PathLike) -> Path:
     else:
         raise ValidationError(f"unsupported explanation format: {suffix!r}")
     path.write_text(content)
+    return path
+
+
+def save_chrome_trace(payload: dict, path: PathLike) -> Path:
+    """Write a Chrome trace-event payload (``Tracer.chrome_trace``) to disk.
+
+    The file loads directly in ``chrome://tracing`` or https://ui.perfetto.dev.
+    Refuses a payload without a ``traceEvents`` list — catching a caller
+    that passed span dicts (or a report) instead of the export object.
+    """
+    if not isinstance(payload, dict) or not isinstance(payload.get("traceEvents"), list):
+        raise ValidationError("not a Chrome trace-event payload (no traceEvents list)")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload) + "\n")
     return path
 
 

@@ -6,10 +6,19 @@
   histograms (p50/p95/p99) in a thread-safe, picklable
   :class:`~repro.obs.metrics.MetricsRegistry` whose per-shard state
   merges exactly across processes;
+* :mod:`~repro.obs.trace` — per-chunk distributed tracing: a span tree
+  per submitted chunk (same five stage names as the histograms),
+  propagated across the process boundary, sampled head-first with an
+  always-on slow-exemplar reservoir, exported as Chrome trace-event /
+  Perfetto JSON;
+* :mod:`~repro.obs.log` — structured JSON event logging with bound
+  context and an injectable clock;
+* :mod:`~repro.obs.recorder` — a bounded per-shard flight recorder whose
+  ring buffers are dumped to disk on shard crash or retirement;
 * :mod:`~repro.obs.prometheus` — text exposition (format 0.0.4)
   rendering and a strict parser for smoke tests;
 * :mod:`~repro.obs.exporter` — a dependency-free asyncio HTTP server
-  answering ``GET /metrics``.
+  answering ``GET /metrics`` and ``GET /healthz``.
 """
 
 from repro.obs.metrics import (
@@ -25,22 +34,43 @@ from repro.obs.metrics import (
     register_stage_histograms,
     stage_histogram,
 )
+from repro.obs.log import JsonLogger
 from repro.obs.prometheus import parse_exposition, render_registry
 from repro.obs.exporter import start_metrics_server
+from repro.obs.recorder import FLIGHT_SCHEMA, FlightRecorder
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    ChunkTrace,
+    Span,
+    TraceContext,
+    Tracer,
+    span_dict,
+    validate_chrome_trace,
+)
 
 __all__ = [
+    "ChunkTrace",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "JsonLogger",
     "MetricsRegistry",
     "STAGES",
     "STAGE_METRIC",
+    "Span",
+    "TRACE_SCHEMA",
+    "TraceContext",
+    "Tracer",
     "latency_summary",
     "merge_metric_states",
     "parse_exposition",
     "register_stage_histograms",
     "render_registry",
+    "span_dict",
     "stage_histogram",
     "start_metrics_server",
+    "validate_chrome_trace",
 ]

@@ -1,15 +1,18 @@
-"""Minimal asyncio HTTP exporter for ``GET /metrics``.
+"""Minimal asyncio HTTP exporter for ``GET /metrics`` and ``GET /healthz``.
 
 The service already speaks newline-JSON over TCP (:mod:`repro.aio.server`);
 Prometheus speaks HTTP.  Rather than pull in an HTTP framework the image
 does not ship, this module implements the three-line subset of HTTP/1.1 a
 scraper needs: parse the request line, answer ``GET /metrics`` with the
-text exposition, 404 anything else, close the connection.
+text exposition (``GET /healthz`` with a JSON liveness summary when a
+``health`` callable is wired), 404 anything else — naming the paths that
+*do* exist, so a mistyped probe is a one-glance fix — close the connection.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 from typing import Awaitable, Callable, Optional, Tuple
 
 from repro.obs.prometheus import CONTENT_TYPE
@@ -17,6 +20,7 @@ from repro.obs.prometheus import CONTENT_TYPE
 __all__ = ["start_metrics_server"]
 
 RenderFn = Callable[[], "str | Awaitable[str]"]
+HealthFn = Callable[[], "dict | Awaitable[dict]"]
 MAX_REQUEST_BYTES = 8192
 
 
@@ -45,6 +49,7 @@ async def start_metrics_server(
     host: str = "127.0.0.1",
     port: int = 0,
     *,
+    health: Optional[HealthFn] = None,
     on_bound: Optional[Callable[[Tuple[str, int]], Awaitable[None] | None]] = None,
 ) -> asyncio.AbstractServer:
     """Serve ``GET /metrics`` from ``render()`` until the server is closed.
@@ -54,9 +59,27 @@ async def start_metrics_server(
     function (awaited per scrape — use this when rendering involves a
     blocking wire round-trip, e.g.
     :meth:`~repro.aio.service.AsyncExplanationService.metrics_text`).
+    ``health``, when given, additionally serves ``GET /healthz`` with the
+    JSON-encoded dict it returns (e.g.
+    :meth:`~repro.service.engine.ExplanationService.health`: status,
+    uptime, stream and shard counts) — the liveness probe a supervisor
+    polls without paying for a full metrics render.
     ``on_bound`` receives the bound ``(host, port)`` — useful with
     ``port=0`` in tests and the CLI.
     """
+    known_paths = ["/", "/metrics"] + (["/healthz"] if health is not None else [])
+
+    async def _render_path(path: str, method: str) -> bytes:
+        if path == "/healthz":
+            body = health()
+            if asyncio.iscoroutine(body):
+                body = await body
+            payload = json.dumps(body, sort_keys=True) + "\n"
+            return _response("200 OK", payload if method == "GET" else "", "application/json")
+        body = render()
+        if asyncio.iscoroutine(body):
+            body = await body
+        return _response("200 OK", body if method == "GET" else "")
 
     async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         try:
@@ -78,13 +101,17 @@ async def start_metrics_server(
                 writer.write(
                     _response("405 Method Not Allowed", "method not allowed\n", "text/plain")
                 )
-            elif path not in ("/metrics", "/"):
-                writer.write(_response("404 Not Found", "not found\n", "text/plain"))
+            elif path not in known_paths:
+                writer.write(
+                    _response(
+                        "404 Not Found",
+                        f"not found; known paths: {', '.join(known_paths)}\n",
+                        "text/plain",
+                    )
+                )
             else:
                 try:
-                    body = render()
-                    if asyncio.iscoroutine(body):
-                        body = await body
+                    response = await _render_path(path, method)
                 except Exception as exc:  # surface render bugs to the scraper
                     writer.write(
                         _response(
@@ -92,7 +119,7 @@ async def start_metrics_server(
                         )
                     )
                 else:
-                    writer.write(_response("200 OK", body if method == "GET" else ""))
+                    writer.write(response)
             await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass

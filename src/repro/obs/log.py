@@ -1,0 +1,92 @@
+"""Structured JSON event logging with bound context.
+
+A deliberately small logger for the service's operational events: every
+record is one JSON object per line with a wall-clock timestamp, a level,
+an event name and whatever context was bound (``stream``, ``shard``,
+``trace_id``, ...).  The clock is injectable so tests assert exact
+records, and *handlers* receive the record dict before serialization —
+the flight recorder (:mod:`repro.obs.recorder`) registers itself as one
+to capture recent events without a second instrumentation pass.
+
+No stdlib ``logging`` integration on purpose: the service's hot paths
+follow the metrics layer's "one ``is None`` check when disabled" rule,
+and a :class:`JsonLogger` is either present or it is not.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, TextIO
+
+__all__ = ["JsonLogger"]
+
+Handler = Callable[[Dict[str, Any]], None]
+
+
+class JsonLogger:
+    """Thread-safe newline-JSON event logger.
+
+    ``stream`` is any text file object (``None`` disables serialization —
+    handlers still run, which is how the flight recorder operates without
+    a log file).  ``bind`` returns a child logger sharing the stream,
+    clock and handlers but with extra context merged into every record.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        *,
+        clock: Callable[[], float] = time.time,
+        context: Optional[Dict[str, Any]] = None,
+        handlers: Optional[List[Handler]] = None,
+    ) -> None:
+        self._stream = stream
+        self._clock = clock
+        self._context = dict(context or {})
+        self._handlers: List[Handler] = list(handlers or [])
+        self._lock = threading.Lock()
+
+    def bind(self, **context: Any) -> "JsonLogger":
+        merged = dict(self._context)
+        merged.update(context)
+        child = JsonLogger(self._stream, clock=self._clock, context=merged)
+        child._handlers = self._handlers  # shared, so late registration reaches children
+        child._lock = self._lock
+        return child
+
+    def add_handler(self, handler: Handler) -> None:
+        self._handlers.append(handler)
+
+    def log(self, level: str, event: str, **fields: Any) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"ts": self._clock(), "level": level, "event": event}
+        record.update(self._context)
+        record.update(fields)
+        for handler in self._handlers:
+            try:
+                handler(record)
+            except Exception:
+                pass  # observers must never take down the pipeline
+        if self._stream is not None:
+            line = json.dumps(record, sort_keys=True, default=str)
+            with self._lock:
+                try:
+                    self._stream.write(line + "\n")
+                    self._stream.flush()
+                except (ValueError, OSError, io.UnsupportedOperation):
+                    pass  # closed or read-only stream: drop, never raise
+        return record
+
+    def debug(self, event: str, **fields: Any) -> Dict[str, Any]:
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> Dict[str, Any]:
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> Dict[str, Any]:
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> Dict[str, Any]:
+        return self.log("error", event, **fields)

@@ -1,0 +1,125 @@
+"""Crash flight recorder: bounded ring buffers of recent events.
+
+Aggregated metrics say *that* a shard died; the flight recorder says
+*what was happening when it did*.  Each channel (one per shard, plus a
+``service`` channel for lifecycle events) is a bounded deque of recent
+event dicts.  On shard crash, retirement or SIGUSR2 the recorder dumps
+every channel to a JSON file under ``dump_dir`` (``repro serve
+--trace-dir``), so the post-mortem includes the last N commands each
+shard saw before the failure.
+
+Recording is a single deque append under a lock — cheap enough to leave
+on whenever tracing is enabled — and the recorder doubles as a
+:class:`~repro.obs.log.JsonLogger` handler via :meth:`log_handler`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+__all__ = ["FLIGHT_SCHEMA", "FlightRecorder"]
+
+#: Schema tag embedded in dump files.
+FLIGHT_SCHEMA = "repro-flight/1"
+
+#: Channel used when an event names no shard.
+SERVICE_CHANNEL = "service"
+
+
+class FlightRecorder:
+    """Per-channel bounded event history with crash dumps.
+
+    ``capacity`` bounds each channel independently; ``clock`` stamps
+    events (injectable for tests); ``dump_dir`` is where :meth:`dump`
+    writes ``flight-<reason>-<n>.json`` files (``None`` disables file
+    dumps — :meth:`events` still works for in-process inspection).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        clock: Callable[[], float] = time.time,
+        dump_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = int(capacity)
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._channels: Dict[str, deque] = {}
+        self._dumps = 0
+
+    def record(self, channel: Any, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one event to ``channel``'s ring (shard id or name)."""
+        record: Dict[str, Any] = {"ts": self._clock(), "event": event}
+        record.update(fields)
+        key = SERVICE_CHANNEL if channel is None else str(channel)
+        with self._lock:
+            ring = self._channels.get(key)
+            if ring is None:
+                ring = self._channels[key] = deque(maxlen=self.capacity)
+            ring.append(record)
+        return record
+
+    def log_handler(self, record: Dict[str, Any]) -> None:
+        """Adapter so a :class:`~repro.obs.log.JsonLogger` feeds the ring."""
+        fields = dict(record)
+        event = fields.pop("event", "log")
+        channel = fields.pop("shard", None)
+        fields.pop("ts", None)
+        self.record(channel, str(event), **fields)
+
+    def events(self, channel: Optional[Any] = None) -> List[Dict[str, Any]]:
+        """Recent events — one channel, or all channels interleaved by ts."""
+        with self._lock:
+            if channel is not None:
+                return list(self._channels.get(str(channel), ()))
+            merged = [record for ring in self._channels.values() for record in ring]
+        merged.sort(key=lambda record: record.get("ts", 0.0))
+        return merged
+
+    def channels(self) -> List[str]:
+        with self._lock:
+            return sorted(self._channels)
+
+    def snapshot(self, reason: str) -> Dict[str, Any]:
+        """The dump payload: every channel's recent events, oldest first."""
+        with self._lock:
+            channels = {name: list(ring) for name, ring in self._channels.items()}
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "reason": reason,
+            "dumped_at": self._clock(),
+            "capacity": self.capacity,
+            "channels": channels,
+        }
+
+    def dump(self, reason: str = "manual", path: Optional[Union[str, Path]] = None) -> Optional[Path]:
+        """Write a dump file; returns its path (None when no destination).
+
+        Dumps must never take down the service they are post-morteming:
+        filesystem errors are swallowed and reported as ``None``.
+        """
+        payload = self.snapshot(reason)
+        if path is None:
+            if self.dump_dir is None:
+                return None
+            with self._lock:
+                self._dumps += 1
+                serial = self._dumps
+            safe_reason = "".join(c if c.isalnum() or c in "-_" else "-" for c in reason)
+            path = self.dump_dir / f"flight-{safe_reason}-{serial:03d}.json"
+        path = Path(path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+        except OSError:
+            return None
+        return path

@@ -70,6 +70,11 @@ class ExplanationJob:
         ``time.perf_counter()`` stamp set by the batcher on submission when
         metrics are enabled; the claiming worker observes the difference as
         the job's micro-batch wait.  ``None`` when telemetry is off.
+    trace:
+        The submitting chunk's :class:`~repro.obs.trace.ChunkTrace`, or
+        ``None`` when tracing is off.  The batcher opens a ``batch_wait``
+        span on it per queued job (``batch_span``) and the engine adds the
+        ``explain`` span around the handler.
     """
 
     stream_id: str
@@ -83,6 +88,8 @@ class ExplanationJob:
     context: Any = None
     chunk: Any = None
     enqueued_at: Optional[float] = None
+    trace: Any = None
+    batch_span: Any = None
 
 
 @dataclass
@@ -237,6 +244,8 @@ class MicroBatcher:
                 self._pending_drops.append(JobOutcome(job=dropped, dropped=True))
             if self._m_batch_wait is not None:
                 job.enqueued_at = time.perf_counter()
+            if job.trace is not None:
+                job.batch_span = job.trace.start_span("batch_wait")
             self._queue.append(job)
             self.stats.submitted += 1
             self._cv.notify_all()
@@ -355,6 +364,9 @@ class MicroBatcher:
                         for job in batch:
                             if job.enqueued_at is not None:
                                 self._m_batch_wait.observe(claimed - job.enqueued_at)
+                    for job in batch:
+                        if job.batch_span is not None:
+                            job.batch_span.finish()
                 if batch or drops:
                     # Claiming jobs frees queue space: wake blocked producers.
                     self._cv.notify_all()

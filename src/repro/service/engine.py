@@ -32,6 +32,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Optional, Union
 
 from repro.cluster.base import Executor, ExecutorHooks, make_executor
@@ -52,6 +53,8 @@ from repro.obs.metrics import (
     stage_histogram,
 )
 from repro.obs.prometheus import render_registry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import TRACE_SCHEMA, Tracer
 from repro.service.batching import ExplanationJob, JobOutcome
 from repro.service.cache import (
     SharedCaches,
@@ -202,6 +205,26 @@ class ExplanationService:
         Optional size-aware admission bound (bytes) for the array-valued
         shared caches.  Both knobs are ignored when an explicit ``caches``
         bundle is passed — the bundle carries its own lifecycle settings.
+    tracing:
+        Enable per-chunk distributed tracing: every submitted chunk gets a
+        :class:`~repro.obs.trace.ChunkTrace` (span tree over the five
+        pipeline stages, completed across the process boundary under the
+        ``process`` executor).  Pass ``True`` for a default
+        :class:`~repro.obs.trace.Tracer` (``trace_sample``/``trace_seed``
+        configure its head-based sampler) or a pre-built ``Tracer``.
+        Implied by ``trace_dir``.  Off by default; disabled, the hot path
+        pays one ``None`` check.
+    trace_sample:
+        Head-based sampling rate in ``[0, 1]`` for retaining finished
+        traces (slow exemplars are kept regardless).  Default 0.1.
+    trace_seed:
+        Seed of the sampler, making keep/drop decisions deterministic for
+        a given submission order.
+    trace_dir:
+        Directory for trace exports and flight-recorder crash dumps
+        (``repro serve --trace-dir``).  Implies ``tracing``; the service's
+        :class:`~repro.obs.recorder.FlightRecorder` dumps there on shard
+        crash, retirement, SIGUSR2 (CLI) or :meth:`dump_flight_recorder`.
     """
 
     def __init__(
@@ -219,6 +242,10 @@ class ExplanationService:
         metrics: bool = False,
         cache_ttl: Optional[float] = None,
         cache_max_entry_bytes: Optional[int] = None,
+        tracing: Union[bool, Tracer] = False,
+        trace_sample: float = 0.1,
+        trace_seed: int = 0,
+        trace_dir: Optional[Union[str, Path]] = None,
     ):
         self.default_config = default_config or StreamConfig()
         self.max_alarms_per_stream = max_alarms_per_stream
@@ -235,6 +262,16 @@ class ExplanationService:
             MetricsRegistry(enabled=True) if metrics else None
         )
         register_stage_histograms(self.metrics)
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        if isinstance(tracing, Tracer):
+            self.tracer: Optional[Tracer] = tracing
+        elif tracing or self.trace_dir is not None:
+            self.tracer = Tracer(trace_sample, seed=trace_seed)
+        else:
+            self.tracer = None
+        self.recorder: Optional[FlightRecorder] = (
+            FlightRecorder(dump_dir=self.trace_dir) if self.tracer is not None else None
+        )
         self._m_ingest = stage_histogram(self.metrics, "ingest_enqueue")
         self._m_detect = stage_histogram(self.metrics, "detect")
         self._m_explain = stage_histogram(self.metrics, "explain")
@@ -266,6 +303,8 @@ class ExplanationService:
                 record_reply=self._record_reply,
                 snapshot=self._registry.snapshot,
                 metrics=self.metrics,
+                tracer=self.tracer,
+                recorder=self.recorder,
             )
         )
 
@@ -520,6 +559,7 @@ class ExplanationService:
             raise ValidationError("cannot submit to a closed service")
         state = self._registry.get(stream_id)
         values = coerce_observations(observations, state.config)
+        trace = self.tracer.start_chunk(stream_id) if self.tracer is not None else None
         if self._executor.owns_detection:
             # Observation counts come back with the shard acknowledgement
             # (_record_reply), so a chunk the executor rejects — or loses to
@@ -527,25 +567,34 @@ class ExplanationService:
             completion = None
             if on_complete is not None:
                 completion = self._make_chunk_completion(stream_id, on_complete)
+            enqueue_span = trace.start_span("ingest_enqueue") if trace is not None else None
             if self._m_ingest is not None:
                 # Enqueue latency includes any backpressure wait: that is
                 # exactly the signal a producer (and the autoscaler) feels.
                 enqueue_started = time.perf_counter()
-                self._executor.ingest(state, values, completion)
+                self._executor.ingest(state, values, completion, trace=trace)
                 self._m_ingest.observe(time.perf_counter() - enqueue_started)
             else:
-                self._executor.ingest(state, values, completion)
+                self._executor.ingest(state, values, completion, trace=trace)
+            if enqueue_span is not None:
+                # The executor finishes the trace when the shard reply (or
+                # a loss) resolves the chunk; only the enqueue span is ours.
+                enqueue_span.finish()
             return 0
         handle = None
         if on_complete is not None:
             handle = _ChunkHandle(stream_id, on_complete, self._deferred.add)
+        finish_trace = False
         with state.lock:
+            detect_span = trace.start_span("detect") if trace is not None else None
             if self._m_detect is not None:
                 detect_started = time.perf_counter()
                 alarms = run_detection(state.detector, state.config, values)
                 self._m_detect.observe(time.perf_counter() - detect_started)
             else:
                 alarms = run_detection(state.detector, state.config, values)
+            if detect_span is not None:
+                detect_span.finish()
             state.alarms_raised += len(alarms)
             count = observation_count(values, state.config)
             if handle is not None:
@@ -556,18 +605,27 @@ class ExplanationService:
             enqueue_started = (
                 time.perf_counter() if self._m_ingest is not None else None
             )
+            enqueue_span = trace.start_span("ingest_enqueue") if trace is not None else None
             for alarm in alarms:
-                self._dispatch(state, alarm, handle)
+                self._dispatch(state, alarm, handle, trace)
             if enqueue_started is not None:
                 # For the in-process executors "enqueue" is handing the
                 # chunk's jobs to the backend (under inline it includes the
                 # synchronous execution — there is no queue to hide behind).
                 self._m_ingest.observe(time.perf_counter() - enqueue_started)
+            if enqueue_span is not None:
+                enqueue_span.finish()
             state.observations += count
+            if trace is not None:
+                # Armed after dispatch: inline jobs already counted down via
+                # child_done (credited), thread jobs may still be in flight.
+                finish_trace = trace.arm(len(alarms))
         if handle is not None:
             # Resolves chunks that raised no alarms; a chunk with alarms
             # fires from whichever thread records the last outcome.
             handle.maybe_fire()
+        if finish_trace:
+            self.tracer.finish_chunk(trace)
         return len(alarms)
 
     def _make_chunk_completion(
@@ -588,7 +646,7 @@ class ExplanationService:
 
         return completion
 
-    def _dispatch(self, state: StreamState, alarm, handle=None) -> None:
+    def _dispatch(self, state: StreamState, alarm, handle=None, trace=None) -> None:
         config = state.config
         reference_digest = test_digest = None
         if config.cacheable or isinstance(config.preference, str):
@@ -611,6 +669,7 @@ class ExplanationService:
                 test_digest=test_digest,
                 context=state,
                 chunk=handle,
+                trace=trace,
             )
         )
 
@@ -620,18 +679,26 @@ class ExplanationService:
     def _explain_job(self, job: ExplanationJob) -> tuple[Explanation, bool]:
         """Explain one alarm, consulting the shared caches."""
         state: StreamState = job.context
+        explain_span = job.trace.start_span("explain") if job.trace is not None else None
         explain_started = time.perf_counter() if self._m_explain is not None else None
-        result = explain_alarm(
-            state.config,
-            state.explainer,
-            self.caches,
-            job.reference,
-            job.test,
-            reference_digest=job.reference_digest,
-            test_digest=job.test_digest,
-        )
+        try:
+            result = explain_alarm(
+                state.config,
+                state.explainer,
+                self.caches,
+                job.reference,
+                job.test,
+                reference_digest=job.reference_digest,
+                test_digest=job.test_digest,
+            )
+        except Exception:
+            if explain_span is not None:
+                explain_span.finish("error")
+            raise
         if explain_started is not None:
             self._m_explain.observe(time.perf_counter() - explain_started)
+        if explain_span is not None:
+            explain_span.finish()
         return result
 
     @staticmethod
@@ -674,6 +741,12 @@ class ExplanationService:
             # Strictly after folding + listeners: when the chunk's future
             # resolves, its alarms are already visible everywhere.
             job.chunk.alarm_done(alarm)
+        if job.trace is not None:
+            if outcome.dropped and job.batch_span is not None:
+                # A never-claimed job's queue wait ends here, as a drop.
+                job.batch_span.finish("dropped")
+            if job.trace.child_done():
+                self.tracer.finish_chunk(job.trace)
 
     @staticmethod
     def _alarm_from_record(record) -> ServiceAlarm:
@@ -884,9 +957,56 @@ class ExplanationService:
 
         ``{stage: {count, sum, mean, p50, p95, p99}}`` for the five
         pipeline stages; empty when the service runs without metrics.
+        With tracing enabled each stage additionally carries
+        ``"exemplars"``: the ``repro_*`` trace ids of the slowest finished
+        chunks for that stage, so a tail quantile links straight to the
+        full timeline that produced it (``repro trace`` / the ``trace``
+        wire op export them).
         """
         merged = self._merged_metrics(refresh_workers)
-        return latency_summary(merged) if merged is not None else {}
+        summary = latency_summary(merged) if merged is not None else {}
+        if self.tracer is not None and summary:
+            for stage, ids in self.tracer.exemplar_ids().items():
+                if stage in summary:
+                    summary[stage]["exemplars"] = ids
+        return summary
+
+    def health(self) -> dict:
+        """Liveness payload for the ``/healthz`` endpoint."""
+        stats = self.stats()
+        return {
+            "status": "closed" if self._closed else "ok",
+            "uptime_seconds": round(time.perf_counter() - self._started, 3),
+            "streams": len(self._registry),
+            "shards": int(stats.get("shards", 1)),
+            "executor": stats.get("executor"),
+        }
+
+    def trace_export(self) -> dict:
+        """Retained traces as a Chrome trace-event / Perfetto JSON payload.
+
+        Valid (if empty) even when tracing is disabled, so the ``trace``
+        wire op and ``repro serve --trace-dir`` never have to special-case
+        an untraced service.
+        """
+        if self.tracer is None:
+            return {
+                "displayTimeUnit": "ms",
+                "otherData": {"schema": TRACE_SCHEMA, "traces": 0},
+                "traceEvents": [],
+            }
+        return self.tracer.chrome_trace()
+
+    def dump_flight_recorder(self, reason: str = "manual") -> Optional[Path]:
+        """Dump the flight recorder's ring buffers; returns the file path.
+
+        ``None`` when tracing is disabled or the recorder has no
+        ``trace_dir`` to write to (events remain inspectable through
+        ``service.recorder.events()``).
+        """
+        if self.recorder is None:
+            return None
+        return self.recorder.dump(reason)
 
     def scrape_metrics(self) -> str:
         """The service's metrics in Prometheus text exposition format.

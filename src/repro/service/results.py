@@ -147,7 +147,8 @@ class ServiceReport:
     clean run.  ``latency`` (present when the service ran with metrics
     enabled) maps each pipeline stage to its merged latency summary —
     ``{count, sum, mean, p50, p95, p99}`` — with per-shard histograms
-    already folded in.
+    already folded in; when tracing is also on, each stage carries the
+    ``repro_*`` trace ids of its slowest chunks under ``exemplars``.
     """
 
     streams: list[StreamReport]
@@ -238,18 +239,28 @@ class ServiceReport:
                 f"shard faults       : {self.restarts} restart(s); "
                 f"detector state lost on: {lost}"
             )
-        if self.latency:
+        # The latency section appears only when some stage actually has
+        # samples: with metrics disabled (or a run that observed nothing)
+        # a block of "stage: no samples" rows read as a telemetry bug, not
+        # as the configuration it was.
+        sampled_stages = {
+            stage: summary
+            for stage, summary in (self.latency or {}).items()
+            if summary.get("count", 0)
+        }
+        if sampled_stages:
             lines.append("stage latency      :")
-        for stage, summary in (self.latency or {}).items():
-            count = summary.get("count", 0)
-            if not count:
-                lines.append(f"  {stage}: no samples")
-                continue
+        for stage, summary in sampled_stages.items():
+            count = summary["count"]
             quantiles = " / ".join(
                 f"{1000 * summary[q]:.2f}" if summary.get(q) is not None else "-"
                 for q in ("p50", "p95", "p99")
             )
-            lines.append(f"  {stage}: p50/p95/p99 {quantiles} ms ({count} samples)")
+            exemplars = summary.get("exemplars") or []
+            suffix = f"; slowest: {', '.join(exemplars)}" if exemplars else ""
+            lines.append(
+                f"  {stage}: p50/p95/p99 {quantiles} ms ({count} samples{suffix})"
+            )
         for stream in self.streams:
             lines.append(
                 f"  {stream.stream_id}: {stream.observations} obs, "
