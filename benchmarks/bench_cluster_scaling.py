@@ -8,10 +8,11 @@ claims are checked:
 * **parity** — every backend produces byte-identical canonical reports
   (same alarms, same explanations) on the same seeded replay; always
   enforced;
-* **scaling** — process shards give near-linear speedup, ``>= 2.5x`` at 4
-  shards vs 1; enforced only when the machine actually has >= 4 usable
-  cores (the shards cannot beat physics on a 1-core container — the JSON
-  records the core count so the reader can judge);
+* **scaling** — process shards actually *win*: ``>= 2.5x`` throughput at 4
+  shards vs the inline (single-process, zero-IPC) baseline; enforced only
+  when the machine actually has >= 4 usable cores (the shards cannot beat
+  physics on a 1-core container — the JSON records the core count so the
+  reader can judge).  The vs-1-shard speedups are recorded too;
 * **tail latency** — every replay runs with stage telemetry on and its
   per-stage p50/p95/p99 goes into the JSON; under the same conditions the
   speedup gate applies, the largest process pool's ``explain`` p95 must
@@ -76,9 +77,12 @@ def run_backend(
     chunk: int,
     executor: str,
     shards: int | None = None,
+    transport: str = "framed",
 ):
-    """One replay; returns (replay_seconds, report)."""
-    kwargs = {"shards": shards} if shards is not None else {"workers": 4}
+    """One replay; returns (replay_seconds, report, executor_stats)."""
+    kwargs = {"shards": shards, "transport": transport} if shards is not None else {
+        "workers": 4
+    }
     with ExplanationService(
         executor=executor,
         max_batch=8,
@@ -98,7 +102,7 @@ def run_backend(
                     service.submit(stream_id, piece)
         service.drain()
         seconds = time.perf_counter() - started
-        return seconds, service.report()
+        return seconds, service.report(), service.executor.stats()
 
 
 def main(argv=None) -> int:
@@ -107,6 +111,10 @@ def main(argv=None) -> int:
                         help="small workload for CI smoke runs")
     parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4],
                         help="process shard counts to sweep (default: 1 2 4)")
+    parser.add_argument("--transport", choices=("framed", "legacy"),
+                        default="framed",
+                        help="wire transport of the process runs "
+                             "(default framed)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                         help="where to write the machine-readable JSON")
     args = parser.parse_args(argv)
@@ -127,11 +135,12 @@ def main(argv=None) -> int:
 
     runs, canonicals = [], {}
     for label, executor, shards in plans:
-        seconds, report = run_backend(
-            fleet, scale["window"], scale["chunk"], executor, shards
+        seconds, report, xstats = run_backend(
+            fleet, scale["window"], scale["chunk"], executor, shards,
+            transport=args.transport,
         )
         canonicals[label] = json.dumps(report.canonical_dict(), sort_keys=True)
-        runs.append({
+        run = {
             "label": label,
             "executor": executor,
             "shards": shards,
@@ -140,22 +149,55 @@ def main(argv=None) -> int:
             "alarms": report.alarms_raised,
             "explained": report.explained,
             "latency": report.latency,
-        })
+        }
+        wire = ""
+        if executor == "process":
+            # The tentpole's receipt: how many payload bytes skipped pickle
+            # (rode shared memory) and what each chunk still costs the
+            # pickler on average.
+            shm_bytes = xstats.get("payload_bytes_shm", 0)
+            inline_bytes = xstats.get("payload_bytes_inline", 0)
+            ingests = xstats.get("ingests", 0) or 1
+            total = shm_bytes + inline_bytes
+            run.update({
+                "transport": xstats.get("transport"),
+                "frame_size": xstats.get("frame_size"),
+                "frames_sent": xstats.get("frames_sent", 0),
+                "payload_bytes_shm": shm_bytes,
+                "payload_bytes_inline": inline_bytes,
+                "bytes_pickled_per_chunk": round(inline_bytes / ingests, 1),
+                "pickle_avoidance": round(shm_bytes / total, 4) if total else None,
+            })
+            if total:
+                wire = (f"   [{xstats.get('transport')}: "
+                        f"{100 * shm_bytes / total:.1f}% of payload bytes "
+                        f"via shm, {inline_bytes / ingests:.0f} B pickled/chunk]")
+        runs.append(run)
         explain_p95 = (report.latency.get("explain") or {}).get("p95")
         tail = f"explain p95 {1000 * explain_p95:.1f} ms" if explain_p95 else "no tail"
         print(f"{label:<12} {seconds:8.3f} s   {observations / seconds:>10,.0f} obs/s   "
-              f"{report.alarms_raised} alarms   {tail}")
+              f"{report.alarms_raised} alarms   {tail}{wire}")
 
     parity_ok = all(canon == canonicals["inline"] for canon in canonicals.values())
 
     by_shards = {run["shards"]: run for run in runs if run["executor"] == "process"}
-    speedups = {
+    inline_seconds = next(
+        run["replay_seconds"] for run in runs if run["executor"] == "inline"
+    )
+    speedups_vs_1 = {
         str(n): round(by_shards[1]["replay_seconds"] / by_shards[n]["replay_seconds"], 2)
         for n in by_shards
         if 1 in by_shards
     }
+    # The headline gate compares against *inline*: beating a 1-shard process
+    # pool only proves the IPC overhead scales, not that sharding is ever
+    # worth turning on.
+    speedups_vs_inline = {
+        str(n): round(inline_seconds / by_shards[n]["replay_seconds"], 2)
+        for n in by_shards
+    }
     max_shards = max(by_shards) if by_shards else 0
-    headline = speedups.get(str(max_shards))
+    headline = speedups_vs_inline.get(str(max_shards))
     enforce = (not args.quick) and cores >= max_shards >= 4 and headline is not None
     tail_p95 = None
     if max_shards:
@@ -167,9 +209,11 @@ def main(argv=None) -> int:
         "streams": scale["streams"],
         "observations": observations,
         "window": scale["window"],
+        "transport": args.transport,
         "runs": runs,
         "parity_ok": parity_ok,
-        "process_speedups_vs_1_shard": speedups,
+        "process_speedups_vs_inline": speedups_vs_inline,
+        "process_speedups_vs_1_shard": speedups_vs_1,
         "speedup_threshold": SPEEDUP_THRESHOLD,
         "speedup_enforced": enforce,
         "tail_p95_seconds": tail_p95,
@@ -177,7 +221,8 @@ def main(argv=None) -> int:
     }
     save_bench_json("cluster_scaling", payload, args.output)
     print(f"\nparity: {'ok' if parity_ok else 'FAILED'}   "
-          f"process speedups vs 1 shard: {speedups}   "
+          f"process speedups vs inline: {speedups_vs_inline}   "
+          f"(vs 1 shard: {speedups_vs_1})   "
           f"[{cores} core(s); threshold {SPEEDUP_THRESHOLD}x "
           f"{'enforced' if enforce else 'not enforced'}]")
     print(f"written to {args.output}")
@@ -186,7 +231,7 @@ def main(argv=None) -> int:
         print("FAIL: executors disagreed on alarms/explanations", file=sys.stderr)
         return 1
     if enforce and headline < SPEEDUP_THRESHOLD:
-        print(f"FAIL: {max_shards}-shard speedup {headline}x < "
+        print(f"FAIL: {max_shards}-shard speedup {headline}x vs inline < "
               f"{SPEEDUP_THRESHOLD}x", file=sys.stderr)
         return 2
     if enforce and tail_p95 is not None and tail_p95 > TAIL_P95_LIMIT:

@@ -267,6 +267,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError("--queue-capacity does not apply to --executor inline")
     if args.executor != "process" and args.shards is not None:
         raise ReproError("--shards requires --executor process")
+    if args.executor != "process" and args.transport is not None:
+        raise ReproError("--transport requires --executor process")
+    if args.frame_size is not None:
+        if args.executor != "process":
+            raise ReproError("--frame-size requires --executor process")
+        if args.transport == "legacy":
+            raise ReproError("--frame-size does not apply to --transport legacy")
+        if args.frame_size < 1:
+            raise ReproError("--frame-size must be at least 1")
     if (args.min_shards is None) != (args.max_shards is None):
         raise ReproError("--min-shards and --max-shards must be given together")
     autoscale = args.min_shards is not None
@@ -338,6 +347,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ("queue_capacity", args.queue_capacity),
             ("policy", args.policy),
             ("shards", shards),
+            ("transport", args.transport),
+            ("frame_size", args.frame_size),
             ("cache_ttl", args.cache_ttl),
             ("metrics", metrics_enabled or None),
             ("tracing", True if tracing_on else None),
@@ -644,6 +655,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--shards", type=int, default=None,
                               help="worker processes for --executor process "
                                    "(default 2)")
+    serve_parser.add_argument("--transport", choices=("framed", "legacy"),
+                              default=None,
+                              help="parent<->shard wire transport for "
+                                   "--executor process: framed (batched "
+                                   "frames + shared-memory payloads; "
+                                   "default) or legacy (one pickle per "
+                                   "chunk)")
+    serve_parser.add_argument("--frame-size", type=int, default=None,
+                              help="chunks per wire frame before an eager "
+                                   "flush (--executor process, framed "
+                                   "transport; default 32)")
     serve_parser.add_argument("--min-shards", type=int, default=None,
                               help="enable queue-depth autoscaling: lower "
                                    "bound of the elastic shard pool "

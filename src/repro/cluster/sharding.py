@@ -40,7 +40,7 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from typing import Optional
 
@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.cluster.base import Executor
 from repro.cluster.partition import HashRing
+from repro.cluster.shm import DEFAULT_RING_BYTES, ChunkRing
 from repro.cluster.wire import (
     CaptureState,
     CollectStats,
@@ -60,11 +61,13 @@ from repro.cluster.wire import (
     MigrateOutDone,
     RegisterStream,
     RemoveStream,
+    ReplyFrame,
     SeedCaches,
     ShardStatsReply,
     Shutdown,
     StateCaptureReply,
     WorkerFailure,
+    encode_frame,
 )
 from repro.cluster.worker import shard_worker_main
 from repro.exceptions import ServiceBackendError, ValidationError
@@ -79,6 +82,10 @@ def _shard_index(shard_id: str) -> tuple[int, str]:
     return (int(suffix) if suffix.isdigit() else 1 << 30, shard_id)
 
 
+#: Transports :class:`ProcessShardExecutor` speaks on the parent↔shard wire.
+TRANSPORTS = ("framed", "legacy")
+
+
 @dataclass
 class _Shard:
     """Parent-side handle of one worker process."""
@@ -89,6 +96,11 @@ class _Shard:
     reply_reader: Optional[object] = None
     restarts: int = 0
     failed: bool = False
+    # Framed transport: this process generation's shared-memory payload
+    # ring and the chunks accumulated for the next frame.
+    ring: Optional[ChunkRing] = None
+    pending: list = field(default_factory=list)
+    pending_since: Optional[float] = None
 
 
 class ProcessShardExecutor(Executor):
@@ -115,6 +127,24 @@ class ProcessShardExecutor(Executor):
         outruns the shards slows down instead of growing the command queues
         without limit (the process-side equivalent of the thread backend's
         bounded queue).
+    transport:
+        ``"framed"`` (default) batches up to ``frame_size`` chunks into one
+        :class:`~repro.cluster.wire.IngestFrame` per queue message with
+        array payloads riding each shard's shared-memory ring, and the
+        worker answers with one :class:`~repro.cluster.wire.ReplyFrame`
+        per frame; ``"legacy"`` is the original one-pickle-per-chunk path,
+        kept as a debugging fallback (both produce byte-identical reports).
+    frame_size:
+        Chunks per frame before an eager flush (framed transport).
+    frame_linger_seconds:
+        How long a partially-filled frame may wait for company before the
+        background flusher ships it anyway.  Bounds the latency cost of
+        framing for trickle traffic (an awaited single chunk must not wait
+        on a frame that will never fill).
+    ring_bytes:
+        Capacity of each shard's shared-memory payload ring; ``0`` disables
+        shared memory (frames carry arrays inline — still one pickle pass
+        per batch).
     """
 
     name = "process"
@@ -128,12 +158,30 @@ class ProcessShardExecutor(Executor):
         max_restarts: int = 3,
         ring_replicas: int = 64,
         capacity: int = 128,
+        transport: str = "framed",
+        frame_size: int = 32,
+        frame_linger_seconds: float = 0.002,
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         super().__init__()
         if shards < 1:
             raise ValidationError("shards must be at least 1")
         if capacity < 1:
             raise ValidationError("capacity must be at least 1")
+        if transport not in TRANSPORTS:
+            raise ValidationError(
+                f"transport must be one of {TRANSPORTS} (got {transport!r})"
+            )
+        if frame_size < 1:
+            raise ValidationError("frame_size must be at least 1")
+        if frame_linger_seconds < 0:
+            raise ValidationError("frame_linger_seconds must be non-negative")
+        if ring_bytes < 0:
+            raise ValidationError("ring_bytes must be non-negative")
+        self.transport = transport
+        self.frame_size = int(frame_size)
+        self.frame_linger = float(frame_linger_seconds)
+        self.ring_bytes = int(ring_bytes)
         self.shard_count = int(shards)
         self.capacity = int(capacity)
         self.max_restarts = int(max_restarts)
@@ -182,6 +230,17 @@ class ProcessShardExecutor(Executor):
         self._ingest_started: dict[int, float] = {}  # seq -> enqueue stamp
         self._shard_ingests: dict[str, int] = {}  # shard id -> chunks routed
         self._worker_metrics: dict[str, dict] = {}
+        # Framed transport bookkeeping: which ring block each in-flight
+        # chunk's payload occupies (released when the chunk resolves), the
+        # background flusher that ships lingering partial frames, and the
+        # pickle-avoidance counters the scaling benchmark reports.
+        self._payload_refs: dict[int, tuple] = {}  # seq -> (ring, offset)
+        self._flusher: Optional[threading.Thread] = None
+        self._flusher_stop = threading.Event()
+        self._frames_sent = 0
+        self._framed_chunks = 0
+        self._payload_bytes_shm = 0
+        self._payload_bytes_inline = 0
 
     # ------------------------------------------------------------------
     # Startup / shutdown
@@ -200,6 +259,14 @@ class ProcessShardExecutor(Executor):
             target=self._collector_loop, name="repro-shard-collector", daemon=True
         )
         self._collector.start()
+        if self.transport == "framed":
+            # A partially-filled frame may wait at most ``frame_linger`` for
+            # company; this thread ships the stragglers so an awaited single
+            # chunk is never held hostage by a frame that will not fill.
+            self._flusher = threading.Thread(
+                target=self._flusher_loop, name="repro-frame-flusher", daemon=True
+            )
+            self._flusher.start()
 
     def _spawn(self, shard: _Shard, respawn: bool = False) -> None:
         """(Re)start one shard process and re-register its streams.
@@ -209,6 +276,20 @@ class ProcessShardExecutor(Executor):
         in ``state_lost_streams``; silent mid-window data loss was exactly
         the reporting bug this marker fixes.
         """
+        # One payload ring per *process generation*: the previous
+        # generation's segment (and any frame still buffered for it) dies
+        # here, so a crashed worker can never leak shared memory — the
+        # parent always holds the segment and always unlinks it.
+        if shard.ring is not None:
+            shard.ring.destroy()
+            shard.ring = None
+        shard.pending.clear()
+        shard.pending_since = None
+        if self.transport == "framed" and self.ring_bytes > 0:
+            shard.ring = ChunkRing.create(self.ring_bytes)
+        ring_spec = (
+            (shard.ring.name, shard.ring.capacity) if shard.ring is not None else None
+        )
         shard.commands = self._ctx.Queue()
         # Replies travel over a dedicated pipe with exactly one writer (this
         # worker): unlike a shared queue, there is no cross-process write
@@ -223,6 +304,7 @@ class ProcessShardExecutor(Executor):
                 writer,
                 self._cache_config,
                 self._metrics_on,
+                ring_spec,
             ),
             daemon=True,
         )
@@ -255,6 +337,69 @@ class ProcessShardExecutor(Executor):
                 streams=len(owned),
             )
 
+    # ------------------------------------------------------------------
+    # Framed transport plumbing
+    # ------------------------------------------------------------------
+    def _flush_shard(self, shard: _Shard) -> None:
+        """Ship a shard's buffered chunks as one frame (caller holds the
+        lifecycle lock).
+
+        Payloads spill into the shard's shared-memory ring when it has
+        room; the ring block of every spilled chunk is recorded against its
+        seq so acknowledgement (or abandonment) recycles it.  No-op when
+        nothing is pending.
+        """
+        if not shard.pending:
+            shard.pending_since = None
+            return
+        chunks = shard.pending
+        shard.pending = []
+        shard.pending_since = None
+        frame = encode_frame(chunks, shard.ring)
+        with self._cv:
+            for framed in frame.chunks:
+                if framed.payload is not None:
+                    self._payload_refs[framed.seq] = (
+                        shard.ring,
+                        framed.payload.offset,
+                    )
+                    self._payload_bytes_shm += framed.payload.nbytes
+                elif framed.values is not None:
+                    self._payload_bytes_inline += int(framed.values.nbytes)
+            self._frames_sent += 1
+            self._framed_chunks += len(frame.chunks)
+        shard.commands.put(frame)
+
+    def _post(self, shard: _Shard, command) -> None:
+        """Enqueue a control command strictly behind any buffered frame.
+
+        Every non-ingest command relies on the command queue's FIFO order
+        (a ``MigrateOut`` must run after the stream's already-ingested
+        chunks; a ``CaptureState`` must see every acknowledged chunk
+        applied).  Flushing first keeps that contract intact under
+        framing.  Caller holds the lifecycle lock.
+        """
+        self._flush_shard(shard)
+        shard.commands.put(command)
+
+    def _flusher_loop(self) -> None:
+        # Wakes at half the linger so a partial frame overshoots its
+        # deadline by at most ~linger/2; the lifecycle lock serialises each
+        # flush against ingest and crash handling.
+        interval = max(self.frame_linger / 2, 0.0005)
+        while not self._flusher_stop.wait(interval):
+            now = time.monotonic()
+            with self._lifecycle:
+                if self._closed:
+                    return
+                for shard in self._shards.values():
+                    if (
+                        shard.pending
+                        and shard.pending_since is not None
+                        and now - shard.pending_since >= self.frame_linger
+                    ):
+                        self._flush_shard(shard)
+
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         if not self._bound or self._closed:
             return
@@ -277,7 +422,7 @@ class ProcessShardExecutor(Executor):
                 # next command every worker sees.
                 for shard in self._shards.values():
                     if shard.process is not None and shard.process.is_alive():
-                        shard.commands.put(Shutdown())
+                        self._post(shard, Shutdown())
                 for shard in self._shards.values():
                     if shard.process is None:
                         continue
@@ -296,9 +441,22 @@ class ProcessShardExecutor(Executor):
                     if shard.process is not None:
                         shard.process.join(1)
             self._collector_stop.set()
+            self._flusher_stop.set()
+        if self._flusher is not None:
+            self._flusher.join(timeout=5)
         if self._collector is not None:
             self._collector.join(timeout=10)
+        with self._lifecycle:
+            # Every worker is gone: unlink the payload rings (drain=False
+            # simply discards whatever frames were still buffered — their
+            # completions resolve as lost below, like any in-flight chunk).
+            for shard in self._shards.values():
+                shard.pending.clear()
+                if shard.ring is not None:
+                    shard.ring.destroy()
+                    shard.ring = None
         with self._cv:
+            self._payload_refs.clear()
             self._lost_chunks += len(self._outstanding)
             self._outstanding.clear()
             abandoned = list(self._completions.values())
@@ -328,13 +486,13 @@ class ProcessShardExecutor(Executor):
             shard = self._shard_for_stream(stream_id)
             if state.remote_tests_run is None:
                 state.remote_tests_run = 0
-            shard.commands.put(RegisterStream(stream_id, config))
+            self._post(shard, RegisterStream(stream_id, config))
 
     def remove(self, stream_id: str) -> None:
         with self._lifecycle:
             shard = self._shards[self._ring.shard_for(stream_id)]
             if shard.process is not None and shard.process.is_alive():
-                shard.commands.put(RemoveStream(stream_id))
+                self._post(shard, RemoveStream(stream_id))
 
     def shard_of(self, stream_id: str) -> str:
         """Which shard id owns a stream (exposed for tests and diagnostics)."""
@@ -393,15 +551,26 @@ class ProcessShardExecutor(Executor):
                                 )
                                 self._chunk_traces[seq] = (trace, wire_span)
                                 context = trace.wire_context(wire_span)
-                            shard.commands.put(
-                                IngestChunk(
-                                    seq=seq,
-                                    stream_id=state.stream_id,
-                                    values=values,
-                                    enqueued_at=stamp,
-                                    trace=context,
-                                )
+                            chunk = IngestChunk(
+                                seq=seq,
+                                stream_id=state.stream_id,
+                                values=values,
+                                enqueued_at=stamp,
+                                trace=context,
                             )
+                            if self.transport == "framed":
+                                # Buffer toward a frame; the seq is already
+                                # in-flight (capacity, completion, trace all
+                                # recorded above), so a buffered chunk is
+                                # indistinguishable from an enqueued one to
+                                # every other subsystem.
+                                shard.pending.append(chunk)
+                                if shard.pending_since is None:
+                                    shard.pending_since = time.monotonic()
+                                if len(shard.pending) >= self.frame_size:
+                                    self._flush_shard(shard)
+                            else:
+                                shard.commands.put(chunk)
                             return
             # A dead shard (not necessarily this stream's) may be pinning
             # the capacity with chunks it will never acknowledge; reap all
@@ -495,11 +664,22 @@ class ProcessShardExecutor(Executor):
 
     def _abandon_outstanding(self, shard_id: str) -> None:
         """Drop the in-flight chunks of a dead shard so drain() can finish."""
+        # A buffered (not yet flushed) frame must die with the process
+        # generation: a respawn replays registrations, and flushing stale
+        # chunks at it would double-serve observations the accounting
+        # already wrote off as lost.
+        shard = self._shards.get(shard_id)
+        if shard is not None:
+            shard.pending.clear()
+            shard.pending_since = None
         with self._cv:
             lost = [seq for seq, owner in self._outstanding.items() if owner == shard_id]
             for seq in lost:
                 del self._outstanding[seq]
                 self._ingest_started.pop(seq, None)
+                # No free: the generation's ring is about to be destroyed
+                # (or already was), taking every live block with it.
+                self._payload_refs.pop(seq, None)
             self._lost_chunks += len(lost)
             completions = [
                 self._completions.pop(seq) for seq in lost if seq in self._completions
@@ -555,11 +735,12 @@ class ProcessShardExecutor(Executor):
 
     def crash_shard(self, shard_id: str, wait_seconds: float = 30.0) -> None:
         """Test hook: hard-kill one shard process and wait for it to die."""
-        shard = self._shards[shard_id]
-        process = shard.process
-        if process is None or not process.is_alive():
-            return
-        shard.commands.put(CrashShard())
+        with self._lifecycle:
+            shard = self._shards[shard_id]
+            process = shard.process
+            if process is None or not process.is_alive():
+                return
+            self._post(shard, CrashShard())
         process.join(wait_seconds)
 
     def _retire_shard(self, shard: _Shard) -> None:
@@ -576,6 +757,10 @@ class ProcessShardExecutor(Executor):
             )
             self._recorder.dump(f"retire-{shard.shard_id}")
         del self._shards[shard.shard_id]
+        shard.pending.clear()
+        if shard.ring is not None:
+            shard.ring.destroy()
+            shard.ring = None
         snapshot = self.hooks.snapshot() if self.hooks is not None else {}
         moved = sorted(
             stream_id
@@ -591,11 +776,12 @@ class ProcessShardExecutor(Executor):
             dest = self._shards[self._ring.shard_for(stream_id)]
             if dest.process is None or not dest.process.is_alive():
                 continue  # its own respawn replays the snapshot under the new ring
-            dest.commands.put(
+            self._post(
+                dest,
                 MigrateIn(
                     epoch=0,  # untracked: no resize is waiting on this install
                     streams={stream_id: {"config": snapshot[stream_id], "state": None}},
-                )
+                ),
             )
 
     # ------------------------------------------------------------------
@@ -706,8 +892,9 @@ class ProcessShardExecutor(Executor):
                     continue  # state already lost; fresh fallback at finish
                 with self._cv:
                     record["out_pending"][source_id] = source.process
-                source.commands.put(
-                    MigrateOut(epoch=epoch, stream_ids=tuple(sorted(stream_ids)))
+                self._post(
+                    source,
+                    MigrateOut(epoch=epoch, stream_ids=tuple(sorted(stream_ids))),
                 )
         states = self._await_migrate_out(epoch, timeout)
         self._finish_migration(epoch, moved, states)
@@ -735,7 +922,10 @@ class ProcessShardExecutor(Executor):
             for victim in victims:
                 if victim.process is None or not victim.process.is_alive():
                     # A dead victim's state and in-flight chunks are gone;
-                    # nobody will reap it now that it left the table.
+                    # nobody will reap it now that it left the table (it is
+                    # no longer in ``_shards``, so its buffered frame must
+                    # be dropped here too).
+                    victim.pending.clear()
                     self._abandon_outstanding(victim.shard_id)
                     continue
                 stream_ids = tuple(
@@ -743,7 +933,7 @@ class ProcessShardExecutor(Executor):
                 )
                 with self._cv:
                     record["out_pending"][victim.shard_id] = victim.process
-                victim.commands.put(MigrateOut(epoch=epoch, stream_ids=stream_ids))
+                self._post(victim, MigrateOut(epoch=epoch, stream_ids=stream_ids))
         states = self._await_migrate_out(epoch, timeout)
         self._finish_migration(epoch, moved, states)
         # Retire the victims now their state has left the building.
@@ -756,6 +946,10 @@ class ProcessShardExecutor(Executor):
                 if victim.process.is_alive():
                     victim.process.terminate()
                     victim.process.join(1)
+            victim.pending.clear()
+            if victim.ring is not None:
+                victim.ring.destroy()
+                victim.ring = None
         self._await_migrate_in(epoch, timeout)
 
     def _await_migrate_out(self, epoch: int, timeout: Optional[float]) -> dict:
@@ -829,7 +1023,7 @@ class ProcessShardExecutor(Executor):
                     continue
                 with self._cv:
                     record["in_pending"][dest_id] = dest.process
-                dest.commands.put(MigrateIn(epoch=epoch, streams=streams))
+                self._post(dest, MigrateIn(epoch=epoch, streams=streams))
             with self._cv:
                 self._migrating.difference_update(moved)
                 self._cv.notify_all()
@@ -895,7 +1089,7 @@ class ProcessShardExecutor(Executor):
                     continue
                 with self._cv:
                     collection["expected"][shard.shard_id] = shard.process
-                shard.commands.put(make_command(epoch))
+                self._post(shard, make_command(epoch))
         deadline = time.monotonic() + timeout
         while True:
             with self._cv:
@@ -1016,8 +1210,9 @@ class ProcessShardExecutor(Executor):
                     handles[shard.shard_id] = shard
                     by_shard.setdefault(shard.shard_id, {})[stream_id] = payload
                 for shard_id in sorted(by_shard):
-                    handles[shard_id].commands.put(
-                        MigrateIn(epoch=0, streams=by_shard[shard_id])
+                    self._post(
+                        handles[shard_id],
+                        MigrateIn(epoch=0, streams=by_shard[shard_id]),
                     )
 
     def seed_caches(self, contents: dict) -> None:
@@ -1033,7 +1228,7 @@ class ProcessShardExecutor(Executor):
             for shard_id in sorted(self._shards):
                 shard = self._shards[shard_id]
                 if shard.process is not None and shard.process.is_alive():
-                    shard.commands.put(SeedCaches(contents=contents))
+                    self._post(shard, SeedCaches(contents=contents))
 
     # ------------------------------------------------------------------
     # Reply collection
@@ -1095,6 +1290,13 @@ class ProcessShardExecutor(Executor):
             pass
 
     def _handle_reply(self, reply) -> None:
+        if isinstance(reply, ReplyFrame):
+            # One message, many acknowledgements: unwrap in frame order so
+            # per-chunk handling (completions, traces, ring recycling) is
+            # identical to the legacy one-reply-per-chunk path.
+            for entry in reply.replies:
+                self._handle_reply(entry)
+            return
         if isinstance(reply, IngestReply):
             # The completion is popped first (exactly-once even if recording
             # throws) and invoked last, after the reply has been folded into
@@ -1172,11 +1374,18 @@ class ProcessShardExecutor(Executor):
         with self._cv:
             known = self._outstanding.pop(seq, None) is not None
             started = self._ingest_started.pop(seq, None)
+            payload = self._payload_refs.pop(seq, None)
             if not known and served and self._lost_chunks > 0:
                 # The chunk was abandoned as lost when its shard died, but
                 # its reply had already made it out: it was fully served.
                 self._lost_chunks -= 1
             self._cv.notify_all()
+        if payload is not None:
+            # Recycle the chunk's ring block (outside _cv: the ring has its
+            # own lock).  A stale free into a destroyed generation's ring is
+            # a no-op by design.
+            ring, offset = payload
+            ring.free(offset)
         if served and started is not None and self._m_wire is not None:
             # Enqueue-to-acknowledgement: queue residency + detection +
             # explanation + the reply's trip back, i.e. what a producer
@@ -1201,6 +1410,13 @@ class ProcessShardExecutor(Executor):
     def drain(self, timeout: Optional[float] = None) -> bool:
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
+            if self.transport == "framed":
+                # Ship every partial frame now instead of waiting out the
+                # linger: a drain means "no more company is coming".
+                with self._lifecycle:
+                    if not self._closed:
+                        for shard in self._shards.values():
+                            self._flush_shard(shard)
             with self._cv:
                 if not self._outstanding:
                     break
@@ -1225,6 +1441,12 @@ class ProcessShardExecutor(Executor):
                 "executor": self.name,
                 "shards": self.shard_count,
                 "capacity": self.capacity,
+                "transport": self.transport,
+                "frame_size": self.frame_size,
+                "frames_sent": self._frames_sent,
+                "framed_chunks": self._framed_chunks,
+                "payload_bytes_shm": self._payload_bytes_shm,
+                "payload_bytes_inline": self._payload_bytes_inline,
                 "ingests": self._ingests,
                 "shard_ingests": dict(self._shard_ingests),
                 "outstanding": len(self._outstanding),

@@ -6,11 +6,21 @@ private :class:`~repro.cluster.runtime.ShardRuntime` — its own detectors,
 explainers and caches — and speaks the :mod:`repro.cluster.wire` protocol:
 commands in, one reply per ingest out.
 
+Under the framed transport the ingest unit is an
+:class:`~repro.cluster.wire.IngestFrame`: the worker decodes each entry
+(reading shared-memory payloads off its :class:`~repro.cluster.shm.ChunkRing`),
+serves the chunks in frame order and answers with a single
+:class:`~repro.cluster.wire.ReplyFrame` — one deserialisation and one
+serialisation pass per batch instead of per chunk.
+
 Error discipline mirrors the thread pool's: an explainer failing on one
-alarm is captured *per alarm* inside the reply; anything else that goes
-wrong processing a command becomes a :class:`~repro.cluster.wire.WorkerFailure`
-reply and the worker keeps serving.  Only ``Shutdown`` (clean) and
-``CrashShard`` (test hook) end the process.
+alarm is captured *per alarm* inside the reply; a chunk that fails to
+decode or process becomes a per-chunk
+:class:`~repro.cluster.wire.WorkerFailure` *inside* the reply frame (its
+siblings still get served); anything else that goes wrong processing a
+command becomes a frame-less ``WorkerFailure`` reply and the worker keeps
+serving.  Only ``Shutdown`` (clean) and ``CrashShard`` (test hook) end the
+process.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ import os
 import time
 
 from repro.cluster.runtime import ShardRuntime
+from repro.cluster.shm import ChunkRing
 from repro.obs.metrics import MetricsRegistry, stage_histogram
 from repro.obs.trace import span_dict
 from repro.cluster.wire import (
@@ -26,6 +37,7 @@ from repro.cluster.wire import (
     CollectStats,
     CrashShard,
     IngestChunk,
+    IngestFrame,
     IngestReply,
     MigrateIn,
     MigrateInDone,
@@ -33,17 +45,73 @@ from repro.cluster.wire import (
     MigrateOutDone,
     RegisterStream,
     RemoveStream,
+    ReplyFrame,
     SeedCaches,
     ShardStatsReply,
     Shutdown,
     StateCaptureReply,
     WorkerFailure,
+    decode_frame,
 )
 from repro.service.cache import SharedCaches
 
 
+def _serve_chunk(
+    runtime: ShardRuntime, shard_id: str, batch_wait, command: IngestChunk
+) -> IngestReply:
+    """Run one logical chunk through the runtime, returning its reply.
+
+    Shared by the framed and legacy paths so batching cannot change what a
+    chunk computes — only how it travels.
+    """
+    trace_spans = None
+    if command.enqueued_at is not None:
+        # Monotonic clocks are system-wide on Linux, so the parent's
+        # enqueue stamp is comparable here.  Under framing the wait
+        # includes the frame's linger — that *is* queue residency as the
+        # producer experiences it.
+        waited = max(0.0, time.monotonic() - command.enqueued_at)
+        if batch_wait is not None:
+            batch_wait.observe(waited)
+        if command.trace is not None:
+            trace_spans = [
+                span_dict(
+                    "batch_wait",
+                    command.enqueued_at,
+                    waited,
+                    attrs={"shard": shard_id},
+                )
+            ]
+    elif command.trace is not None:
+        trace_spans = []
+    if command.stream_id not in runtime:
+        # The stream was removed while this chunk was in flight;
+        # acknowledge it empty (the parent tolerates the same race on its
+        # side) rather than failing.
+        return IngestReply(
+            seq=command.seq,
+            stream_id=command.stream_id,
+            spans=trace_spans or [],
+        )
+    reply = runtime.ingest(
+        command.stream_id,
+        command.values,
+        seq=command.seq,
+        trace=command.trace,
+        shard_id=shard_id,
+    )
+    if trace_spans:
+        reply.spans[:0] = trace_spans
+    return reply
+
+
 def shard_worker_main(
-    shard_id: str, commands, replies, cache_config=None, metrics_enabled: bool = False
+    shard_id: str,
+    commands,
+    replies,
+    cache_config=None,
+    metrics_enabled: bool = False,
+    ring_spec=None,
 ) -> None:
     """Serve one shard until told to shut down.
 
@@ -67,6 +135,11 @@ def shard_worker_main(
         labelled with this shard's id) and ships its ``state_dict`` inside
         every :class:`~repro.cluster.wire.ShardStatsReply`, where the
         parent merges it into the service-wide registry.
+    ring_spec:
+        ``(name, capacity)`` of this shard's parent-owned shared-memory
+        :class:`~repro.cluster.shm.ChunkRing` (framed transport), or
+        ``None`` under the legacy transport.  The worker only ever *reads*
+        payloads; the parent owns allocation, recycling and unlinking.
     """
     try:
         # Third-party backends must exist on *this* side of the wire too:
@@ -83,6 +156,18 @@ def shard_worker_main(
         replies.send(
             WorkerFailure(shard_id, f"backend entry-point loading failed: {exc!r}")
         )
+    ring = None
+    if ring_spec is not None:
+        try:
+            ring = ChunkRing.attach(*ring_spec)
+        except Exception as exc:
+            # Served chunks will still arrive (inline fallback never hits
+            # this worker: the parent wrote into the ring successfully or
+            # inlined), so a missing ring surfaces per chunk at decode;
+            # report the attach failure once, attributably, up front.
+            replies.send(
+                WorkerFailure(shard_id, f"chunk ring attach failed: {exc!r}")
+            )
     metrics = MetricsRegistry(enabled=True) if metrics_enabled else None
     batch_wait = stage_histogram(metrics, "batch_wait", shard=shard_id)
     runtime = ShardRuntime(
@@ -94,11 +179,38 @@ def shard_worker_main(
         command = commands.get()
         try:
             if isinstance(command, Shutdown):
+                if ring is not None:
+                    ring.close()
                 return
             if isinstance(command, CrashShard):
                 # Simulated hard crash: no cleanup, no goodbye message.
                 os._exit(command.exit_code)
-            if isinstance(command, RegisterStream):
+            if isinstance(command, IngestFrame):
+                # One reply frame per ingest frame, entries in frame order;
+                # a chunk that fails to decode or serve degrades to its own
+                # WorkerFailure entry instead of poisoning its siblings.
+                frame_replies = []
+                for item in decode_frame(command, ring, shard_id):
+                    if isinstance(item, WorkerFailure):
+                        frame_replies.append(item)
+                        continue
+                    try:
+                        frame_replies.append(
+                            _serve_chunk(runtime, shard_id, batch_wait, item)
+                        )
+                    except Exception as exc:
+                        frame_replies.append(
+                            WorkerFailure(
+                                shard_id,
+                                f"IngestChunk failed: {exc!r}",
+                                seq=item.seq,
+                                command="IngestChunk",
+                            )
+                        )
+                replies.send(ReplyFrame(replies=frame_replies))
+            elif isinstance(command, IngestChunk):
+                replies.send(_serve_chunk(runtime, shard_id, batch_wait, command))
+            elif isinstance(command, RegisterStream):
                 runtime.register(command.stream_id, command.config)
             elif isinstance(command, RemoveStream):
                 runtime.remove(command.stream_id)
@@ -139,47 +251,6 @@ def shard_worker_main(
                 )
             elif isinstance(command, SeedCaches):
                 runtime.caches.restore_contents(command.contents)
-            elif isinstance(command, IngestChunk):
-                trace_spans = None
-                if command.enqueued_at is not None:
-                    # Monotonic clocks are system-wide on Linux, so the
-                    # parent's enqueue stamp is comparable here.
-                    waited = max(0.0, time.monotonic() - command.enqueued_at)
-                    if batch_wait is not None:
-                        batch_wait.observe(waited)
-                    if command.trace is not None:
-                        trace_spans = [
-                            span_dict(
-                                "batch_wait",
-                                command.enqueued_at,
-                                waited,
-                                attrs={"shard": shard_id},
-                            )
-                        ]
-                elif command.trace is not None:
-                    trace_spans = []
-                if command.stream_id not in runtime:
-                    # The stream was removed while this chunk was in
-                    # flight; acknowledge it empty (the parent tolerates
-                    # the same race on its side) rather than failing.
-                    replies.send(
-                        IngestReply(
-                            seq=command.seq,
-                            stream_id=command.stream_id,
-                            spans=trace_spans or [],
-                        )
-                    )
-                else:
-                    reply = runtime.ingest(
-                        command.stream_id,
-                        command.values,
-                        seq=command.seq,
-                        trace=command.trace,
-                        shard_id=shard_id,
-                    )
-                    if trace_spans:
-                        reply.spans[:0] = trace_spans
-                    replies.send(reply)
             else:
                 replies.send(
                     WorkerFailure(shard_id, f"unknown command {command!r}")

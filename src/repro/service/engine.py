@@ -190,6 +190,15 @@ class ExplanationService:
         (default ``"spawn"``).  The CLI cross-validates these flag/executor
         combinations; the library constructor simply ignores options the
         chosen backend does not take.
+    transport:
+        Parent↔shard wire transport (``process`` executor only):
+        ``"framed"`` (default) batches chunks into one message per frame
+        with array payloads riding per-shard shared memory; ``"legacy"``
+        is the original one-pickle-per-chunk path, kept as a debugging
+        fallback.  Both produce byte-identical reports.
+    frame_size:
+        Chunks per frame before an eager flush (``process`` executor,
+        framed transport only).
     metrics:
         Enable stage-latency telemetry: a
         :class:`~repro.obs.metrics.MetricsRegistry` instruments the five
@@ -239,6 +248,8 @@ class ExplanationService:
         executor: Union[str, Executor] = "thread",
         shards: int = 2,
         mp_context: Optional[str] = None,
+        transport: str = "framed",
+        frame_size: int = 32,
         metrics: bool = False,
         cache_ttl: Optional[float] = None,
         cache_max_entry_bytes: Optional[int] = None,
@@ -294,6 +305,8 @@ class ExplanationService:
                     shards,
                     mp_context,
                     self._cache_lifecycle,
+                    transport,
+                    frame_size,
                 ),
             )
         self._executor = executor.bind(
@@ -311,7 +324,7 @@ class ExplanationService:
     @staticmethod
     def _executor_options(
         name: str, workers, max_batch, capacity, policy, shards, mp_context,
-        cache_lifecycle=None,
+        cache_lifecycle=None, transport="framed", frame_size=32,
     ) -> dict:
         """The constructor options each named executor understands."""
         if name == "thread":
@@ -322,7 +335,13 @@ class ExplanationService:
                 "policy": policy,
             }
         if name == "process":
-            options = {"shards": shards, "mp_context": mp_context, "capacity": capacity}
+            options = {
+                "shards": shards,
+                "mp_context": mp_context,
+                "capacity": capacity,
+                "transport": transport,
+                "frame_size": frame_size,
+            }
             if cache_lifecycle:
                 # Each shard's private cache bundle inherits the parent's
                 # TTL / admission settings.
