@@ -276,6 +276,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise ReproError("--frame-size does not apply to --transport legacy")
         if args.frame_size < 1:
             raise ReproError("--frame-size must be at least 1")
+    if args.migration_buffer is not None:
+        if args.executor != "process":
+            raise ReproError("--migration-buffer requires --executor process")
+        if args.migration_buffer < 1:
+            raise ReproError("--migration-buffer must be at least 1")
     if (args.min_shards is None) != (args.max_shards is None):
         raise ReproError("--min-shards and --max-shards must be given together")
     autoscale = args.min_shards is not None
@@ -349,6 +354,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ("shards", shards),
             ("transport", args.transport),
             ("frame_size", args.frame_size),
+            ("migration_buffer", args.migration_buffer),
             ("cache_ttl", args.cache_ttl),
             ("metrics", metrics_enabled or None),
             ("tracing", True if tracing_on else None),
@@ -666,6 +672,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="chunks per wire frame before an eager "
                                    "flush (--executor process, framed "
                                    "transport; default 32)")
+    serve_parser.add_argument("--migration-buffer", type=int, default=None,
+                              help="chunks parked per resize for streams "
+                                   "mid-migration before producers block "
+                                   "(--executor process; default 64)")
     serve_parser.add_argument("--min-shards", type=int, default=None,
                               help="enable queue-depth autoscaling: lower "
                                    "bound of the elastic shard pool "

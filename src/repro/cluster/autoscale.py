@@ -37,6 +37,7 @@ a decision, so an autoscaler can be attached unconditionally.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -51,6 +52,7 @@ class AutoscaleDecision:
     target: int  #: shard count requested
     depth: float  #: queue depth (outstanding / capacity) at decision time
     reason: str = ""  #: policy's own account of why it moved
+    pause_seconds: float = 0.0  #: wall-clock cost of the resize() call
 
     @property
     def direction(self) -> str:
@@ -60,7 +62,7 @@ class AutoscaleDecision:
         why = self.reason or f"queue depth {self.depth:.2f}"
         return (
             f"autoscale {self.direction}: {self.shards} -> {self.target} shards "
-            f"({why})"
+            f"({why}, pause {self.pause_seconds * 1000:.0f} ms)"
         )
 
 
@@ -360,12 +362,14 @@ class Autoscaler:
             target = self.policy.decide(int(outstanding), int(capacity), int(shards))
         if target is None:
             return None
+        started = time.monotonic()
+        self._executor.resize(target)
         decision = AutoscaleDecision(
             shards=int(shards),
             target=int(target),
             depth=int(outstanding) / int(capacity) if capacity else 0.0,
             reason=getattr(self.policy, "last_reason", ""),
+            pause_seconds=time.monotonic() - started,
         )
-        self._executor.resize(target)
         self.decisions.append(decision)
         return decision

@@ -207,23 +207,33 @@ class ShardRuntime:
     # ------------------------------------------------------------------
     # Live migration
     # ------------------------------------------------------------------
+    def export_stream(self, stream_id: str) -> Optional[dict]:
+        """Extract one stream for migration: its config + detector state.
+
+        The stream is removed from the table (its last chunk was already
+        processed — command-queue FIFO guarantees it).  ``None`` when this
+        runtime does not hold the stream: a respawned shard legitimately
+        no longer knows streams the ring moved away first.
+        """
+        stream = self._streams.pop(stream_id, None)
+        if stream is None:
+            return None
+        return {
+            "config": stream.config.to_dict(),
+            "state": stream.config.plugin.detector_state(stream.detector),
+        }
+
     def export_streams(self, stream_ids) -> dict:
         """Extract streams for migration: config + detector state snapshots.
 
-        Each exported stream is removed from the table (its last chunk was
-        already processed — command-queue FIFO guarantees it).  Ids this
-        runtime does not hold are skipped, not errors: a respawned shard
-        legitimately no longer knows streams the ring moved away first.
+        Batch form of :meth:`export_stream`; ids this runtime does not
+        hold are skipped, not errors.
         """
         exported: dict[str, dict] = {}
         for stream_id in stream_ids:
-            stream = self._streams.pop(stream_id, None)
-            if stream is None:
-                continue
-            exported[stream_id] = {
-                "config": stream.config.to_dict(),
-                "state": stream.config.plugin.detector_state(stream.detector),
-            }
+            payload = self.export_stream(stream_id)
+            if payload is not None:
+                exported[stream_id] = payload
         return exported
 
     def capture_streams(self) -> dict:

@@ -28,11 +28,24 @@ the failure surface as a :class:`~repro.exceptions.ServiceBackendError`.
 
 Elastic operation is built on the same wire protocol:
 :meth:`ProcessShardExecutor.resize` quiesces only the streams whose ring
-owner changes, extracts their detector state from the old owners
-(``MigrateOut`` → ``MigrateOutDone``), installs it on the new owners
-(``MigrateIn``) and resumes — observations for unaffected streams keep
-flowing throughout, and a replay that spans a resize produces the exact
-alarms and explanations of a fixed-shard run.
+owner changes, and migrates them *pipelined per stream*.  The
+``MigrateOut`` travels on a per-shard priority control lane the worker
+polls between chunks, so the extraction starts within one chunk's latency
+instead of behind the source's queued ingest backlog; the worker sweeps
+that backlog aside, bounces every queued chunk of a migrating stream back
+to the parent (:class:`~repro.cluster.wire.ChunkBounce`), and streams one
+:class:`~repro.cluster.wire.MigrateStreamDone` per extracted stream.  The
+parent installs each stream on its new owner (``MigrateIn``) the moment
+its state arrives and its in-flight chunks have resolved — so a stream is
+frozen only for its own extract→install hop, not for the whole epoch or
+the backlog's drain.  Chunks submitted to a migrating stream park in a
+bounded parent-side buffer (``migration_buffer``); bounced and parked
+chunks replay on the new owner in seq order strictly behind the install,
+so a replay that spans a resize produces the exact alarms and
+explanations of a fixed-shard run.  The ``MigrateIn`` acknowledgements
+are counted down asynchronously by the collector (per-shard command FIFO
+already orders each install before the stream's next chunk), so a grow
+never stalls on a freshly spawned worker's cold start.
 """
 
 from __future__ import annotations
@@ -51,6 +64,7 @@ from repro.cluster.partition import HashRing
 from repro.cluster.shm import DEFAULT_RING_BYTES, ChunkRing
 from repro.cluster.wire import (
     CaptureState,
+    ChunkBounce,
     CollectStats,
     CrashShard,
     IngestChunk,
@@ -59,6 +73,7 @@ from repro.cluster.wire import (
     MigrateInDone,
     MigrateOut,
     MigrateOutDone,
+    MigrateStreamDone,
     RegisterStream,
     RemoveStream,
     ReplyFrame,
@@ -67,6 +82,7 @@ from repro.cluster.wire import (
     Shutdown,
     StateCaptureReply,
     WorkerFailure,
+    WorkerReady,
     encode_frame,
 )
 from repro.cluster.worker import shard_worker_main
@@ -85,6 +101,11 @@ def _shard_index(shard_id: str) -> tuple[int, str]:
 #: Transports :class:`ProcessShardExecutor` speaks on the parent↔shard wire.
 TRANSPORTS = ("framed", "legacy")
 
+#: Sentinel "owner" of an in-flight chunk parked for a migrating stream.
+#: Never collides with a real shard id (those are ``shard-N``), so a dead
+#: shard's abandonment sweep can never write off a parked chunk.
+_PARKED = "<parked>"
+
 
 @dataclass
 class _Shard:
@@ -93,6 +114,7 @@ class _Shard:
     shard_id: str
     process: Optional[multiprocessing.process.BaseProcess] = None
     commands: Optional[object] = None
+    control: Optional[object] = None  # priority lane: MigrateOut only
     reply_reader: Optional[object] = None
     restarts: int = 0
     failed: bool = False
@@ -145,6 +167,14 @@ class ProcessShardExecutor(Executor):
         Capacity of each shard's shared-memory payload ring; ``0`` disables
         shared memory (frames carry arrays inline — still one pickle pass
         per batch).
+    migration_buffer:
+        How many chunks submitted to *migrating* streams may park in the
+        parent while their stream's detector state is in flight during a
+        :meth:`resize`.  Parked chunks replay FIFO behind the stream's
+        install on its new owner, so a producer hitting a mid-migration
+        stream keeps going instead of blocking for the quiesce; once the
+        buffer (or the global ``capacity``) is full, producers block as
+        they would for backpressure.
     """
 
     name = "process"
@@ -162,6 +192,7 @@ class ProcessShardExecutor(Executor):
         frame_size: int = 32,
         frame_linger_seconds: float = 0.002,
         ring_bytes: int = DEFAULT_RING_BYTES,
+        migration_buffer: int = 64,
     ) -> None:
         super().__init__()
         if shards < 1:
@@ -178,6 +209,8 @@ class ProcessShardExecutor(Executor):
             raise ValidationError("frame_linger_seconds must be non-negative")
         if ring_bytes < 0:
             raise ValidationError("ring_bytes must be non-negative")
+        if migration_buffer < 1:
+            raise ValidationError("migration_buffer must be at least 1")
         self.transport = transport
         self.frame_size = int(frame_size)
         self.frame_linger = float(frame_linger_seconds)
@@ -192,6 +225,7 @@ class ProcessShardExecutor(Executor):
         self._shards = {shard_id: _Shard(shard_id) for shard_id in shard_ids}
         self._cv = threading.Condition()
         self._outstanding: dict[int, str] = {}  # seq -> shard id
+        self._seq_streams: dict[int, str] = {}  # seq -> stream id (in flight)
         self._completions: dict[int, object] = {}  # seq -> completion callable
         self._chunk_traces: dict[int, tuple] = {}  # seq -> (ChunkTrace, wire span)
         self._deferred = DeferredErrors()
@@ -213,6 +247,21 @@ class ProcessShardExecutor(Executor):
         self._resize_lock = threading.Lock()
         self._migrating: set[str] = set()
         self._migrations: dict[int, dict] = {}
+        # Chunks parked for migrating streams: stream id -> FIFO list of
+        # ``(seq, values, trace context)``.  Their seqs sit in
+        # ``_outstanding`` under the ``_PARKED`` sentinel, so capacity,
+        # drain() and close() all account for them like any in-flight chunk.
+        self.migration_buffer = int(migration_buffer)
+        self._parked: dict[str, list] = {}
+        self._parked_total = 0
+        self._bounced = 0  # chunks swept back by sources mid-migration
+        # Shards whose worker has sent WorkerReady for its *current*
+        # process generation; cleared on (re)spawn, so wait_ready() is a
+        # deterministic warm-fleet barrier.
+        self._ready: set[str] = set()
+        self._m_quiesce = None  # parent-side migration_quiesce histogram
+        self._c_migrations = None  # repro_migrations_total counter
+        self._c_migrated = None  # repro_migrated_streams_total counter
         self._stats_collections: dict[int, dict] = {}
         self._epoch = 0
         self._resizes = 0
@@ -251,6 +300,15 @@ class ProcessShardExecutor(Executor):
         self._metrics_on = registry is not None and getattr(registry, "enabled", False)
         if self._metrics_on:
             self._m_wire = stage_histogram(registry, "wire_roundtrip")
+            self._m_quiesce = stage_histogram(registry, "migration_quiesce")
+            self._c_migrations = registry.counter(
+                "repro_migrations_total",
+                help="Live migration epochs (resizes and retirements) started.",
+            )
+            self._c_migrated = registry.counter(
+                "repro_migrated_streams_total",
+                help="Streams whose detector state moved shards live.",
+            )
         self._tracer = getattr(self.hooks, "tracer", None) if self.hooks else None
         self._recorder = getattr(self.hooks, "recorder", None) if self.hooks else None
         for shard in self._shards.values():
@@ -291,6 +349,7 @@ class ProcessShardExecutor(Executor):
             (shard.ring.name, shard.ring.capacity) if shard.ring is not None else None
         )
         shard.commands = self._ctx.Queue()
+        shard.control = self._ctx.Queue()
         # Replies travel over a dedicated pipe with exactly one writer (this
         # worker): unlike a shared queue, there is no cross-process write
         # lock a crashing worker could die holding — and the pipe's EOF is a
@@ -305,9 +364,12 @@ class ProcessShardExecutor(Executor):
                 self._cache_config,
                 self._metrics_on,
                 ring_spec,
+                shard.control,
             ),
             daemon=True,
         )
+        with self._cv:
+            self._ready.discard(shard.shard_id)
         shard.process.start()
         writer.close()  # the child holds the only surviving write end
         shard.reply_reader = reader
@@ -381,6 +443,20 @@ class ProcessShardExecutor(Executor):
         """
         self._flush_shard(shard)
         shard.commands.put(command)
+
+    def _post_priority(self, shard: _Shard, command) -> None:
+        """Enqueue a command on the shard's priority control lane.
+
+        Only ``MigrateOut`` travels here: the worker polls the lane ahead
+        of (and between chunks of) its command queue, so the extraction
+        starts within one chunk's latency instead of behind the ingest
+        backlog.  Any buffered frame still flushes to the *main* queue
+        first — chunks already accepted for this shard must reach it (the
+        worker's sweep bounces the migrating ones straight back).  Caller
+        holds the lifecycle lock.
+        """
+        self._flush_shard(shard)
+        shard.control.put(command)
 
     def _flusher_loop(self) -> None:
         # Wakes at half the linger so a partial frame overshoots its
@@ -457,8 +533,15 @@ class ProcessShardExecutor(Executor):
                     shard.ring = None
         with self._cv:
             self._payload_refs.clear()
+            # Parked chunks are in ``_outstanding`` too (owner _PARKED), so
+            # the loss accounting below covers them; their buffers just die.
+            self._parked.clear()
+            self._parked_total = 0
+            self._migrating.clear()
+            self._migrations.clear()
             self._lost_chunks += len(self._outstanding)
             self._outstanding.clear()
+            self._seq_streams.clear()
             abandoned = list(self._completions.values())
             self._completions.clear()
             orphan_traces = list(self._chunk_traces.values())
@@ -509,14 +592,17 @@ class ProcessShardExecutor(Executor):
         # counted as lost.  When the in-flight bound is hit we wait
         # *outside* the lifecycle lock, so crash handling (which frees
         # capacity by abandoning a dead shard's chunks) can still run.
-        # A stream whose detector state is mid-migration blocks here until
-        # the resize installs it on the new owner; streams that are not
-        # moving never touch the migrating set and keep flowing.
+        # A stream whose detector state is mid-migration does not block
+        # the producer: its chunk parks in the bounded migration buffer
+        # and replays FIFO behind the stream's install on the new owner.
+        # Only a full buffer (or full capacity) makes the producer wait.
         while True:
             with self._lifecycle:
                 if state.stream_id in self._migrating:
                     if self._closed:
                         raise ValidationError("cannot submit to a closed executor")
+                    if self._park_chunk(state.stream_id, values, completion, trace):
+                        return
                 else:
                     shard = self._shard_for_stream(state.stream_id)
                     with self._cv:
@@ -524,6 +610,7 @@ class ProcessShardExecutor(Executor):
                             self._seq += 1
                             seq = self._seq
                             self._outstanding[seq] = shard.shard_id
+                            self._seq_streams[seq] = state.stream_id
                             if completion is not None:
                                 # Registered atomically with the in-flight
                                 # record, before the chunk can possibly be
@@ -584,6 +671,45 @@ class ProcessShardExecutor(Executor):
                     or state.stream_id in self._migrating
                 ):
                     self._cv.wait(0.05)
+
+    def _park_chunk(self, stream_id: str, values, completion, trace) -> bool:
+        """Park one chunk for a migrating stream (caller holds the lifecycle
+        lock).
+
+        The chunk gets its seq, completion and trace bookkeeping *now* —
+        atomically with the in-flight record, exactly like a routed chunk —
+        but its owner is the ``_PARKED`` sentinel until the stream's
+        install replays it to the new shard.  Returns ``False`` when the
+        migration buffer (or the global capacity) is full; the producer
+        then waits as it would for ordinary backpressure.
+        """
+        with self._cv:
+            if (
+                len(self._outstanding) >= self.capacity
+                or self._parked_total >= self.migration_buffer
+            ):
+                return False
+            self._seq += 1
+            seq = self._seq
+            self._outstanding[seq] = _PARKED
+            self._seq_streams[seq] = stream_id
+            if completion is not None:
+                self._completions[seq] = completion
+            self._ingests += 1
+            context = None
+            if trace is not None:
+                # The ring already points at the new owner while the stream
+                # migrates, so the wire span can name its destination; the
+                # span stays open across the park — the producer really does
+                # wait that long for its alarms.
+                wire_span = trace.start_span(
+                    "wire_roundtrip", shard=self._ring.shard_for(stream_id)
+                )
+                self._chunk_traces[seq] = (trace, wire_span)
+                context = trace.wire_context(wire_span)
+            self._parked.setdefault(stream_id, []).append((seq, values, context))
+            self._parked_total += 1
+        return True
 
     def _shard_for_stream(self, stream_id: str) -> _Shard:
         """The live shard owning a stream, respawning it first if it died."""
@@ -677,6 +803,11 @@ class ProcessShardExecutor(Executor):
             for seq in lost:
                 del self._outstanding[seq]
                 self._ingest_started.pop(seq, None)
+                stream_id = self._seq_streams.pop(seq, None)
+                if stream_id is not None and self._migrations:
+                    # A chunk dying with its source can no longer gate its
+                    # stream's install (the stream falls back fresh anyway).
+                    self._discard_await_locked(stream_id, seq)
                 # No free: the generation's ring is about to be destroyed
                 # (or already was), taking every live block with it.
                 self._payload_refs.pop(seq, None)
@@ -791,16 +922,22 @@ class ProcessShardExecutor(Executor):
         """Live-rebalance the pool to ``shards`` worker processes.
 
         Only the streams whose consistent-hash owner changes (~``1/N`` of
-        the fleet, by the ring's guarantee) are quiesced: their last
-        enqueued chunks finish on the old owner (command-queue FIFO), their
-        detector state crosses the wire, and they resume on the new owner
-        with not an observation lost or re-detected.  All other streams
-        keep ingesting throughout.  Returns the new shard count.
+        the fleet, by the ring's guarantee) are quiesced, and each only
+        for its *own* extract→install hop: the ``MigrateOut`` rides the
+        source's priority control lane (overtaking its queued ingest), the
+        source bounces the migrating streams' queued chunks back and
+        streams one :class:`~repro.cluster.wire.MigrateStreamDone` per
+        stream, and each stream is installed on its new owner and released
+        the moment its state arrives and its in-flight chunks resolve —
+        bounced and mid-hop parked chunks replay behind the install in seq
+        order, and nothing is lost or re-detected.  All other streams keep
+        ingesting throughout.  Returns the new shard count.
 
-        ``timeout`` bounds each migration phase; on expiry (or on a source
-        shard dying mid-extraction) the unmigrated streams are registered
-        fresh on their new owners and recorded in ``state_lost_streams``,
-        so a resize always leaves a consistent, serving topology.
+        ``timeout`` bounds the migration pipeline; on expiry (or on a
+        source shard dying mid-extraction) the unmigrated streams are
+        registered fresh on their new owners and recorded in
+        ``state_lost_streams``, so a resize always leaves a consistent,
+        serving topology.
         """
         if shards < 1:
             raise ValidationError("shards must be at least 1")
@@ -842,10 +979,22 @@ class ProcessShardExecutor(Executor):
         self._epoch += 1
         epoch = self._epoch
         with self._cv:
+            # Lazily drop finished records whose last ack never came (a
+            # destination that died before answering its MigrateIn): the
+            # resize lock guarantees no pipeline is still driving them.
+            for stale in [e for e, r in self._migrations.items() if r.get("done")]:
+                self._migrations.pop(stale)
             self._migrations[epoch] = {
-                "out_pending": {},  # shard id -> process handle at enqueue time
-                "in_pending": {},
-                "states": {},  # stream id -> {"config": ..., "state": ...}
+                "out_pending": {},  # source shard id -> process at enqueue time
+                "in_pending": {},  # dest shard id -> un-acked MigrateIn count
+                "states": {},  # batched payloads (MigrateOutDone compat)
+                "moved": {},  # stream id -> config snapshot
+                "source": {},  # stream id -> source shard id
+                "arrived": {},  # stream id -> payload (None = fresh fallback)
+                "await": {},  # stream id -> seqs still in flight on its source
+                "installed": set(),  # stream ids installed + released
+                "started": {},  # stream id -> monotonic quiesce stamp
+                "done": False,  # pipeline finished; record is prunable
             }
         return epoch
 
@@ -872,10 +1021,14 @@ class ProcessShardExecutor(Executor):
             }
             epoch = self._open_epoch()
             record = self._migrations[epoch]
+            now = time.monotonic()
             with self._cv:
                 self.shard_count = len(self._shards)
                 self._migrating.update(moved)
                 self._migrated_streams += len(moved)
+                record["moved"] = dict(moved)
+                record["started"] = {sid: now for sid in moved}
+            self._note_migration_begin(epoch, moved, grow=True)
             by_source: dict[str, list[str]] = {}
             for sid in moved:
                 by_source.setdefault(before[sid], []).append(sid)
@@ -889,16 +1042,41 @@ class ProcessShardExecutor(Executor):
                     or source.process is None
                     or not source.process.is_alive()
                 ):
-                    continue  # state already lost; fresh fallback at finish
+                    # State already lost with the dead source: these streams
+                    # fall back to fresh registration right away.
+                    with self._cv:
+                        for sid in stream_ids:
+                            record["arrived"].setdefault(sid, None)
+                    continue
                 with self._cv:
                     record["out_pending"][source_id] = source.process
-                self._post(
+                    for sid in stream_ids:
+                        record["source"][sid] = source_id
+                    self._snapshot_await_locked(record, source_id, stream_ids)
+                self._post_priority(
                     source,
                     MigrateOut(epoch=epoch, stream_ids=tuple(sorted(stream_ids))),
                 )
-        states = self._await_migrate_out(epoch, timeout)
-        self._finish_migration(epoch, moved, states)
-        self._await_migrate_in(epoch, timeout)
+        self._pipeline_epoch(epoch, timeout)
+
+    def _snapshot_await_locked(self, record, source_id, stream_ids) -> None:
+        """Record which in-flight seqs each migrating stream must resolve
+        before its install (caller holds ``_cv``).
+
+        The priority-lane MigrateOut overtakes the source's queued ingest,
+        so chunks enqueued before the migration may still be on the source
+        when its state ships.  Each must either be served there (it
+        preceded the sweep) or bounce back — only then may the stream
+        install on its new owner, or the replay would reorder the chunks
+        the producer submitted first.
+        """
+        awaiting = {sid: set() for sid in stream_ids}
+        for seq, owner in self._outstanding.items():
+            if owner == source_id:
+                sid = self._seq_streams.get(seq)
+                if sid in awaiting:
+                    awaiting[sid].add(seq)
+        record["await"].update(awaiting)
 
     def _shrink(self, target: int, timeout: Optional[float]) -> None:
         with self._lifecycle:
@@ -915,11 +1093,18 @@ class ProcessShardExecutor(Executor):
             }
             epoch = self._open_epoch()
             record = self._migrations[epoch]
+            now = time.monotonic()
             with self._cv:
                 self.shard_count = len(self._shards)
                 self._migrating.update(moved)
                 self._migrated_streams += len(moved)
+                record["moved"] = dict(moved)
+                record["started"] = {sid: now for sid in moved}
+            self._note_migration_begin(epoch, moved, grow=False)
             for victim in victims:
+                stream_ids = tuple(
+                    sorted(sid for sid in moved if owner[sid] == victim.shard_id)
+                )
                 if victim.process is None or not victim.process.is_alive():
                     # A dead victim's state and in-flight chunks are gone;
                     # nobody will reap it now that it left the table (it is
@@ -927,16 +1112,24 @@ class ProcessShardExecutor(Executor):
                     # be dropped here too).
                     victim.pending.clear()
                     self._abandon_outstanding(victim.shard_id)
+                    with self._cv:
+                        for sid in stream_ids:
+                            record["arrived"].setdefault(sid, None)
                     continue
-                stream_ids = tuple(
-                    sorted(sid for sid in moved if owner[sid] == victim.shard_id)
-                )
                 with self._cv:
                     record["out_pending"][victim.shard_id] = victim.process
-                self._post(victim, MigrateOut(epoch=epoch, stream_ids=stream_ids))
-        states = self._await_migrate_out(epoch, timeout)
-        self._finish_migration(epoch, moved, states)
-        # Retire the victims now their state has left the building.
+                    for sid in stream_ids:
+                        record["source"][sid] = victim.shard_id
+                    self._snapshot_await_locked(record, victim.shard_id, stream_ids)
+                self._post_priority(
+                    victim, MigrateOut(epoch=epoch, stream_ids=stream_ids)
+                )
+        self._pipeline_epoch(epoch, timeout)
+        # Retire the victims.  The Shutdown rides the main queue, behind
+        # whatever swept backlog each victim is still serving (all of its
+        # own chunks bounced, so that backlog is control commands and
+        # other-stream stragglers); no new work can reach it — the ring
+        # already forgot it.
         for victim in victims:
             if victim.process is not None and victim.process.is_alive():
                 victim.commands.put(Shutdown())
@@ -950,116 +1143,239 @@ class ProcessShardExecutor(Executor):
             if victim.ring is not None:
                 victim.ring.destroy()
                 victim.ring = None
-        self._await_migrate_in(epoch, timeout)
 
-    def _await_migrate_out(self, epoch: int, timeout: Optional[float]) -> dict:
-        """Wait for every pending MigrateOutDone; give up on dead sources.
+    def _note_migration_begin(self, epoch: int, moved: dict, grow: bool) -> None:
+        """Count + record the opening of one migration epoch."""
+        if self._c_migrations is not None:
+            self._c_migrations.inc()
+        if self._c_migrated is not None and moved:
+            self._c_migrated.inc(len(moved))
+        if self._recorder is not None:
+            self._recorder.record(
+                None,
+                "migration_begin",
+                epoch=epoch,
+                streams=len(moved),
+                direction="grow" if grow else "shrink",
+            )
 
-        The wait itself happens outside the lifecycle lock so ingestion of
-        unaffected streams (and crash handling) keeps flowing while the
-        extraction is in flight.
+    def _pipeline_epoch(self, epoch: int, timeout: Optional[float]) -> None:
+        """Drive one migration epoch's per-stream pipeline to completion.
+
+        The collector thread fills ``record["arrived"]`` as the sources
+        stream their per-stream extractions; this loop installs each one
+        the moment it lands (:meth:`_release_stream`), falls back to a
+        fresh registration for streams whose source died or whose
+        extraction outlived ``timeout``, and returns once every moved
+        stream is installed and serving again.  MigrateIn acks are *not*
+        awaited — the collector counts them down asynchronously (per-shard
+        command FIFO already orders each install before the stream's
+        replayed chunks), so a grow never stalls on a fresh worker's cold
+        start.  Runs outside the lifecycle lock so ingestion of unaffected
+        streams (and crash handling) keeps flowing throughout.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             with self._cv:
                 record = self._migrations[epoch]
-                if not record["out_pending"]:
-                    return dict(record["states"])
+                # A stream is installable once its state has arrived *and*
+                # every chunk that was in flight on its source when the
+                # MigrateOut overtook them has resolved (served there, or
+                # bounced back into the parked list) — installing earlier
+                # would replay later chunks ahead of earlier ones.
+                ready = [
+                    sid
+                    for sid in record["arrived"]
+                    if sid not in record["installed"]
+                    and not record["await"].get(sid)
+                ]
+            for stream_id in sorted(ready):
+                self._release_stream(epoch, stream_id)
+            with self._cv:
+                record = self._migrations[epoch]
+                if len(record["installed"]) >= len(record["moved"]):
+                    record["done"] = True
+                    self._prune_epoch_locked(epoch)
+                    self._cv.notify_all()
+                    return
             self._reap_dead_shards()
+            # Sources that left ``out_pending`` without answering (killed,
+            # respawned, or a reported WorkerFailure) can no longer deliver
+            # their remaining streams: fall those back to fresh
+            # registrations now instead of waiting out the deadline.
+            dead_sources: list[str] = []
             with self._lifecycle:
                 with self._cv:
                     record = self._migrations[epoch]
                     for shard_id, process in list(record["out_pending"].items()):
                         shard = self._shards.get(shard_id)
                         if shard is None:
-                            # A shrink victim: it answers or it dies.
-                            if not process.is_alive():
+                            # A shrink victim: a clean exit means its
+                            # replies are already buffered in the pipe, so
+                            # only a hard death writes its streams off.
+                            if not process.is_alive() and process.exitcode != 0:
                                 record["out_pending"].pop(shard_id)
-                                self._abandon_outstanding(shard_id)
+                                dead_sources.append(shard_id)
                         elif shard.process is not process:
                             # Crashed and respawned: the command queue (and
                             # the state) died with the old process.
                             record["out_pending"].pop(shard_id)
+                            dead_sources.append(shard_id)
+                    live_sources = set(record["out_pending"])
+                    for sid, source_id in record["source"].items():
+                        if (
+                            sid not in record["arrived"]
+                            and source_id not in live_sources
+                        ):
+                            record["arrived"][sid] = None
+            for shard_id in dead_sources:
+                self._abandon_outstanding(shard_id)
             with self._cv:
-                if not record["out_pending"]:
-                    return dict(record["states"])
+                record = self._migrations[epoch]
+                if any(
+                    sid not in record["installed"] and not record["await"].get(sid)
+                    for sid in record["arrived"]
+                ):
+                    continue  # installs became ready while we were reaping
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if self._closed or (remaining is not None and remaining <= 0):
-                    # Timed out — or close() raced us and the workers are
-                    # being torn down, so the replies will never come.
+                    # Timed out — or close() raced us and the replies will
+                    # never come: fall back everything still in flight (a
+                    # chunk stuck on a hung source can no longer gate its
+                    # stream's install; if it bounces later it resolves as
+                    # lost rather than replaying out of order).
                     record["out_pending"].clear()
-                    return dict(record["states"])
+                    record["await"].clear()
+                    for sid in record["moved"]:
+                        record["arrived"].setdefault(sid, None)
+                    continue
                 self._cv.wait(0.05 if remaining is None else min(0.05, remaining))
 
-    def _finish_migration(self, epoch: int, moved: dict, states: dict) -> None:
-        """Install the extracted streams on their new owners and unblock them.
+    def _release_stream(self, epoch: int, stream_id: str) -> None:
+        """Install one stream on its new owner and release it immediately.
 
-        ``moved`` maps every migrating stream id to its config snapshot;
-        ids missing from ``states`` lost their detector state (source died
-        or timed out) and are registered fresh + recorded as lost.  The
-        MigrateIn is enqueued *before* the stream leaves the migrating set,
-        so its next chunk queues strictly behind the install (FIFO).
+        The MigrateIn is enqueued *before* the stream leaves the migrating
+        set and before its parked chunks replay, so every chunk — parked
+        or yet to come — queues strictly behind the install (FIFO).  A
+        ``None`` payload (source died, timed out, or no longer held the
+        stream) registers it fresh and records the loss; a dead
+        destination is respawned by the ordinary fault path first.
         """
+        fresh = False
         with self._lifecycle:
-            record = self._migrations[epoch]
-            by_dest: dict[str, dict] = {}
-            for stream_id, config in moved.items():
-                payload = states.get(stream_id)
-                if payload is None:
-                    payload = {"config": config, "state": None}
-                    with self._cv:
-                        self._state_lost.add(stream_id)
-                by_dest.setdefault(self._ring.shard_for(stream_id), {})[
-                    stream_id
-                ] = payload
-            for dest_id, streams in sorted(by_dest.items()):
-                dest = self._shards.get(dest_id)
-                if dest is None or dest.process is None or not dest.process.is_alive():
-                    # The destination is down: its respawn replays the
-                    # snapshot under the current ring (fresh state, loss
-                    # recorded by the respawn path).
-                    with self._cv:
-                        self._state_lost.update(streams)
-                    continue
-                with self._cv:
-                    record["in_pending"][dest_id] = dest.process
-                self._post(dest, MigrateIn(epoch=epoch, streams=streams))
             with self._cv:
-                self._migrating.difference_update(moved)
-                self._cv.notify_all()
-
-    def _await_migrate_in(self, epoch: int, timeout: Optional[float]) -> None:
-        """Wait for the MigrateIn acks (traffic already flows meanwhile)."""
-        deadline = None if timeout is None else time.monotonic() + timeout
-        try:
-            while True:
+                record = self._migrations.get(epoch)
+                if record is None or stream_id in record["installed"]:
+                    return
+                record["installed"].add(stream_id)
+                payload = record["arrived"].get(stream_id)
+                config = record["moved"][stream_id]
+                started = record["started"].get(stream_id)
+            if payload is None:
+                fresh = True
+                payload = {"config": config, "state": None}
                 with self._cv:
-                    record = self._migrations[epoch]
-                    if not record["in_pending"]:
-                        return
-                self._reap_dead_shards()
-                with self._lifecycle:
-                    with self._cv:
-                        record = self._migrations[epoch]
-                        for shard_id, process in list(record["in_pending"].items()):
-                            shard = self._shards.get(shard_id)
-                            if shard is None or shard.process is not process:
-                                # Destination died: respawn replayed fresh.
-                                record["in_pending"].pop(shard_id)
+                    self._state_lost.add(stream_id)
+            dest = None
+            try:
+                dest = self._shard_for_stream(stream_id)
+            except (ValidationError, ServiceBackendError):
+                dest = None  # closed, or the destination exhausted its budget
+            if dest is not None:
                 with self._cv:
-                    if not record["in_pending"]:
-                        return
-                    remaining = (
-                        None if deadline is None else deadline - time.monotonic()
+                    record["in_pending"][dest.shard_id] = (
+                        record["in_pending"].get(dest.shard_id, 0) + 1
                     )
-                    if self._closed or (remaining is not None and remaining <= 0):
-                        # Timed out, or close() raced us: the installs that
-                        # did land are fine, the rest replay fresh.
-                        return
-                    self._cv.wait(0.05 if remaining is None else min(0.05, remaining))
-        finally:
+                self._post(dest, MigrateIn(epoch=epoch, streams={stream_id: payload}))
+            elif not fresh:
+                fresh = True
+                with self._cv:
+                    self._state_lost.add(stream_id)
             with self._cv:
-                self._migrations.pop(epoch, None)
+                parked = self._parked.pop(stream_id, None) or []
+                self._parked_total -= len(parked)
+                self._migrating.discard(stream_id)
+                self._cv.notify_all()
+            # Seq order is submission order: bounced chunks (enqueued to
+            # the source before the migration began) all precede the
+            # producer-parked ones, but they joined the list later.
+            parked.sort(key=lambda entry: entry[0])
+            for seq, values, context in parked:
+                self._replay_parked(dest, stream_id, seq, values, context)
+        quiesced = (
+            max(0.0, time.monotonic() - started) if started is not None else None
+        )
+        if quiesced is not None and self._m_quiesce is not None:
+            self._m_quiesce.observe(quiesced)
+        if self._recorder is not None:
+            self._recorder.record(
+                dest.shard_id if dest is not None else None,
+                "migrate_stream",
+                stream=stream_id,
+                epoch=epoch,
+                state="fresh" if fresh else "moved",
+                parked=len(parked),
+                quiesce_ms=(
+                    round(quiesced * 1000, 3) if quiesced is not None else None
+                ),
+            )
+
+    def _replay_parked(self, dest, stream_id: str, seq: int, values, context) -> None:
+        """Re-enqueue one parked chunk strictly behind its stream's install
+        (caller holds the lifecycle lock).
+
+        With no live destination the chunk resolves as lost, exactly like
+        an in-flight chunk on a dead shard.
+        """
+        if dest is None:
+            with self._cv:
+                known = self._outstanding.pop(seq, None) is not None
+                if known:
+                    self._lost_chunks += 1
+                self._seq_streams.pop(seq, None)
+                completion = self._completions.pop(seq, None)
+                entry = self._chunk_traces.pop(seq, None)
+                self._cv.notify_all()
+            self._finish_trace(entry, "lost", error="migration destination unavailable")
+            self._safe_complete(completion, None, True)
+            return
+        stamp = time.monotonic() if self._metrics_on or context is not None else None
+        chunk = IngestChunk(
+            seq=seq,
+            stream_id=stream_id,
+            values=values,
+            enqueued_at=stamp,
+            trace=context,
+        )
+        with self._cv:
+            if seq not in self._outstanding:
+                return  # close() raced us and already resolved it as lost
+            self._outstanding[seq] = dest.shard_id
+            self._shard_ingests[dest.shard_id] = (
+                self._shard_ingests.get(dest.shard_id, 0) + 1
+            )
+            if stamp is not None and self._metrics_on:
+                self._ingest_started[seq] = stamp
+        if self.transport == "framed":
+            dest.pending.append(chunk)
+            if dest.pending_since is None:
+                dest.pending_since = time.monotonic()
+            if len(dest.pending) >= self.frame_size:
+                self._flush_shard(dest)
+        else:
+            dest.commands.put(chunk)
+
+    def _prune_epoch_locked(self, epoch: int) -> None:
+        """Drop a finished epoch record once nothing references it (caller
+        holds ``_cv``)."""
+        record = self._migrations.get(epoch)
+        if (
+            record is not None
+            and record.get("done")
+            and not record.get("out_pending")
+            and not record.get("in_pending")
+        ):
+            self._migrations.pop(epoch, None)
 
     # ------------------------------------------------------------------
     # Worker-side collections (cache statistics, state captures)
@@ -1311,18 +1627,52 @@ class ProcessShardExecutor(Executor):
                 self._finish_trace(self._pop_trace(reply.seq), spans=reply.spans)
                 self._ack(reply.seq, served=True)
                 self._safe_complete(completion, reply, False)
+        elif isinstance(reply, ChunkBounce):
+            self._handle_bounce(reply)
+        elif isinstance(reply, WorkerReady):
+            with self._cv:
+                self._ready.add(reply.shard_id)
+                self._cv.notify_all()
+        elif isinstance(reply, MigrateStreamDone):
+            # One stream's state just left its source: hand it to the
+            # resize thread (which installs it under the lifecycle lock —
+            # never here, the collector must stay lock-light) unless the
+            # pipeline already gave up on it and installed a fresh fallback.
+            with self._cv:
+                record = self._migrations.get(reply.epoch)
+                if record is not None and reply.stream_id not in record.get(
+                    "installed", ()
+                ):
+                    record.setdefault("arrived", {})[reply.stream_id] = reply.state
+                    self._cv.notify_all()
         elif isinstance(reply, MigrateOutDone):
             with self._cv:
                 record = self._migrations.get(reply.epoch)
                 if record is not None:
+                    # ``states`` is normally empty now (the payloads rode
+                    # per-stream MigrateStreamDone messages); folding any
+                    # batched leftovers keeps the wire contract permissive.
                     record["states"].update(reply.states)
+                    for sid, payload in reply.states.items():
+                        if sid not in record.get("installed", ()):
+                            record.setdefault("arrived", {})[sid] = payload
                     record["out_pending"].pop(reply.shard_id, None)
+                    self._prune_epoch_locked(reply.epoch)
                     self._cv.notify_all()
         elif isinstance(reply, MigrateInDone):
             with self._cv:
                 record = self._migrations.get(reply.epoch)
                 if record is not None:
-                    record["in_pending"].pop(reply.shard_id, None)
+                    # Per-stream installs mean several MigrateIns (and acks)
+                    # per destination: count them down, pop at zero.  Nobody
+                    # blocks on this — it only lets the epoch record retire.
+                    pending = record["in_pending"]
+                    count = pending.get(reply.shard_id)
+                    if isinstance(count, int) and count > 1:
+                        pending[reply.shard_id] = count - 1
+                    else:
+                        pending.pop(reply.shard_id, None)
+                    self._prune_epoch_locked(reply.epoch)
                     self._cv.notify_all()
         elif isinstance(reply, (ShardStatsReply, StateCaptureReply)):
             with self._cv:
@@ -1360,19 +1710,88 @@ class ProcessShardExecutor(Executor):
                 # The failure replaced a reply some rendezvous is waiting
                 # on: release it, or a resize()/cache_stats() caller with
                 # no deadline would wait forever on a live-but-failing
-                # worker.  Missing migration states fall back to fresh
-                # registration (recorded as lost) at _finish_migration.
+                # worker.  Streams the failed source never delivered fall
+                # back to fresh registration (recorded as lost) in
+                # _pipeline_epoch once it sees the source gone.
                 with self._cv:
-                    for record in self._migrations.values():
+                    for epoch_id, record in list(self._migrations.items()):
                         record["out_pending"].pop(reply.shard_id, None)
                         record["in_pending"].pop(reply.shard_id, None)
+                        self._prune_epoch_locked(epoch_id)
                     for collection in self._stats_collections.values():
                         collection["expected"].pop(reply.shard_id, None)
                     self._cv.notify_all()
 
+    def _handle_bounce(self, reply: ChunkBounce) -> None:
+        """Re-park one chunk a source swept back during its MigrateOut.
+
+        Runs on the collector thread (no lifecycle lock, by the collector's
+        deadlock discipline).  The chunk rejoins its stream's parked list —
+        release replays the list in seq order, and bounced seqs all precede
+        the producer-parked ones — and its seq leaves the migration's await
+        set, which is exactly what gates the stream's install.  A bounce
+        for a stream whose migration already resolved (deadline fallback)
+        cannot replay in order any more and resolves as lost; one for a seq
+        already written off (source died, close()) is just recycled.
+        """
+        lost_completion = None
+        lost_entry = None
+        with self._cv:
+            payload = self._payload_refs.pop(reply.seq, None)
+            owner = self._outstanding.get(reply.seq)
+            if owner is None:
+                self._seq_streams.pop(reply.seq, None)
+            elif reply.stream_id in self._migrating:
+                self._outstanding[reply.seq] = _PARKED
+                if owner != _PARKED:
+                    # No longer the source's chunk; it counts against the
+                    # destination when it replays.
+                    count = self._shard_ingests.get(owner)
+                    if count:
+                        self._shard_ingests[owner] = count - 1
+                self._ingest_started.pop(reply.seq, None)
+                entry = self._chunk_traces.get(reply.seq)
+                context = (
+                    entry[0].wire_context(entry[1]) if entry is not None else None
+                )
+                self._parked.setdefault(reply.stream_id, []).append(
+                    (reply.seq, reply.values, context)
+                )
+                self._parked_total += 1
+                self._bounced += 1
+                self._discard_await_locked(reply.stream_id, reply.seq)
+                self._cv.notify_all()
+            else:
+                del self._outstanding[reply.seq]
+                self._lost_chunks += 1
+                self._ingest_started.pop(reply.seq, None)
+                self._seq_streams.pop(reply.seq, None)
+                lost_completion = self._completions.pop(reply.seq, None)
+                lost_entry = self._chunk_traces.pop(reply.seq, None)
+                self._cv.notify_all()
+        if payload is not None:
+            ring, offset = payload
+            ring.free(offset)
+        if lost_entry is not None or lost_completion is not None:
+            self._finish_trace(
+                lost_entry, "lost", error="bounced chunk outlived its migration"
+            )
+            self._safe_complete(lost_completion, None, True)
+
+    def _discard_await_locked(self, stream_id: str, seq: int) -> None:
+        """Drop one resolved seq from any epoch's await set (caller holds
+        ``_cv``)."""
+        for record in self._migrations.values():
+            waiting = record.get("await", {}).get(stream_id)
+            if waiting:
+                waiting.discard(seq)
+
     def _ack(self, seq: int, served: bool = False) -> None:
         with self._cv:
             known = self._outstanding.pop(seq, None) is not None
+            stream_id = self._seq_streams.pop(seq, None)
+            if stream_id is not None and self._migrations:
+                self._discard_await_locked(stream_id, seq)
             started = self._ingest_started.pop(seq, None)
             payload = self._payload_refs.pop(seq, None)
             if not known and served and self._lost_chunks > 0:
@@ -1407,6 +1826,34 @@ class ProcessShardExecutor(Executor):
     # ------------------------------------------------------------------
     # Drain / stats
     # ------------------------------------------------------------------
+    def wait_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until every live shard's worker has finished booting.
+
+        A freshly spawned worker spends its first moments importing the
+        runtime; commands queued during that window simply wait.  This
+        barrier lets callers (benchmarks, tests, pre-warming operators)
+        separate interpreter boot from steady-state serving without
+        sleeping.  Returns ``False`` on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lifecycle:
+                pending = [
+                    shard.shard_id
+                    for shard in self._shards.values()
+                    if shard.process is not None and shard.process.is_alive()
+                ]
+            with self._cv:
+                if all(shard_id in self._ready for shard_id in pending):
+                    return True
+            self._reap_dead_shards()
+            self._raise_deferred()
+            with self._cv:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cv.wait(0.05 if remaining is None else min(0.05, remaining))
+
     def drain(self, timeout: Optional[float] = None) -> bool:
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
@@ -1454,6 +1901,9 @@ class ProcessShardExecutor(Executor):
                 "retired_shards": self._retired,
                 "resizes": self._resizes,
                 "migrated_streams": self._migrated_streams,
+                "migration_buffer": self.migration_buffer,
+                "parked_chunks": self._parked_total,
+                "bounced_chunks": self._bounced,
                 "lost_chunks": self._lost_chunks,
                 "state_lost_streams": sorted(self._state_lost),
             }

@@ -19,9 +19,14 @@ The protocol is deliberately small:
   counts; when tracing is on the chunk carries a
   :class:`~repro.obs.trace.TraceContext` and the reply ships the
   worker-side spans back for re-parenting;
-* ``MigrateOut`` → ``MigrateOutDone`` — live rebalancing: extract the named
-  streams *with their detector state* (``state_dict()`` snapshots) so the
-  parent can move them to their new ring owners;
+* ``MigrateOut`` → ``MigrateStreamDone``\\ * → ``MigrateOutDone`` — live
+  rebalancing: the worker extracts the named streams *one at a time*,
+  answering each with a ``MigrateStreamDone`` carrying that stream's
+  ``state_dict()`` snapshot (and serving any ingest frames that queued up
+  between extractions), then closes the request with an empty
+  ``MigrateOutDone`` marker.  The parent installs each stream on its new
+  ring owner the moment its state arrives, so a stream is only quiesced
+  for its *own* extract→install hop, never for the whole epoch;
 * ``MigrateIn`` → ``MigrateInDone`` — install migrated streams on their new
   shard, restoring detector state so no observation is re-detected or lost
   across a resize;
@@ -117,11 +122,18 @@ class IngestChunk:
 class MigrateOut:
     """Extract streams (config + detector state) for a live migration.
 
-    The worker drops each named stream from its table and replies with a
-    :class:`MigrateOutDone` carrying ``state_dict()`` snapshots.  Stream ids
-    the worker does not know (e.g. because it respawned after the ring was
-    already updated) are silently absent from the reply; the parent
-    registers those fresh on the destination and records the state loss.
+    Delivered on the shard's *priority control lane*, which the worker
+    polls ahead of (and between chunks of) its command queue, so the
+    extraction never waits out the ingest backlog.  On receipt the worker
+    sweeps its queued commands into a local backlog, answers every swept
+    chunk belonging to a migrating stream with a :class:`ChunkBounce`
+    (the parent replays those on the new owner, in seq order, ahead of
+    anything parked later), then extracts each named stream and replies
+    with a :class:`MigrateStreamDone` per stream the moment its state is
+    snapshotted, closing with a :class:`MigrateOutDone` marker.  A stream
+    the worker does not know (e.g. because it respawned after the ring
+    was already updated) answers with a ``None`` payload; the parent
+    registers it fresh on the destination and records the state loss.
     """
 
     epoch: int
@@ -192,6 +204,20 @@ class Shutdown:
 # Replies: worker -> parent
 # ----------------------------------------------------------------------
 @dataclass
+class WorkerReady:
+    """First reply a worker sends: its runtime is built and serving.
+
+    Interpreter boot (imports, cache construction) dominates a fresh
+    shard's first second of life; commands queued during it just wait.
+    The parent tracks these markers so ``wait_ready()`` can give
+    benchmarks and operators a deterministic warm-fleet barrier instead
+    of a sleep.
+    """
+
+    shard_id: str
+
+
+@dataclass
 class AlarmRecord:
     """One alarm a shard raised and resolved, ready for the service report."""
 
@@ -224,11 +250,55 @@ class IngestReply:
 
 
 @dataclass
+class MigrateStreamDone:
+    """One stream's extracted state, shipped the moment it leaves the source.
+
+    ``state`` is the ``{"config": dict, "state": dict}`` payload a
+    :class:`MigrateIn` installs, or ``None`` when the worker did not hold
+    the stream (respawn raced the ring update) or its export failed — the
+    parent then registers the stream fresh and records the state loss.
+    Streaming these per stream (instead of batching them into the final
+    :class:`MigrateOutDone`) is what lets the parent release each stream
+    after its *own* extract→install hop instead of the whole epoch's.
+    """
+
+    shard_id: str
+    epoch: int
+    stream_id: str
+    state: Optional[dict] = None
+
+
+@dataclass
+class ChunkBounce:
+    """A chunk returned unserved because its stream just migrated out.
+
+    Sent for every queued chunk of a migrating stream that a
+    :class:`MigrateOut` swept past (and for any straggler that reaches
+    the source after the extraction): the source no longer holds the
+    stream, and serving the chunk there would race the state that already
+    shipped.  The parent re-parks the chunk and replays it on the new
+    owner strictly behind the stream's install — bounced seqs all precede
+    the parent-parked ones, so a seq-ordered replay reconstructs the
+    producer's exact submission order and nothing is lost or re-served.
+    ``values`` is the decoded payload (copied off the shared-memory ring
+    by pickling, so the parent may recycle the ring block on receipt).
+    """
+
+    shard_id: str
+    seq: int
+    stream_id: str
+    values: object = None
+
+
+@dataclass
 class MigrateOutDone:
-    """The extracted streams of one :class:`MigrateOut` request.
+    """End-of-extraction marker closing one :class:`MigrateOut` request.
 
     ``states`` maps ``stream_id -> {"config": dict, "state": dict}`` for
-    every requested stream the worker actually held.
+    any requested streams not already shipped as per-stream
+    :class:`MigrateStreamDone` replies (current workers stream everything
+    and send this marker empty; the field remains for mixed-version
+    tolerance).
     """
 
     shard_id: str

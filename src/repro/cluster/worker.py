@@ -13,6 +13,21 @@ serves the chunks in frame order and answers with a single
 :class:`~repro.cluster.wire.ReplyFrame` — one deserialisation and one
 serialisation pass per batch instead of per chunk.
 
+A :class:`~repro.cluster.wire.MigrateOut` arrives on a dedicated
+*priority control lane* the worker polls ahead of its command queue —
+and between the chunks of the frame it is currently serving — so an
+extraction starts within one chunk's latency instead of behind the whole
+ingest backlog.  The handler sweeps the queued commands into a local
+backlog, answers every swept chunk of a migrating stream with a
+:class:`~repro.cluster.wire.ChunkBounce` (the parent replays them, in seq
+order, on the stream's new owner), then extracts each named stream and
+ships its own :class:`~repro.cluster.wire.MigrateStreamDone` the moment
+its state is snapshotted.  The backlog — non-migrating ingest and any
+control commands — is then served strictly in arrival order, and a
+straggler chunk that reaches this worker after its stream was exported
+bounces too, so the FIFO contract's *observable* effects survive: every
+chunk is served exactly once, on exactly one side of the migration.
+
 Error discipline mirrors the thread pool's: an explainer failing on one
 alarm is captured *per alarm* inside the reply; a chunk that fails to
 decode or process becomes a per-chunk
@@ -27,6 +42,8 @@ from __future__ import annotations
 
 import os
 import time
+from collections import deque
+from queue import Empty
 
 from repro.cluster.runtime import ShardRuntime
 from repro.cluster.shm import ChunkRing
@@ -34,6 +51,7 @@ from repro.obs.metrics import MetricsRegistry, stage_histogram
 from repro.obs.trace import span_dict
 from repro.cluster.wire import (
     CaptureState,
+    ChunkBounce,
     CollectStats,
     CrashShard,
     IngestChunk,
@@ -43,6 +61,7 @@ from repro.cluster.wire import (
     MigrateInDone,
     MigrateOut,
     MigrateOutDone,
+    MigrateStreamDone,
     RegisterStream,
     RemoveStream,
     ReplyFrame,
@@ -51,6 +70,7 @@ from repro.cluster.wire import (
     Shutdown,
     StateCaptureReply,
     WorkerFailure,
+    WorkerReady,
     decode_frame,
 )
 from repro.service.cache import SharedCaches
@@ -112,6 +132,7 @@ def shard_worker_main(
     cache_config=None,
     metrics_enabled: bool = False,
     ring_spec=None,
+    control=None,
 ) -> None:
     """Serve one shard until told to shut down.
 
@@ -140,6 +161,13 @@ def shard_worker_main(
         :class:`~repro.cluster.shm.ChunkRing` (framed transport), or
         ``None`` under the legacy transport.  The worker only ever *reads*
         payloads; the parent owns allocation, recycling and unlinking.
+    control:
+        Priority control lane (a second multiprocessing queue) carrying
+        only :class:`~repro.cluster.wire.MigrateOut` commands.  Polled
+        non-blocking ahead of ``commands`` and between the chunks of the
+        frame currently being served, so a migration's extraction starts
+        within one chunk's latency even under a deep ingest backlog.
+        ``None`` (tests driving the loop directly) disables the lane.
     """
     try:
         # Third-party backends must exist on *this* side of the wire too:
@@ -175,24 +203,150 @@ def shard_worker_main(
         metrics=metrics,
         metric_labels={"shard": shard_id},
     )
-    while True:
-        command = commands.get()
+    # Interpreter boot is over; everything after this is per-command work.
+    replies.send(WorkerReady(shard_id=shard_id))
+
+    # Commands swept out of the queue by a MigrateOut; always served, in
+    # arrival order, before the queue is read again.
+    backlog: deque = deque()
+    # Streams this worker extracted via MigrateOut: a chunk that reaches
+    # us for one of them after the export (a sweep straggler) bounces back
+    # to the parent instead of being silently acknowledged empty.
+    exported: set = set()
+
+    def _bounce(chunk: IngestChunk) -> ChunkBounce:
+        return ChunkBounce(
+            shard_id=shard_id,
+            seq=chunk.seq,
+            stream_id=chunk.stream_id,
+            values=chunk.values,
+        )
+
+    def _migrate_out(command: MigrateOut) -> None:
+        """Extract streams now, bouncing their queued chunks to the parent.
+
+        Sweeps the command queue into the local backlog first: chunks for
+        migrating streams answer with a ChunkBounce (the parent replays
+        them on the new owner, in seq order, ahead of its parked ones) so
+        the extraction — and the stream's install on the other side —
+        never waits for this shard to chew through its ingest backlog.
+        """
+        migrating = set(command.stream_ids)
         try:
-            if isinstance(command, Shutdown):
-                if ring is not None:
-                    ring.close()
-                return
-            if isinstance(command, CrashShard):
-                # Simulated hard crash: no cleanup, no goodbye message.
-                os._exit(command.exit_code)
+            queued = commands.qsize()
+        except NotImplementedError:  # platforms without sem_getvalue
+            queued = 0
+        for _ in range(queued):
+            try:
+                # A put() bumps qsize before the feeder thread has
+                # serialised the item, so give each expected item a
+                # breath; a straggler that still slips past bounces when
+                # the backlog reaches it.
+                item = commands.get(timeout=0.01)
+            except Empty:
+                break
+            if isinstance(item, IngestFrame):
+                for entry in decode_frame(item, ring, shard_id):
+                    if isinstance(entry, WorkerFailure):
+                        replies.send(entry)
+                    else:
+                        backlog.append(entry)
+            else:
+                backlog.append(item)
+        # One pass over the backlog, in arrival order: chunks of migrating
+        # streams bounce, and control commands that *concern* a migrating
+        # stream apply now — the export below must observe them, exactly
+        # as the queue's FIFO would have ordered it (a RegisterStream the
+        # MigrateOut overtook would otherwise export as "not held" and be
+        # wrongly recorded as state loss).  Everything else defers.
+        kept: deque = deque()
+        for item in backlog:
+            try:
+                if isinstance(item, IngestChunk) and item.stream_id in migrating:
+                    replies.send(_bounce(item))
+                elif (
+                    isinstance(item, RegisterStream)
+                    and item.stream_id in migrating
+                ):
+                    runtime.register(item.stream_id, item.config)
+                elif (
+                    isinstance(item, RemoveStream) and item.stream_id in migrating
+                ):
+                    runtime.remove(item.stream_id)
+                elif isinstance(item, MigrateIn) and set(item.streams) <= migrating:
+                    runtime.import_streams(item.streams)
+                    replies.send(
+                        MigrateInDone(
+                            shard_id=shard_id,
+                            epoch=item.epoch,
+                            stream_ids=tuple(item.streams),
+                        )
+                    )
+                else:
+                    kept.append(item)
+            except Exception as exc:
+                replies.send(
+                    WorkerFailure(
+                        shard_id,
+                        f"{type(item).__name__} failed: {exc!r}",
+                        seq=getattr(item, "seq", None),
+                        command=type(item).__name__,
+                    )
+                )
+        backlog.clear()
+        backlog.extend(kept)
+        for stream_id in command.stream_ids:
+            try:
+                payload = runtime.export_stream(stream_id)
+            except Exception:
+                # An unexportable stream must not stall its epoch: report
+                # it unavailable (the parent records it as state_lost) and
+                # keep extracting the rest.
+                payload = None
+            exported.add(stream_id)
+            replies.send(
+                MigrateStreamDone(
+                    shard_id=shard_id,
+                    epoch=command.epoch,
+                    stream_id=stream_id,
+                    state=payload,
+                )
+            )
+        replies.send(MigrateOutDone(shard_id=shard_id, epoch=command.epoch, states={}))
+
+    def _poll_control() -> None:
+        if control is None:
+            return
+        try:
+            priority = control.get_nowait()
+        except Empty:
+            return
+        if isinstance(priority, MigrateOut):
+            _migrate_out(priority)
+        else:  # defensive: the lane only ever carries MigrateOut
+            backlog.append(priority)
+
+    def _serve_ingest(command) -> None:
+        """Serve one ingest command (frame or legacy chunk), reply included.
+
+        One reply frame per ingest frame, entries in frame order; a chunk
+        that fails to decode or serve degrades to its own WorkerFailure
+        entry instead of poisoning its siblings.  The control lane is
+        polled between chunks, so a MigrateOut interrupts a long frame
+        after the current chunk — the rest of the frame's migrating
+        chunks then bounce (inside the same reply frame) instead of being
+        served against state that already left.
+        """
+        try:
             if isinstance(command, IngestFrame):
-                # One reply frame per ingest frame, entries in frame order;
-                # a chunk that fails to decode or serve degrades to its own
-                # WorkerFailure entry instead of poisoning its siblings.
                 frame_replies = []
                 for item in decode_frame(command, ring, shard_id):
                     if isinstance(item, WorkerFailure):
                         frame_replies.append(item)
+                        continue
+                    _poll_control()
+                    if item.stream_id in exported and item.stream_id not in runtime:
+                        frame_replies.append(_bounce(item))
                         continue
                     try:
                         frame_replies.append(
@@ -208,22 +362,52 @@ def shard_worker_main(
                             )
                         )
                 replies.send(ReplyFrame(replies=frame_replies))
-            elif isinstance(command, IngestChunk):
+            elif command.stream_id in exported and command.stream_id not in runtime:
+                replies.send(_bounce(command))
+            else:
                 replies.send(_serve_chunk(runtime, shard_id, batch_wait, command))
+        except Exception as exc:
+            replies.send(
+                WorkerFailure(
+                    shard_id,
+                    f"{type(command).__name__} failed: {exc!r}",
+                    seq=getattr(command, "seq", None),
+                    command=type(command).__name__,
+                )
+            )
+
+    while True:
+        _poll_control()
+        if backlog:
+            command = backlog.popleft()
+        else:
+            try:
+                command = commands.get(timeout=0.05)
+            except Empty:
+                continue
+        try:
+            if isinstance(command, Shutdown):
+                if ring is not None:
+                    ring.close()
+                return
+            if isinstance(command, CrashShard):
+                # Simulated hard crash: no cleanup, no goodbye message.
+                os._exit(command.exit_code)
+            if isinstance(command, (IngestFrame, IngestChunk)):
+                _serve_ingest(command)
             elif isinstance(command, RegisterStream):
                 runtime.register(command.stream_id, command.config)
             elif isinstance(command, RemoveStream):
                 runtime.remove(command.stream_id)
             elif isinstance(command, MigrateOut):
-                replies.send(
-                    MigrateOutDone(
-                        shard_id=shard_id,
-                        epoch=command.epoch,
-                        states=runtime.export_streams(command.stream_ids),
-                    )
-                )
+                # Main-queue fallback path (no control lane, or a test
+                # driving the loop directly): same sweep-and-bounce
+                # handler, arriving FIFO behind the backlog instead of
+                # interrupting it.
+                _migrate_out(command)
             elif isinstance(command, MigrateIn):
                 runtime.import_streams(command.streams)
+                exported.difference_update(command.streams)
                 replies.send(
                     MigrateInDone(
                         shard_id=shard_id,

@@ -63,13 +63,18 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
     10.0,
 )
 
-#: The five instrumented pipeline stages, in pipeline order.
+#: The instrumented pipeline stages, in pipeline order.  The first five
+#: time the chunk path; ``migration_quiesce`` times how long a migrating
+#: stream is frozen during a live resize (entering the migrating set to
+#: its install on the new owner) — tail latency a producer experiences as
+#: a parked chunk.
 STAGES: Tuple[str, ...] = (
     "ingest_enqueue",
     "batch_wait",
     "detect",
     "explain",
     "wire_roundtrip",
+    "migration_quiesce",
 )
 
 #: Metric name shared by all stage histograms; the stage travels as a label.
@@ -453,7 +458,7 @@ def stage_histogram(
 
 
 def register_stage_histograms(registry: Optional[MetricsRegistry]) -> None:
-    """Pre-create all five stage histograms so metric *presence* is uniform.
+    """Pre-create every stage histogram so metric *presence* is uniform.
 
     Under the inline executor ``wire_roundtrip`` never observes a sample;
     pre-registering keeps the series (with count 0) in every report and

@@ -199,6 +199,11 @@ class ExplanationService:
     frame_size:
         Chunks per frame before an eager flush (``process`` executor,
         framed transport only).
+    migration_buffer:
+        Chunks the parent will park per resize for streams that are
+        mid-migration before applying backpressure (``process`` executor
+        only; default 64).  Larger buffers keep producers unblocked
+        through longer migrations at the cost of parent-side memory.
     metrics:
         Enable stage-latency telemetry: a
         :class:`~repro.obs.metrics.MetricsRegistry` instruments the five
@@ -250,6 +255,7 @@ class ExplanationService:
         mp_context: Optional[str] = None,
         transport: str = "framed",
         frame_size: int = 32,
+        migration_buffer: int = 64,
         metrics: bool = False,
         cache_ttl: Optional[float] = None,
         cache_max_entry_bytes: Optional[int] = None,
@@ -307,6 +313,7 @@ class ExplanationService:
                     self._cache_lifecycle,
                     transport,
                     frame_size,
+                    migration_buffer,
                 ),
             )
         self._executor = executor.bind(
@@ -325,6 +332,7 @@ class ExplanationService:
     def _executor_options(
         name: str, workers, max_batch, capacity, policy, shards, mp_context,
         cache_lifecycle=None, transport="framed", frame_size=32,
+        migration_buffer=64,
     ) -> dict:
         """The constructor options each named executor understands."""
         if name == "thread":
@@ -341,6 +349,7 @@ class ExplanationService:
                 "capacity": capacity,
                 "transport": transport,
                 "frame_size": frame_size,
+                "migration_buffer": migration_buffer,
             }
             if cache_lifecycle:
                 # Each shard's private cache bundle inherits the parent's
@@ -865,6 +874,20 @@ class ExplanationService:
         drained = self._executor.drain(timeout=timeout)
         self._deferred.raise_first("service callback failed")
         return drained
+
+    def wait_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until every executor worker has finished booting.
+
+        Process-shard workers spend their first moments importing the
+        runtime; this barrier lets callers separate that one-time boot
+        from steady-state serving (benchmark warmup, operator pre-warm
+        before cutover).  In-thread executors are always ready.  Returns
+        ``False`` on timeout.
+        """
+        waiter = getattr(self._executor, "wait_ready", None)
+        if waiter is None:
+            return True
+        return waiter(timeout=timeout)
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Drain (by default) and stop the executor backend.

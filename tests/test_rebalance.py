@@ -29,7 +29,7 @@ from hypothesis import strategies as st
 
 from repro.cluster import Autoscaler, HashRing, QueueDepthPolicy
 from repro.cluster.sharding import ProcessShardExecutor
-from repro.cluster.wire import WorkerFailure
+from repro.cluster.wire import MigrateOut, WorkerFailure
 from repro.datasets.synthetic import drifting_series
 from repro.drift.detector import IncrementalKSDetector, KSDriftDetector
 from repro.exceptions import ServiceBackendError, ValidationError
@@ -283,6 +283,100 @@ class TestLiveResize:
                 baseline.canonical_dict(), sort_keys=True
             )
 
+    def test_backlogged_resize_bounces_chunks_without_loss(self, drifted_values):
+        """A resize posted behind queued ingest sweeps chunks back.
+
+        The priority lane overtakes the source's backlog, so chunks already
+        queued for migrating streams come back as bounces and replay on the
+        new owner — counted, and never lost.
+        """
+        with ExplanationService(
+            executor="process", shards=2, default_config=StreamConfig(window_size=150)
+        ) as service:
+            for stream_id in STREAM_IDS:
+                service.register(stream_id)
+            assert service.wait_ready(timeout=120)
+            # A deep backlog on both shards, then an immediate grow: the
+            # MigrateOut must overtake all of it.
+            for start in range(0, 600, 60):
+                for stream_id in STREAM_IDS:
+                    service.submit(stream_id, drifted_values[start:start + 60])
+            assert service.resize(3) == 3
+            service.drain()
+            stats = service.stats()
+            report = service.report()
+        assert stats["bounced_chunks"] >= 1
+        assert stats["lost_chunks"] == 0
+        assert report.state_lost == []
+        for stream in report.streams:
+            assert stream.observations == 600
+
+
+# ----------------------------------------------------------------------
+# Concurrent producers vs live migration (property-based)
+# ----------------------------------------------------------------------
+class TestConcurrentMigrationProperty:
+    """Producers racing a resize must never perturb the canonical report."""
+
+    @pytest.mark.parametrize("transport", ["framed", "legacy"])
+    @settings(max_examples=2, deadline=None)
+    @given(data=st.data())
+    def test_concurrent_producers_mid_resize_parity(
+        self, transport, drifted_values, data
+    ):
+        chunk = data.draw(st.integers(min_value=40, max_value=90))
+        values = drifted_values[:480]
+        rounds = list(range(0, values.size, chunk))
+        resize_round = data.draw(
+            st.integers(min_value=1, max_value=max(1, len(rounds) - 2))
+        )
+
+        baseline = replay("inline", values, chunk=chunk)
+
+        with ExplanationService(
+            executor="process",
+            shards=2,
+            transport=transport,
+            default_config=StreamConfig(window_size=150),
+        ) as service:
+            for stream_id in STREAM_IDS:
+                service.register(stream_id)
+            assert service.wait_ready(timeout=120)
+            # Two producers with disjoint stream sets (per-stream order is
+            # each producer's own), plus this thread resizing: the barrier
+            # lines everyone up so the grow overlaps live submission.
+            barrier = threading.Barrier(3)
+            errors: list[Exception] = []
+
+            def producer(streams):
+                try:
+                    for index, start in enumerate(rounds):
+                        if index == resize_round:
+                            barrier.wait(timeout=120)
+                        for stream_id in streams:
+                            service.submit(stream_id, values[start:start + chunk])
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=producer, args=(STREAM_IDS[:3],), daemon=True),
+                threading.Thread(target=producer, args=(STREAM_IDS[3:],), daemon=True),
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait(timeout=120)
+            service.resize(3)
+            for thread in threads:
+                thread.join(timeout=240)
+                assert not thread.is_alive()
+            report = service.report()
+        assert errors == []
+        assert report.batcher_stats["lost_chunks"] == 0
+        assert report.state_lost == []
+        assert json.dumps(report.canonical_dict(), sort_keys=True) == json.dumps(
+            baseline.canonical_dict(), sort_keys=True
+        )
+
 
 # ----------------------------------------------------------------------
 # Fault visibility: respawn loss markers and retirement
@@ -307,6 +401,56 @@ class TestFaultVisibility:
         assert payload["faults"]["restarts"] >= 1
         assert "a" in payload["faults"]["state_lost"]
         assert "detector state lost" in report.render(alarms=False)
+
+    def test_sigkill_of_source_mid_migration_loses_only_its_streams(
+        self, drifted_values
+    ):
+        """SIGKILL a source while its extraction is in flight.
+
+        Only the dead shard's unextracted streams may land in
+        ``state_lost``; streams migrating off surviving sources keep their
+        state, and the service keeps serving everything afterwards.
+        """
+        executor = ProcessShardExecutor(shards=2)
+        with ExplanationService(
+            executor=executor, default_config=StreamConfig(window_size=150)
+        ) as service:
+            ids = [f"m-{i:02d}" for i in range(12)]
+            for stream_id in ids:
+                service.register(stream_id)
+            for stream_id in ids:
+                service.submit(stream_id, drifted_values[:200])
+            service.drain()
+            assert executor.wait_ready(timeout=120)
+            before = {stream_id: executor.shard_of(stream_id) for stream_id in ids}
+            victim = "shard-0"
+
+            original = executor._post_priority
+
+            def kill_then_post(shard, command):
+                # The parent has already built the migration epoch; the
+                # source dies the instant its MigrateOut ships, i.e. with
+                # every one of its streams still unextracted.
+                if shard.shard_id == victim and isinstance(command, MigrateOut):
+                    shard.process.kill()
+                    shard.process.join(timeout=60)
+                original(shard, command)
+
+            executor._post_priority = kill_then_post
+            try:
+                assert executor.resize(3, timeout=120) == 3
+            finally:
+                executor._post_priority = original
+            lost = set(service.report().state_lost)
+            # The dead source could not hand anything over; everyone else did.
+            assert lost
+            assert all(before[stream_id] == victim for stream_id in lost)
+            # The fleet keeps serving, dead shard's streams included.
+            for stream_id in ids:
+                service.submit(stream_id, drifted_values[:120])
+            report = service.report()
+        assert {stream.stream_id for stream in report.streams} == set(ids)
+        assert report.batcher_stats["lost_chunks"] == 0
 
     def test_exhausted_shard_is_retired_and_streams_redistributed(self, drifted_values):
         executor = ProcessShardExecutor(shards=2, max_restarts=0)
